@@ -1,0 +1,65 @@
+// Command wrs-bench runs the experiment suite that reproduces every
+// quantitative claim of the paper and prints the resulting tables.
+//
+// Usage:
+//
+//	wrs-bench                  # run everything, aligned-text output
+//	wrs-bench -run E1,E9       # selected experiments
+//	wrs-bench -format md       # markdown (EXPERIMENTS.md is built this way)
+//	wrs-bench -quick           # reduced stream sizes / trial counts
+//	wrs-bench -list            # list experiment IDs and titles
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"wrs/internal/bench"
+)
+
+func main() {
+	runFlag := flag.String("run", "", "comma-separated experiment IDs (default: all)")
+	format := flag.String("format", "text", "output format: text, md, csv")
+	quick := flag.Bool("quick", false, "reduced sizes for fast runs")
+	list := flag.Bool("list", false, "list available experiments")
+	flag.Parse()
+
+	if *list {
+		for _, e := range bench.All() {
+			fmt.Printf("%-4s %s\n", e.ID, e.Title)
+		}
+		return
+	}
+
+	var selected []bench.Experiment
+	if *runFlag == "" {
+		selected = bench.All()
+	} else {
+		for _, id := range strings.Split(*runFlag, ",") {
+			e := bench.Find(strings.TrimSpace(id))
+			if e == nil {
+				fmt.Fprintf(os.Stderr, "wrs-bench: unknown experiment %q (use -list)\n", id)
+				os.Exit(2)
+			}
+			selected = append(selected, *e)
+		}
+	}
+
+	for _, e := range selected {
+		start := time.Now()
+		table := e.Run(*quick)
+		table.Notes = append(table.Notes,
+			fmt.Sprintf("wall time: %.1fs%s", time.Since(start).Seconds(), quickSuffix(*quick)))
+		table.Render(os.Stdout, *format)
+	}
+}
+
+func quickSuffix(q bool) string {
+	if q {
+		return " (quick mode)"
+	}
+	return ""
+}

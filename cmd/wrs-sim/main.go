@@ -1,0 +1,123 @@
+// Command wrs-sim runs a single distributed weighted-SWOR simulation and
+// prints the maintained sample plus traffic statistics — a quick way to
+// watch the protocol behave under different workloads.
+//
+// Usage:
+//
+//	wrs-sim -k 16 -s 10 -n 100000 -workload zipf -seed 7
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"wrs/internal/core"
+	"wrs/internal/netsim"
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+func main() {
+	k := flag.Int("k", 8, "number of sites")
+	s := flag.Int("s", 10, "sample size")
+	n := flag.Int("n", 100000, "stream length")
+	workload := flag.String("workload", "uniform", "weights: unit, uniform, zipf, pareto, heavyhead")
+	partition := flag.String("partition", "roundrobin", "site assignment: roundrobin, random, contiguous, single")
+	seed := flag.Uint64("seed", 1, "random seed")
+	concurrent := flag.Bool("concurrent", false, "use the goroutine runtime instead of the sequential simulator")
+	flag.Parse()
+
+	var wf stream.WeightFn
+	switch *workload {
+	case "unit":
+		wf = stream.UnitWeights()
+	case "uniform":
+		wf = stream.UniformWeights(1000)
+	case "zipf":
+		wf = stream.ZipfWeights(1.5, 100000)
+	case "pareto":
+		wf = stream.ParetoWeights(1.1)
+	case "heavyhead":
+		wf = stream.HeavyHeadWeights(5, 1e9)
+	default:
+		fmt.Fprintf(os.Stderr, "wrs-sim: unknown workload %q\n", *workload)
+		os.Exit(2)
+	}
+	var af stream.AssignFn
+	switch *partition {
+	case "roundrobin":
+		af = stream.RoundRobin(*k)
+	case "random":
+		af = stream.RandomSites(*k)
+	case "contiguous":
+		af = stream.Contiguous(*k, *n)
+	case "single":
+		af = stream.SingleSite()
+	default:
+		fmt.Fprintf(os.Stderr, "wrs-sim: unknown partition %q\n", *partition)
+		os.Exit(2)
+	}
+
+	cfg := core.Config{K: *k, S: *s}
+	if err := cfg.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "wrs-sim:", err)
+		os.Exit(2)
+	}
+	master := xrand.New(*seed)
+	coord := core.NewCoordinator(cfg, master.Split())
+	sites := make([]netsim.Site[core.Message], *k)
+	for i := 0; i < *k; i++ {
+		sites[i] = core.NewSite(i, cfg, master.Split())
+	}
+
+	g := stream.NewGenerator(*n, *k, wf, af)
+	genRNG := xrand.New(*seed ^ 0x9E3779B97F4A7C15)
+	var stats netsim.Stats
+	var totalW float64
+
+	if *concurrent {
+		cc := netsim.NewConcurrentCluster[core.Message](coord, sites)
+		cc.Start()
+		for {
+			u, ok := g.Next(genRNG)
+			if !ok {
+				break
+			}
+			totalW += u.Item.Weight
+			cc.Feed(u.Site, u.Item)
+		}
+		var err error
+		stats, err = cc.Drain()
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "wrs-sim:", err)
+			os.Exit(1)
+		}
+	} else {
+		cl := netsim.NewCluster[core.Message](coord, sites)
+		for {
+			u, ok := g.Next(genRNG)
+			if !ok {
+				break
+			}
+			totalW += u.Item.Weight
+			if err := cl.Feed(u.Site, u.Item); err != nil {
+				fmt.Fprintln(os.Stderr, "wrs-sim:", err)
+				os.Exit(1)
+			}
+		}
+		stats = cl.Stats
+	}
+
+	fmt.Printf("stream: n=%d  W=%.1f  k=%d  s=%d  workload=%s/%s\n",
+		*n, totalW, *k, *s, *workload, *partition)
+	fmt.Printf("traffic: %d up + %d down = %d messages (%.4f per update)\n",
+		stats.Upstream, stats.Downstream, stats.Total(),
+		float64(stats.Total())/float64(*n))
+	fmt.Printf("coordinator: u=%.3g  threshold=%.3g  saturated levels=%v\n",
+		coord.U(), coord.CurrentThreshold(), coord.SaturatedLevels())
+	fmt.Println("sample (id, weight, key):")
+	for _, e := range coord.Query() {
+		fmt.Printf("  %8d  w=%-12.2f key=%.4g\n", e.Item.ID, e.Item.Weight, e.Key)
+	}
+}

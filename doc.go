@@ -1,0 +1,36 @@
+// Package wrs is a Go implementation of "Weighted Reservoir Sampling from
+// Distributed Streams" (Jayaram, Sharma, Tirthapura, Woodruff — PODS
+// 2019): message-optimal weighted sampling without replacement over k
+// distributed sites, plus the two applications the paper builds on it —
+// residual heavy-hitter monitoring and L1 (count) tracking.
+//
+// # The model
+//
+// k sites each observe a local stream of weighted items and talk to one
+// coordinator. A query at the coordinator must return, at any instant, a
+// weighted sample without replacement of everything observed so far. The
+// quality metric is message complexity: the paper's algorithm achieves
+// the optimal O(k·log(W/s)/log(1+k/s)) expected messages, versus the
+// naive O(k·s·logW).
+//
+// # Quick start
+//
+//	s, _ := wrs.NewDistributedSampler(8, 16, wrs.WithSeed(1))
+//	for i, w := range weights {
+//	    s.Observe(i%8, wrs.Item{ID: uint64(i), Weight: w})
+//	}
+//	for _, e := range s.Sample() {
+//	    fmt.Println(e.Item.ID, e.Item.Weight, e.Key)
+//	}
+//	fmt.Println(s.Stats().Total(), "messages")
+//
+// DistributedSampler drives the protocol in-process with deterministic,
+// synchronous message delivery (the model the paper analyzes).
+// ConcurrentSampler runs one goroutine per site for live pipelines.
+// HeavyHitterTracker and L1Tracker expose the Section 4 and Section 5
+// constructions. Reservoir and WithReplacement are the centralized
+// single-stream samplers for comparison and local use.
+//
+// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
+// reproduction of every quantitative claim in the paper.
+package wrs

@@ -1,0 +1,122 @@
+// Network monitoring — the paper's motivating application (Section 1):
+// k monitoring devices each see a high-rate stream of flow records
+// (flow id, bytes). The coordinator needs, at all times,
+//
+//  1. a byte-weighted sample of flows ("what does typical traffic look
+//     like, weighted by volume?"), and
+//  2. the elephant flows *after* the well-known top talkers are excluded
+//     — residual heavy hitters, which plain heavy-hitter monitoring
+//     cannot surface because a handful of backbone flows dominate the
+//     total volume.
+//
+// Run with: go run ./examples/netmonitor
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wrs"
+)
+
+const (
+	devices = 16
+	flows   = 200000
+	eps     = 0.1 // elephant threshold: 10% of residual volume
+	delta   = 0.05
+
+	backboneFlows = 4 // ~40 GB each: the top talkers everyone knows
+	mediumFlows   = 8 // ~150 MB each: the hidden elephants
+	backboneBytes = 4e10
+	mediumBytes   = 1.5e8
+)
+
+// nextRand is a tiny splitmix64 so the example is dependency-free and
+// deterministic.
+func nextRand(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+func record(i int, state *uint64) wrs.Item {
+	switch {
+	case i < backboneFlows:
+		return wrs.Item{ID: uint64(i), Weight: backboneBytes + float64(i)}
+	case i < backboneFlows+mediumFlows:
+		return wrs.Item{ID: uint64(i), Weight: mediumBytes + float64(i)}
+	default: // mice: 1-8 KB
+		kb := 1 + float64(nextRand(state)%8)
+		return wrs.Item{ID: uint64(i), Weight: kb * 1024}
+	}
+}
+
+func main() {
+	hh, err := wrs.NewHeavyHitterTracker(devices, eps, delta, wrs.WithSeed(7))
+	if err != nil {
+		log.Fatal(err)
+	}
+	sampler, err := wrs.NewDistributedSampler(devices, 25, wrs.WithSeed(8))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	state := uint64(1)
+	var totalBytes, miceBytes float64
+	for i := 0; i < flows; i++ {
+		rec := record(i, &state)
+		totalBytes += rec.Weight
+		if i >= backboneFlows+mediumFlows {
+			miceBytes += rec.Weight
+		}
+		device := int(nextRand(&state) % devices)
+		if err := hh.Observe(device, rec); err != nil {
+			log.Fatal(err)
+		}
+		if err := sampler.Observe(device, rec); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	fmt.Printf("monitored %d flows across %d devices, %.2f TB total (%.2f GB excluding top talkers)\n",
+		flows, devices, totalBytes/1e12, (totalBytes-backboneFlows*backboneBytes)/1e9)
+	fmt.Printf("each hidden elephant is %.4f%% of total volume — far below any plain\n",
+		100*mediumBytes/totalBytes)
+	fmt.Printf("10%% heavy-hitter bar, but %.0f%% of the residual volume.\n",
+		100*mediumBytes/(miceBytes+2*mediumBytes))
+
+	backbone, other := 0, 0
+	for _, e := range sampler.Sample() {
+		if e.Item.ID < backboneFlows {
+			backbone++
+		} else {
+			other++
+		}
+	}
+	fmt.Printf("\nbyte-weighted flow sample: %d backbone + %d tail flows\n", backbone, other)
+	fmt.Println("  (without replacement: each top talker appears at most once)")
+
+	fmt.Println("\nelephant-flow candidates with the residual guarantee (top 12 shown):")
+	foundMedium := 0
+	for rank, it := range hh.Candidates() {
+		kind := "mouse"
+		switch {
+		case it.ID < backboneFlows:
+			kind = "backbone"
+		case it.ID < backboneFlows+mediumFlows:
+			kind = "HIDDEN ELEPHANT"
+			foundMedium++
+		}
+		if rank < 12 {
+			fmt.Printf("  #%2d  flow %6d  %10.1f MB  %s\n", rank+1, it.ID, it.Weight/1e6, kind)
+		}
+	}
+	fmt.Printf("\nhidden elephants surfaced: %d of %d\n", foundMedium, mediumFlows)
+
+	s1, s2 := hh.Stats(), sampler.Stats()
+	fmt.Printf("network cost: tracker %d + sampler %d messages for %d records (%.2f%%)\n",
+		s1.Total(), s2.Total(), flows,
+		100*float64(s1.Total()+s2.Total())/float64(flows))
+}

@@ -1,0 +1,70 @@
+// Trending topics over a sliding window — the paper's future-work
+// extension (Section 6), shipped here as a centralized building block: a
+// social feed emits (topic, engagement) events; the dashboard wants an
+// engagement-weighted sample of the *last hour only*, so stale virality
+// ages out. The sampler retains O(s·log(width)) items instead of the
+// whole window.
+//
+// Run with: go run ./examples/trending
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"wrs"
+)
+
+func main() {
+	const (
+		windowSize = 50000 // "one hour" of events
+		panel      = 8
+		events     = 250000
+	)
+
+	trending, err := wrs.NewSlidingReservoir(panel, windowSize, wrs.WithSeed(33))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	state := uint64(3)
+	next := func() uint64 {
+		state += 0x9e3779b97f4a7c15
+		z := state
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+
+	// Phase 1: topic 777 goes viral early, then dies completely.
+	// Phase 2: organic traffic only.
+	for i := 0; i < events; i++ {
+		var it wrs.Item
+		if i < 40000 && next()%4 == 0 {
+			it = wrs.Item{ID: 777, Weight: 500} // the early viral topic
+		} else {
+			it = wrs.Item{ID: 1000 + next()%2000, Weight: 1 + float64(next()%20)}
+		}
+		if err := trending.Observe(it); err != nil {
+			log.Fatal(err)
+		}
+		if i == 45000 || i == events-1 {
+			viral := 0
+			for _, e := range trending.Sample() {
+				if e.Item.ID == 777 {
+					viral++
+				}
+			}
+			fmt.Printf("after %6d events: viral topic holds %d of %d panel slots "+
+				"(buffered %d of %d window items)\n",
+				i+1, viral, panel, trending.Retained(), windowSize)
+		}
+	}
+
+	fmt.Println("\nfinal trending panel (last window only):")
+	for _, e := range trending.Sample() {
+		fmt.Printf("  topic %4d  engagement %4.0f  key %.3g\n", e.Item.ID, e.Item.Weight, e.Key)
+	}
+	fmt.Println("\nthe viral topic dominated while inside the window and aged out")
+	fmt.Println("completely once it slid past — no manual reset required.")
+}

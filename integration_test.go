@@ -1,0 +1,143 @@
+package wrs_test
+
+import (
+	"math"
+	"testing"
+
+	"wrs"
+	"wrs/internal/sample"
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// TestCrossImplementationAgreement runs the same weighted universe
+// through four independent sampler implementations — the distributed
+// protocol (sequential and concurrent runtimes), the sequential
+// Efraimidis–Spirakis reservoir, and cascade sampling — and checks all of
+// them against the exact weighted-SWOR inclusion law. Agreement across
+// structurally different implementations is the strongest cross-check the
+// library has.
+func TestCrossImplementationAgreement(t *testing.T) {
+	weights := []float64{1, 3, 9, 27}
+	const s, trials = 2, 30000
+	exact := sample.InclusionProbs(weights, s)
+
+	impls := map[string]func(seed uint64) map[uint64]bool{
+		"distributed-sequential": func(seed uint64) map[uint64]bool {
+			ds, err := wrs.NewDistributedSampler(2, s, wrs.WithSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, w := range weights {
+				if err := ds.Observe(i%2, wrs.Item{ID: uint64(i), Weight: w}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			out := map[uint64]bool{}
+			for _, e := range ds.Sample() {
+				out[e.Item.ID] = true
+			}
+			return out
+		},
+		"reservoir-es": func(seed uint64) map[uint64]bool {
+			r, err := wrs.NewReservoir(s, wrs.WithSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, w := range weights {
+				if err := r.Observe(wrs.Item{ID: uint64(i), Weight: w}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			out := map[uint64]bool{}
+			for _, e := range r.Sample() {
+				out[e.Item.ID] = true
+			}
+			return out
+		},
+		"cascade": func(seed uint64) map[uint64]bool {
+			c := sample.NewCascade(s, xrand.New(seed))
+			for i, w := range weights {
+				c.Observe(stream.Item{ID: uint64(i), Weight: w})
+			}
+			out := map[uint64]bool{}
+			for _, it := range c.Sample() {
+				out[it.ID] = true
+			}
+			return out
+		},
+		"sliding-window-wide": func(seed uint64) map[uint64]bool {
+			// A window wider than the stream degenerates to plain SWOR.
+			r, err := wrs.NewSlidingReservoir(s, 100, wrs.WithSeed(seed))
+			if err != nil {
+				t.Fatal(err)
+			}
+			for i, w := range weights {
+				if err := r.Observe(wrs.Item{ID: uint64(i), Weight: w}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			out := map[uint64]bool{}
+			for _, e := range r.Sample() {
+				out[e.Item.ID] = true
+			}
+			return out
+		},
+	}
+
+	for name, run := range impls {
+		counts := make([]float64, len(weights))
+		for tr := 0; tr < trials; tr++ {
+			for id := range run(uint64(tr)*6364136223846793005 + 1442695040888963407) {
+				counts[id]++
+			}
+		}
+		for i := range weights {
+			got := counts[i] / trials
+			sigma := math.Sqrt(exact[i] * (1 - exact[i]) / trials)
+			if math.Abs(got-exact[i]) > 5*sigma+1e-9 {
+				t.Errorf("%s: inclusion[%d] = %v, want %v (5 sigma %v)",
+					name, i, got, exact[i], 5*sigma)
+			}
+		}
+	}
+}
+
+// TestConcurrentMatchesSequentialDistribution compares the concurrent
+// runtime's inclusion frequencies with the exact law on a slightly larger
+// universe (fewer trials: each trial spins up goroutines).
+func TestConcurrentMatchesSequentialDistribution(t *testing.T) {
+	if testing.Short() {
+		t.Skip("goroutine-heavy distribution test skipped in -short mode")
+	}
+	weights := []float64{1, 4, 16}
+	const s, trials = 1, 8000
+	exact := sample.InclusionProbs(weights, s)
+	counts := make([]float64, len(weights))
+	for tr := 0; tr < trials; tr++ {
+		cs, err := wrs.NewConcurrentSampler(2, s, wrs.WithSeed(uint64(tr)+555))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range weights {
+			cs.Feed(i%2, wrs.Item{ID: uint64(i), Weight: w})
+		}
+		if _, err := cs.Drain(); err != nil {
+			t.Fatal(err)
+		}
+		smp, err := cs.Sample()
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, e := range smp {
+			counts[e.Item.ID]++
+		}
+	}
+	for i := range weights {
+		got := counts[i] / trials
+		sigma := math.Sqrt(exact[i] * (1 - exact[i]) / trials)
+		if math.Abs(got-exact[i]) > 5*sigma+1e-9 {
+			t.Errorf("concurrent inclusion[%d] = %v, want %v", i, got, exact[i])
+		}
+	}
+}

@@ -1,0 +1,122 @@
+// Package baseline implements the two naive distributed weighted-SWOR
+// protocols that Section 1.2 of the paper compares against:
+//
+//   - Independent: every site runs a local Efraimidis–Spirakis top-s
+//     sampler and forwards each item that enters its local top-s; the
+//     coordinator keeps the global top-s. Correct, with expected
+//     O(k·s·log(W)) messages — the multiplicative ks the paper's
+//     algorithm reduces to an additive k+s.
+//   - SendAll: every site forwards every item (n messages), the trivial
+//     upper bound.
+//
+// Both maintain an exact weighted SWOR (anything a site suppresses is
+// dominated by s local keys, hence by s global keys), so experiment E5
+// compares message complexity on equal-correctness footing.
+package baseline
+
+import (
+	"sort"
+
+	"wrs/internal/sample"
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// Msg carries an item and its precision-sampling key to the coordinator.
+type Msg struct {
+	Item stream.Item
+	Key  float64
+}
+
+// Words returns the message size in machine words.
+func (Msg) Words() int { return 4 }
+
+// IndependentSite runs a local ES sampler and forwards local-top-s
+// entries.
+type IndependentSite struct {
+	rng *xrand.RNG
+	top *sample.TopK[stream.Item]
+	// KeyHook, when set, receives every generated key (tests).
+	KeyHook func(id uint64, key float64)
+}
+
+// NewIndependentSite returns a site with local sample size s.
+func NewIndependentSite(s int, rng *xrand.RNG) *IndependentSite {
+	return &IndependentSite{rng: rng, top: sample.NewTopK[stream.Item](s)}
+}
+
+// Observe feeds one local arrival.
+func (st *IndependentSite) Observe(it stream.Item, send func(Msg)) error {
+	key := st.rng.ExpKey(it.Weight)
+	if st.KeyHook != nil {
+		st.KeyHook(it.ID, key)
+	}
+	if _, _, _, accepted := st.top.Offer(key, it); accepted {
+		send(Msg{Item: it, Key: key})
+	}
+	return nil
+}
+
+// HandleBroadcast is a no-op: the protocol has no downstream traffic.
+func (st *IndependentSite) HandleBroadcast(Msg) {}
+
+// SendAllSite forwards everything.
+type SendAllSite struct {
+	rng *xrand.RNG
+	// KeyHook, when set, receives every generated key (tests).
+	KeyHook func(id uint64, key float64)
+}
+
+// NewSendAllSite returns a forwarding site.
+func NewSendAllSite(rng *xrand.RNG) *SendAllSite {
+	return &SendAllSite{rng: rng}
+}
+
+// Observe forwards the arrival with a fresh key.
+func (st *SendAllSite) Observe(it stream.Item, send func(Msg)) error {
+	key := st.rng.ExpKey(it.Weight)
+	if st.KeyHook != nil {
+		st.KeyHook(it.ID, key)
+	}
+	send(Msg{Item: it, Key: key})
+	return nil
+}
+
+// HandleBroadcast is a no-op.
+func (st *SendAllSite) HandleBroadcast(Msg) {}
+
+// Coordinator keeps the global top-s of forwarded keys.
+type Coordinator struct {
+	top *sample.TopK[stream.Item]
+	s   int
+}
+
+// NewCoordinator returns a coordinator with sample size s.
+func NewCoordinator(s int) *Coordinator {
+	return &Coordinator{top: sample.NewTopK[stream.Item](s), s: s}
+}
+
+// HandleMessage folds one forwarded candidate into the global sample.
+func (c *Coordinator) HandleMessage(m Msg, _ func(Msg)) {
+	c.top.Offer(m.Key, m.Item)
+}
+
+// Sample returns the current weighted SWOR, largest key first.
+func (c *Coordinator) Sample() []stream.Item {
+	entries := append([]sample.Entry[stream.Item](nil), c.top.Items()...)
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key > entries[j].Key })
+	out := make([]stream.Item, len(entries))
+	for i, e := range entries {
+		out[i] = e.Val
+	}
+	return out
+}
+
+// SampleIDs returns the set of sampled item IDs.
+func (c *Coordinator) SampleIDs() map[uint64]bool {
+	out := make(map[uint64]bool, c.top.Len())
+	for _, e := range c.top.Items() {
+		out[e.Val.ID] = true
+	}
+	return out
+}

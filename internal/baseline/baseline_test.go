@@ -1,0 +1,138 @@
+package baseline
+
+import (
+	"math"
+	"sort"
+	"sync"
+	"testing"
+
+	"wrs/internal/netsim"
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+type keyLog struct {
+	mu   sync.Mutex
+	ids  []uint64
+	keys []float64
+}
+
+func (l *keyLog) hook(id uint64, key float64) {
+	l.mu.Lock()
+	l.ids = append(l.ids, id)
+	l.keys = append(l.keys, key)
+	l.mu.Unlock()
+}
+
+func (l *keyLog) topIDs(s int) map[uint64]bool {
+	type kv struct {
+		id  uint64
+		key float64
+	}
+	all := make([]kv, len(l.ids))
+	for i := range l.ids {
+		all[i] = kv{l.ids[i], l.keys[i]}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].key > all[j].key })
+	if len(all) > s {
+		all = all[:s]
+	}
+	out := map[uint64]bool{}
+	for _, e := range all {
+		out[e.id] = true
+	}
+	return out
+}
+
+func buildIndependent(k, s int, seed uint64, log *keyLog) (*netsim.Cluster[Msg], *Coordinator) {
+	master := xrand.New(seed)
+	coord := NewCoordinator(s)
+	sites := make([]netsim.Site[Msg], k)
+	for i := 0; i < k; i++ {
+		st := NewIndependentSite(s, master.Split())
+		if log != nil {
+			st.KeyHook = log.hook
+		}
+		sites[i] = st
+	}
+	return netsim.NewCluster[Msg](coord, sites), coord
+}
+
+func TestIndependentExactTopS(t *testing.T) {
+	const k, s, n = 5, 7, 3000
+	log := &keyLog{}
+	cl, coord := buildIndependent(k, s, 42, log)
+	g := stream.NewGenerator(n, k, stream.ParetoWeights(1.2), stream.RandomSites(k))
+	if err := cl.Run(g, xrand.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	want := log.topIDs(s)
+	got := coord.SampleIDs()
+	if len(got) != s {
+		t.Fatalf("sample size = %d, want %d", len(got), s)
+	}
+	for id := range want {
+		if !got[id] {
+			t.Fatalf("top key item %d missing from baseline sample", id)
+		}
+	}
+}
+
+func TestIndependentMessageScaling(t *testing.T) {
+	// Expected messages ~ k * s * ln(n/k): check a generous envelope and
+	// that the multiplicative-in-s behavior is visible (double s =>
+	// roughly double the messages).
+	const k, n = 8, 40000
+	run := func(s int) int64 {
+		cl, _ := buildIndependent(k, s, 7, nil)
+		g := stream.NewGenerator(n, k, stream.UnitWeights(), stream.RoundRobin(k))
+		if err := cl.Run(g, xrand.New(2)); err != nil {
+			t.Fatal(err)
+		}
+		return cl.Stats.Upstream
+	}
+	m8 := run(8)
+	m16 := run(16)
+	expect8 := float64(k) * 8 * (1 + math.Log(float64(n)/float64(k)/8))
+	if float64(m8) < expect8/3 || float64(m8) > expect8*3 {
+		t.Errorf("s=8 messages = %d, outside [%v, %v]", m8, expect8/3, expect8*3)
+	}
+	ratio := float64(m16) / float64(m8)
+	if ratio < 1.4 || ratio > 2.6 {
+		t.Errorf("doubling s changed messages by %vx, want ~2x", ratio)
+	}
+}
+
+func TestSendAllForwardsEverything(t *testing.T) {
+	const k, s, n = 3, 5, 1000
+	master := xrand.New(11)
+	coord := NewCoordinator(s)
+	sites := make([]netsim.Site[Msg], k)
+	log := &keyLog{}
+	for i := 0; i < k; i++ {
+		st := NewSendAllSite(master.Split())
+		st.KeyHook = log.hook
+		sites[i] = st
+	}
+	cl := netsim.NewCluster[Msg](coord, sites)
+	g := stream.NewGenerator(n, k, stream.UniformWeights(50), stream.RoundRobin(k))
+	if err := cl.Run(g, xrand.New(3)); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Stats.Upstream != n {
+		t.Errorf("send-all upstream = %d, want %d", cl.Stats.Upstream, n)
+	}
+	if cl.Stats.Downstream != 0 {
+		t.Errorf("send-all downstream = %d, want 0", cl.Stats.Downstream)
+	}
+	want := log.topIDs(s)
+	for id := range want {
+		if !coord.SampleIDs()[id] {
+			t.Fatalf("top key item %d missing", id)
+		}
+	}
+	smp := coord.Sample()
+	if len(smp) != s {
+		t.Fatalf("sample size %d", len(smp))
+	}
+}

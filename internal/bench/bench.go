@@ -1,0 +1,118 @@
+// Package bench is the experiment harness: every quantitative claim in
+// the paper (the Theorem 3/4/6 message bounds, the Section 5 comparison
+// table, the lower-bound constructions of Theorems 5 and 7, and the
+// motivating SWOR-vs-SWR comparisons) has a named experiment that
+// regenerates the corresponding table. EXPERIMENTS.md is produced from
+// this registry via cmd/wrs-bench.
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is one experiment's output.
+type Table struct {
+	ID         string
+	Title      string
+	PaperClaim string // what the paper predicts for this table
+	Headers    []string
+	Rows       [][]string
+	Notes      []string
+}
+
+// AddRow appends a formatted row.
+func (t *Table) AddRow(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table. Formats: "text" (aligned columns), "md"
+// (GitHub markdown), "csv".
+func (t *Table) Render(w io.Writer, format string) {
+	switch format {
+	case "md":
+		fmt.Fprintf(w, "### %s: %s\n\n", t.ID, t.Title)
+		fmt.Fprintf(w, "**Paper claim.** %s\n\n", t.PaperClaim)
+		fmt.Fprintf(w, "| %s |\n", strings.Join(t.Headers, " | "))
+		seps := make([]string, len(t.Headers))
+		for i := range seps {
+			seps[i] = "---"
+		}
+		fmt.Fprintf(w, "| %s |\n", strings.Join(seps, " | "))
+		for _, r := range t.Rows {
+			fmt.Fprintf(w, "| %s |\n", strings.Join(r, " | "))
+		}
+		for _, n := range t.Notes {
+			fmt.Fprintf(w, "\n%s\n", n)
+		}
+		fmt.Fprintln(w)
+	case "csv":
+		fmt.Fprintf(w, "# %s: %s\n", t.ID, t.Title)
+		fmt.Fprintln(w, strings.Join(t.Headers, ","))
+		for _, r := range t.Rows {
+			fmt.Fprintln(w, strings.Join(r, ","))
+		}
+	default:
+		fmt.Fprintf(w, "=== %s: %s ===\n", t.ID, t.Title)
+		fmt.Fprintf(w, "paper: %s\n", t.PaperClaim)
+		widths := make([]int, len(t.Headers))
+		for i, h := range t.Headers {
+			widths[i] = len(h)
+		}
+		for _, r := range t.Rows {
+			for i, c := range r {
+				if i < len(widths) && len(c) > widths[i] {
+					widths[i] = len(c)
+				}
+			}
+		}
+		printRow := func(cells []string) {
+			parts := make([]string, len(cells))
+			for i, c := range cells {
+				parts[i] = fmt.Sprintf("%-*s", widths[i], c)
+			}
+			fmt.Fprintln(w, "  "+strings.Join(parts, "  "))
+		}
+		printRow(t.Headers)
+		for _, r := range t.Rows {
+			printRow(r)
+		}
+		for _, n := range t.Notes {
+			fmt.Fprintf(w, "  note: %s\n", n)
+		}
+		fmt.Fprintln(w)
+	}
+}
+
+// Experiment is a registered, named experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	// Run executes the experiment. quick trims stream sizes and trial
+	// counts for CI-speed runs; the shape conclusions are unchanged.
+	Run func(quick bool) *Table
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every registered experiment in registration order.
+func All() []Experiment { return registry }
+
+// Find returns the experiment with the given ID (case-insensitive), or
+// nil.
+func Find(id string) *Experiment {
+	for i := range registry {
+		if strings.EqualFold(registry[i].ID, id) {
+			return &registry[i]
+		}
+	}
+	return nil
+}
+
+func f1(v float64) string { return fmt.Sprintf("%.1f", v) }
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+func d(v int64) string    { return fmt.Sprintf("%d", v) }

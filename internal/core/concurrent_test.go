@@ -1,0 +1,68 @@
+package core
+
+import (
+	"testing"
+
+	"wrs/internal/netsim"
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// TestConcurrentRuntimeExactness runs the full protocol on the goroutine
+// runtime. Asynchrony means sites can filter with stale (lower)
+// thresholds and early messages can race saturation broadcasts; by design
+// neither breaks exactness: at drain, the coordinator's sample must equal
+// the brute-force top-s of every key generated anywhere.
+func TestConcurrentRuntimeExactness(t *testing.T) {
+	for _, cfg := range []Config{
+		{K: 4, S: 8},
+		{K: 16, S: 2},
+	} {
+		rec := NewRecorder()
+		master := xrand.New(31 + uint64(cfg.K))
+		coord := NewCoordinator(cfg, master.Split())
+		coord.SetRecorder(rec)
+		sites := make([]netsim.Site[Message], cfg.K)
+		for i := 0; i < cfg.K; i++ {
+			s := NewSite(i, cfg, master.Split())
+			s.SetRecorder(rec)
+			sites[i] = s
+		}
+		cc := netsim.NewConcurrentCluster[Message](coord, sites)
+		cc.Start()
+		const n = 20000
+		g := stream.NewGenerator(n, cfg.K, stream.ParetoWeights(1.3), stream.RandomSites(cfg.K))
+		rng := xrand.New(77)
+		g.Reset()
+		for {
+			u, ok := g.Next(rng)
+			if !ok {
+				break
+			}
+			cc.Feed(u.Site, u.Item)
+		}
+		stats, err := cc.Drain()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Len() != n {
+			t.Fatalf("cfg %+v: %d keys recorded, want %d", cfg, rec.Len(), n)
+		}
+		q := coord.Query()
+		if len(q) != cfg.S {
+			t.Fatalf("cfg %+v: query size %d, want %d", cfg, len(q), cfg.S)
+		}
+		want := rec.TopIDs(cfg.S)
+		for _, e := range q {
+			if !want[e.Item.ID] {
+				t.Fatalf("cfg %+v: sample contains %d which is not a top-%d key", cfg, e.Item.ID, cfg.S)
+			}
+		}
+		if stats.Upstream == 0 || stats.Upstream > n {
+			t.Errorf("cfg %+v: upstream = %d", cfg, stats.Upstream)
+		}
+		t.Logf("cfg %+v: upstream=%d downstream=%d lateEarly=%d droppedRegular=%d",
+			cfg, stats.Upstream, stats.Downstream,
+			coord.Stats.LateEarlyMsgs, coord.Stats.DroppedRegular)
+	}
+}

@@ -1,0 +1,235 @@
+package core
+
+import (
+	"math"
+	"sort"
+
+	"wrs/internal/sample"
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+func expm1Neg(x float64) float64 { return math.Expm1(-x) }
+
+// SampleEntry is one sampled item together with its precision-sampling
+// key.
+type SampleEntry struct {
+	Key  float64
+	Item stream.Item
+}
+
+// CoordStats counts protocol events at the coordinator.
+type CoordStats struct {
+	EarlyMsgs      int64 // early messages received
+	RegularMsgs    int64 // regular messages received
+	Saturations    int64 // level sets saturated (each costs one broadcast)
+	EpochAdvances  int64 // threshold broadcasts
+	LateEarlyMsgs  int64 // early messages for already-saturated levels (async runtimes only)
+	DroppedRegular int64 // regular messages below u on arrival (stale site threshold)
+}
+
+// Broadcasts returns the number of coordinator broadcasts performed.
+func (s CoordStats) Broadcasts() int64 { return s.Saturations + s.EpochAdvances }
+
+type levelState struct {
+	count     int
+	saturated bool
+}
+
+// poolItem tags a withheld item with its level so saturation can release
+// exactly the items of that level from the O(s)-bounded pool.
+type poolItem struct {
+	item  stream.Item
+	level int
+}
+
+// Coordinator is the state machine of Algorithms 2 and 3. Per
+// Proposition 6 it stores O(s) machine words: the sample heap S, the
+// level pool (the top-s keys among withheld items, see DESIGN.md), and
+// one counter per non-empty level.
+type Coordinator struct {
+	cfg Config
+	r   float64
+	rng *xrand.RNG
+	rec *Recorder
+
+	smp    *sample.TopK[stream.Item] // S: top-s released keys
+	u      float64                   // min key of S once |S| = s, else 0
+	curTh  float64                   // last broadcast threshold
+	levels map[int]*levelState
+	pool   *sample.TopK[poolItem] // Slevel: top-s withheld keys
+
+	Stats CoordStats
+}
+
+// NewCoordinator returns the coordinator state machine. It needs its own
+// RNG (keys of withheld items are generated here, per Algorithm 2).
+func NewCoordinator(cfg Config, rng *xrand.RNG) *Coordinator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Coordinator{
+		cfg:    cfg,
+		r:      cfg.R(),
+		rng:    rng,
+		smp:    sample.NewTopK[stream.Item](cfg.S),
+		levels: make(map[int]*levelState),
+		pool:   sample.NewTopK[poolItem](cfg.S),
+	}
+}
+
+// SetRecorder attaches a key recorder (tests only).
+func (c *Coordinator) SetRecorder(rec *Recorder) { c.rec = rec }
+
+// U returns u, the s-th largest released key (0 until S fills). It is
+// monotone nondecreasing over the run.
+func (c *Coordinator) U() float64 { return c.u }
+
+// CurrentThreshold returns the last broadcast epoch threshold.
+func (c *Coordinator) CurrentThreshold() float64 { return c.curTh }
+
+// Config returns the configuration.
+func (c *Coordinator) Config() Config { return c.cfg }
+
+// HandleMessage processes one site message; any resulting announcement to
+// the sites is emitted through bcast (which the transport must deliver to
+// every site).
+func (c *Coordinator) HandleMessage(m Message, bcast func(Message)) {
+	switch m.Kind {
+	case MsgEarly:
+		c.Stats.EarlyMsgs++
+		c.handleEarly(m.Item, bcast)
+	case MsgRegular:
+		c.Stats.RegularMsgs++
+		if m.Key <= c.u && c.smp.Full() {
+			// Below the s-th released key: cannot be in the top s.
+			// Happens only with stale site thresholds (async runtimes).
+			c.Stats.DroppedRegular++
+			return
+		}
+		c.addToSample(m.Key, m.Item)
+		c.maybeAdvanceEpoch(bcast)
+	}
+}
+
+func (c *Coordinator) handleEarly(it stream.Item, bcast func(Message)) {
+	j := levelOf(it.Weight, c.r)
+	lv := c.levels[j]
+	if lv == nil {
+		lv = &levelState{}
+		c.levels[j] = lv
+	}
+	key := c.rng.ExpKey(it.Weight)
+	if c.rec != nil {
+		c.rec.Record(it.ID, key)
+	}
+	if lv.saturated {
+		// An early message raced with the saturation broadcast (async
+		// runtimes only): treat the item as released immediately.
+		c.Stats.LateEarlyMsgs++
+		c.addToSample(key, it)
+		c.maybeAdvanceEpoch(bcast)
+		return
+	}
+	lv.count++
+	c.pool.Offer(key, poolItem{item: it, level: j})
+	if lv.count >= c.cfg.LevelCap() {
+		c.saturate(j, lv, bcast)
+	}
+}
+
+// saturate releases level j: all pool entries of that level move into the
+// sample, the level is marked saturated, and the sites are notified.
+func (c *Coordinator) saturate(j int, lv *levelState, bcast func(Message)) {
+	lv.saturated = true
+	c.Stats.Saturations++
+	kept := c.pool.Items()
+	var released []sample.Entry[poolItem]
+	remaining := make([]sample.Entry[poolItem], 0, len(kept))
+	for _, e := range kept {
+		if e.Val.level == j {
+			released = append(released, e)
+		} else {
+			remaining = append(remaining, e)
+		}
+	}
+	c.pool.Reset()
+	for _, e := range remaining {
+		c.pool.Offer(e.Key, e.Val)
+	}
+	for _, e := range released {
+		c.addToSample(e.Key, e.Val.item)
+	}
+	bcast(Message{Kind: MsgLevelSaturated, Level: j})
+	c.maybeAdvanceEpoch(bcast)
+}
+
+// addToSample is Algorithm 3 without the broadcast (the caller batches
+// epoch checks so one handled message broadcasts at most once).
+func (c *Coordinator) addToSample(key float64, it stream.Item) {
+	c.smp.Offer(key, it)
+	if c.smp.Full() {
+		if m, ok := c.smp.Min(); ok {
+			c.u = m
+		}
+	}
+}
+
+func (c *Coordinator) maybeAdvanceEpoch(bcast func(Message)) {
+	if c.cfg.DisableEpochs {
+		return
+	}
+	th := epochThreshold(c.u, c.r)
+	if th > c.curTh {
+		c.curTh = th
+		c.Stats.EpochAdvances++
+		bcast(Message{Kind: MsgEpochUpdate, Threshold: th})
+	}
+}
+
+// Query returns the current weighted sample without replacement: the
+// items with the top min(t, s) keys among S and all withheld items,
+// largest key first.
+func (c *Coordinator) Query() []SampleEntry {
+	out := make([]SampleEntry, 0, c.smp.Len()+c.pool.Len())
+	for _, e := range c.smp.Items() {
+		out = append(out, SampleEntry{Key: e.Key, Item: e.Val})
+	}
+	for _, e := range c.pool.Items() {
+		out = append(out, SampleEntry{Key: e.Key, Item: e.Val.item})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key > out[j].Key })
+	if len(out) > c.cfg.S {
+		out = out[:c.cfg.S]
+	}
+	return out
+}
+
+// SthKey returns the s-th largest key over all items held (released and
+// withheld) and whether s keys exist yet. The L1 tracker's estimate is
+// built on this order statistic (Section 5).
+func (c *Coordinator) SthKey() (float64, bool) {
+	q := c.Query()
+	if len(q) < c.cfg.S {
+		return 0, false
+	}
+	return q[len(q)-1].Key, true
+}
+
+// WithheldCount returns how many items are currently withheld in
+// unsaturated level sets (bounded by s in this O(s)-memory
+// implementation: only the top-s withheld keys are retained, the rest are
+// provably outside every future sample).
+func (c *Coordinator) WithheldCount() int { return c.pool.Len() }
+
+// SaturatedLevels returns the indices of saturated levels, ascending.
+func (c *Coordinator) SaturatedLevels() []int {
+	var out []int
+	for j, lv := range c.levels {
+		if lv.saturated {
+			out = append(out, j)
+		}
+	}
+	sort.Ints(out)
+	return out
+}

@@ -1,0 +1,181 @@
+// Package core implements the paper's primary contribution: the
+// message-optimal algorithm for weighted sampling without replacement
+// from a distributed stream (Section 3, Algorithms 1-3, Theorem 3).
+//
+// The implementation is transport-agnostic: Site and Coordinator are
+// state machines that emit messages through callbacks, so they can be
+// driven by the deterministic sequential simulator, by the concurrent
+// goroutine runtime (package netsim), or embedded in a user's own
+// network layer.
+//
+// Summary of the algorithm:
+//
+//   - Every item (e, w) receives a key v = w/t with t ~ Exp(1); the
+//     coordinator's sample is the set of items with the s largest keys
+//     (precision sampling; correct by Proposition 1).
+//   - Epochs: the coordinator tracks u, the s-th largest released key,
+//     and broadcasts the threshold r^j with u in [r^j, r^(j+1)),
+//     r = max(2, k/s). Sites drop keys below the threshold locally,
+//     which removes the naive O(ks log W) message blow-up.
+//   - Level sets: an item of weight w in [r^j, r^(j+1)) is "withheld" —
+//     sent to the coordinator as an *early* message and parked in level
+//     set D_j — until 4rs items of its level exist. This keeps extreme
+//     heavy hitters from stalling epoch advancement. Withheld items
+//     still carry keys (generated at the coordinator on arrival), so the
+//     maintained sample — the top s keys of S ∪ (∪_j D_j) — is a valid
+//     weighted SWOR at every instant.
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"wrs/internal/stream"
+)
+
+// MsgKind discriminates protocol messages.
+type MsgKind uint8
+
+const (
+	// MsgEarly carries a withheld item from a site to the coordinator
+	// (site -> coordinator, no key attached).
+	MsgEarly MsgKind = iota
+	// MsgRegular carries an item and its key (site -> coordinator).
+	MsgRegular
+	// MsgLevelSaturated announces that level set D_j filled up
+	// (coordinator -> all sites).
+	MsgLevelSaturated
+	// MsgEpochUpdate announces a new filtering threshold
+	// (coordinator -> all sites).
+	MsgEpochUpdate
+)
+
+func (k MsgKind) String() string {
+	switch k {
+	case MsgEarly:
+		return "early"
+	case MsgRegular:
+		return "regular"
+	case MsgLevelSaturated:
+		return "level-saturated"
+	case MsgEpochUpdate:
+		return "epoch-update"
+	default:
+		return "unknown"
+	}
+}
+
+// Message is a protocol message. Every message fits in O(1) machine words
+// (Proposition 7): an item id, a weight, and at most one of key, level, or
+// threshold.
+type Message struct {
+	Kind      MsgKind
+	Item      stream.Item // early, regular
+	Key       float64     // regular
+	Level     int         // level-saturated
+	Threshold float64     // epoch-update
+}
+
+// Words returns the size of the message in machine words, for
+// communication accounting.
+func (m Message) Words() int {
+	switch m.Kind {
+	case MsgEarly:
+		return 3 // kind + id + weight
+	case MsgRegular:
+		return 4 // kind + id + weight + key
+	default:
+		return 2 // kind + payload
+	}
+}
+
+// Config holds the algorithm parameters shared by sites and coordinator.
+type Config struct {
+	K int // number of sites
+	S int // sample size
+
+	// DisableLevelSets turns off the withholding of heavy items
+	// (ablation A1). The sample remains a correct weighted SWOR; the
+	// message bound of Theorem 3 no longer holds on skewed streams.
+	DisableLevelSets bool
+	// DisableEpochs turns off threshold broadcasts (ablation A2): sites
+	// send every key, reproducing the naive O(n) protocol.
+	DisableEpochs bool
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.K < 1 {
+		return fmt.Errorf("core: need at least 1 site, got %d", c.K)
+	}
+	if c.S < 1 {
+		return fmt.Errorf("core: need sample size >= 1, got %d", c.S)
+	}
+	return nil
+}
+
+// R returns the epoch/level base r = max(2, k/s).
+func (c Config) R() float64 {
+	r := float64(c.K) / float64(c.S)
+	if r < 2 {
+		r = 2
+	}
+	return r
+}
+
+// LevelCap returns the saturation size ceil(4*r*s) = max(8s, 4k) of each
+// level set.
+func (c Config) LevelCap() int {
+	cap8s := 8 * c.S
+	if cap4k := 4 * c.K; cap4k > cap8s {
+		return cap4k
+	}
+	return cap8s
+}
+
+// levelOf returns the level j >= 0 with w in [r^j, r^(j+1)) per
+// Definition 4 (weights below r, including (0,1), map to level 0). The
+// post-correction loops guard against floating-point boundary rounding.
+func levelOf(w, r float64) int {
+	if w < r {
+		return 0
+	}
+	j := int(math.Floor(math.Log(w) / math.Log(r)))
+	for j > 0 && math.Pow(r, float64(j)) > w {
+		j--
+	}
+	for math.Pow(r, float64(j+1)) <= w {
+		j++
+	}
+	if j < 0 {
+		j = 0
+	}
+	return j
+}
+
+// epochThreshold returns the filtering threshold r^floor(log_r u) for
+// u >= 1 and 0 for u < 1 ("epoch 0 until u reaches r"; see DESIGN.md).
+// The returned threshold never exceeds u, so a site filtering with it can
+// only drop keys with at least s released dominators.
+func epochThreshold(u, r float64) float64 {
+	if u < 1 {
+		return 0
+	}
+	j := int(math.Floor(math.Log(u) / math.Log(r)))
+	th := math.Pow(r, float64(j))
+	for th > u && j > 0 {
+		j--
+		th = math.Pow(r, float64(j))
+	}
+	if th > u {
+		return 0
+	}
+	return th
+}
+
+func validWeight(w float64) error {
+	if !(w > 0) || math.IsInf(w, 0) || math.IsNaN(w) {
+		return fmt.Errorf("core: weight must be positive and finite, got %v", w)
+	}
+	return nil
+}

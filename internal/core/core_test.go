@@ -1,0 +1,148 @@
+package core
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestConfigValidate(t *testing.T) {
+	if err := (Config{K: 0, S: 1}).Validate(); err == nil {
+		t.Error("K=0 accepted")
+	}
+	if err := (Config{K: 1, S: 0}).Validate(); err == nil {
+		t.Error("S=0 accepted")
+	}
+	if err := (Config{K: 4, S: 2}).Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestConfigR(t *testing.T) {
+	if r := (Config{K: 4, S: 16}).R(); r != 2 {
+		t.Errorf("R = %v, want 2 (k/s < 2 clamps to 2)", r)
+	}
+	if r := (Config{K: 64, S: 4}).R(); r != 16 {
+		t.Errorf("R = %v, want 16", r)
+	}
+}
+
+func TestConfigLevelCap(t *testing.T) {
+	// cap = ceil(4rs) = max(8s, 4k).
+	if c := (Config{K: 4, S: 16}).LevelCap(); c != 128 {
+		t.Errorf("LevelCap = %d, want 128", c)
+	}
+	if c := (Config{K: 100, S: 4}).LevelCap(); c != 400 {
+		t.Errorf("LevelCap = %d, want 400", c)
+	}
+}
+
+func TestLevelOfDefinition(t *testing.T) {
+	// Definition 4: level j satisfies w in [r^j, r^(j+1)); w < r -> 0.
+	f := func(wRaw, rRaw float64) bool {
+		w := math.Abs(wRaw)
+		if w == 0 || math.IsInf(w, 0) || math.IsNaN(w) {
+			return true
+		}
+		// Keep w in a numerically sane range.
+		w = math.Mod(w, 1e12)
+		if w <= 0 {
+			return true
+		}
+		r := 2 + math.Mod(math.Abs(rRaw), 30)
+		j := levelOf(w, r)
+		if j < 0 {
+			return false
+		}
+		if w < r {
+			return j == 0
+		}
+		return math.Pow(r, float64(j)) <= w && w < math.Pow(r, float64(j+1))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLevelOfBoundaries(t *testing.T) {
+	cases := []struct {
+		w, r float64
+		want int
+	}{
+		{0.5, 2, 0}, {1, 2, 0}, {1.99, 2, 0}, {2, 2, 1}, {4, 2, 2},
+		{8, 2, 3}, {1 << 20, 2, 20}, {15.9, 16, 0}, {16, 16, 1}, {256, 16, 2},
+	}
+	for _, c := range cases {
+		if got := levelOf(c.w, c.r); got != c.want {
+			t.Errorf("levelOf(%v, %v) = %d, want %d", c.w, c.r, got, c.want)
+		}
+	}
+}
+
+func TestEpochThresholdProperties(t *testing.T) {
+	// The threshold never exceeds u and equals r^j for some j >= 0 (or 0).
+	f := func(uRaw, rRaw float64) bool {
+		u := math.Abs(uRaw)
+		if math.IsInf(u, 0) || math.IsNaN(u) {
+			return true
+		}
+		u = math.Mod(u, 1e15)
+		r := 2 + math.Mod(math.Abs(rRaw), 30)
+		th := epochThreshold(u, r)
+		if th > u {
+			return false
+		}
+		if u < 1 {
+			return th == 0
+		}
+		if th <= 0 {
+			return false
+		}
+		// th = r^j for integer j >= 0 and r*th > u (it is the largest
+		// such power).
+		j := math.Round(math.Log(th) / math.Log(r))
+		if j < 0 || math.Abs(th-math.Pow(r, j)) > 1e-9*th {
+			return false
+		}
+		return th*r > u
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 5000}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestEpochThresholdMonotone(t *testing.T) {
+	r := 2.0
+	prev := 0.0
+	for u := 0.1; u < 1e9; u *= 1.37 {
+		th := epochThreshold(u, r)
+		if th < prev {
+			t.Fatalf("threshold decreased: %v -> %v at u=%v", prev, th, u)
+		}
+		prev = th
+	}
+}
+
+func TestMessageWords(t *testing.T) {
+	if w := (Message{Kind: MsgEarly}).Words(); w != 3 {
+		t.Errorf("early words = %d", w)
+	}
+	if w := (Message{Kind: MsgRegular}).Words(); w != 4 {
+		t.Errorf("regular words = %d", w)
+	}
+	if w := (Message{Kind: MsgEpochUpdate}).Words(); w != 2 {
+		t.Errorf("epoch words = %d", w)
+	}
+}
+
+func TestMsgKindString(t *testing.T) {
+	for k, want := range map[MsgKind]string{
+		MsgEarly: "early", MsgRegular: "regular",
+		MsgLevelSaturated: "level-saturated", MsgEpochUpdate: "epoch-update",
+		MsgKind(99): "unknown",
+	} {
+		if got := k.String(); got != want {
+			t.Errorf("MsgKind(%d).String() = %q, want %q", k, got, want)
+		}
+	}
+}

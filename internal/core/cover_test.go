@@ -1,0 +1,110 @@
+package core
+
+import (
+	"testing"
+
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+func TestCoordStatsBroadcasts(t *testing.T) {
+	s := CoordStats{Saturations: 3, EpochAdvances: 4}
+	if got := s.Broadcasts(); got != 7 {
+		t.Errorf("Broadcasts = %d, want 7", got)
+	}
+}
+
+func TestRecorderKeyLookup(t *testing.T) {
+	r := NewRecorder()
+	r.Record(5, 1.25)
+	r.Record(9, 2.5)
+	if k, ok := r.Key(9); !ok || k != 2.5 {
+		t.Errorf("Key(9) = (%v, %v)", k, ok)
+	}
+	if _, ok := r.Key(404); ok {
+		t.Error("Key(404) found")
+	}
+	if r.Len() != 2 {
+		t.Errorf("Len = %d", r.Len())
+	}
+}
+
+func TestSiteID(t *testing.T) {
+	s := NewSite(3, Config{K: 4, S: 2}, xrand.New(1))
+	if s.ID() != 3 {
+		t.Errorf("ID = %d", s.ID())
+	}
+}
+
+func TestConstructorsPanicOnBadConfig(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"NewSite":        func() { NewSite(0, Config{K: 0, S: 1}, xrand.New(1)) },
+		"NewCoordinator": func() { NewCoordinator(Config{K: 1, S: 0}, xrand.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s did not panic on invalid config", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestEpochThresholdRoundingGuards(t *testing.T) {
+	// Values engineered near r^j boundaries where floor(log) can
+	// overshoot; the guard must keep threshold <= u.
+	for _, r := range []float64{2, 3, 16, 31.7} {
+		u := 1.0
+		for j := 0; j < 40; j++ {
+			u *= r
+			for _, probe := range []float64{u * (1 - 1e-15), u, u * (1 + 1e-15)} {
+				th := epochThreshold(probe, r)
+				if th > probe {
+					t.Fatalf("threshold %v exceeds u %v (r=%v)", th, probe, r)
+				}
+			}
+		}
+	}
+	if th := epochThreshold(0.999999, 2); th != 0 {
+		t.Errorf("threshold below 1 = %v", th)
+	}
+}
+
+func TestLevelOfExtremes(t *testing.T) {
+	// Very large weights and boundary-adjacent values.
+	for _, w := range []float64{1e300, 1e-300, 1} {
+		j := levelOf(w, 2)
+		if j < 0 {
+			t.Errorf("levelOf(%v) = %d", w, j)
+		}
+	}
+	// Exact powers across a large range.
+	r := 2.0
+	for j := 0; j < 200; j++ {
+		w := 1.0
+		for i := 0; i < j; i++ {
+			w *= r
+		}
+		if got := levelOf(w, r); got != j {
+			t.Fatalf("levelOf(2^%d) = %d", j, got)
+		}
+	}
+}
+
+func TestObserveRepeatedZeroAndNegativeCount(t *testing.T) {
+	cfg := Config{K: 1, S: 1}
+	s := NewSite(0, cfg, xrand.New(2))
+	sent := 0
+	send := func(Message) { sent++ }
+	if err := s.ObserveRepeated(stream.Item{ID: 1, Weight: 1}, 0, send); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.ObserveRepeated(stream.Item{ID: 1, Weight: 1}, -5, send); err != nil {
+		t.Fatal(err)
+	}
+	if sent != 0 {
+		t.Errorf("zero-count ObserveRepeated sent %d messages", sent)
+	}
+}

@@ -1,0 +1,79 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"wrs/internal/sample"
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// TestDistributedJointLaw validates the full protocol against the exact
+// *pairwise* inclusion law of weighted SWOR — the dependence structure
+// that distinguishes genuine sampling without replacement from anything
+// that merely matches the marginals. This exercises level sets, epochs
+// and filtering end to end.
+func TestDistributedJointLaw(t *testing.T) {
+	weights := []float64{1, 2, 4, 8}
+	const trials = 60000
+	cfg := Config{K: 2, S: 2}
+	want := sample.PairInclusionProbs(weights, cfg.S)
+	counts := make([][]float64, len(weights))
+	for i := range counts {
+		counts[i] = make([]float64, len(weights))
+	}
+	for tr := 0; tr < trials; tr++ {
+		cl, coord := newTestCluster(cfg, uint64(tr)*1099511628211+7, nil)
+		for i, w := range weights {
+			if err := cl.Feed(i%cfg.K, stream.Item{ID: uint64(i), Weight: w}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q := coord.Query()
+		for a := 0; a < len(q); a++ {
+			for b := a + 1; b < len(q); b++ {
+				i, j := q[a].Item.ID, q[b].Item.ID
+				counts[i][j]++
+				counts[j][i]++
+			}
+		}
+	}
+	for i := range weights {
+		for j := range weights {
+			if i == j {
+				continue
+			}
+			got := counts[i][j] / trials
+			sigma := math.Sqrt(want[i][j] * (1 - want[i][j]) / trials)
+			if math.Abs(got-want[i][j]) > 5*sigma+1e-9 {
+				t.Errorf("joint law pair (%d,%d): got %v, want %v (5 sigma %v)",
+					i, j, got, want[i][j], 5*sigma)
+			}
+		}
+	}
+}
+
+// TestExactInvariantRandomConfigs fuzzes small random configurations and
+// weight patterns through the exactness check.
+func TestExactInvariantRandomConfigs(t *testing.T) {
+	rng := xrand.New(4242)
+	for trial := 0; trial < 40; trial++ {
+		cfg := Config{K: 1 + rng.Intn(12), S: 1 + rng.Intn(12)}
+		rec := NewRecorder()
+		cl, coord := newTestCluster(cfg, rng.Uint64(), rec)
+		n := 20 + rng.Intn(150)
+		for i := 0; i < n; i++ {
+			// Mixture: occasional giants among mundane weights.
+			w := 1 + 9*rng.Float64()
+			if rng.Intn(10) == 0 {
+				w *= math.Pow(10, float64(1+rng.Intn(8)))
+			}
+			site := rng.Intn(cfg.K)
+			if err := cl.Feed(site, stream.Item{ID: uint64(i), Weight: w}); err != nil {
+				t.Fatal(err)
+			}
+			checkExactTopS(t, coord, rec, i+1)
+		}
+	}
+}

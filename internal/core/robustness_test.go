@@ -1,0 +1,128 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// TestExtremeWeightRanges runs exactness over 15 orders of magnitude of
+// weight (the paper assumes weights fit in a machine word, i.e. are
+// polynomially bounded; float64 keys handle this range losslessly enough
+// that top-s ordering is preserved).
+func TestExtremeWeightRanges(t *testing.T) {
+	cfg := Config{K: 4, S: 6}
+	rec := NewRecorder()
+	cl, coord := newTestCluster(cfg, 2024, rec)
+	rng := xrand.New(2025)
+	for i := 0; i < 400; i++ {
+		w := math.Pow(10, 15*rng.Float64()) // 1 .. 1e15
+		if err := cl.Feed(i%cfg.K, stream.Item{ID: uint64(i), Weight: w}); err != nil {
+			t.Fatal(err)
+		}
+		checkExactTopS(t, coord, rec, i+1)
+	}
+}
+
+// TestAdversarialPartitions checks exactness under the orderings the
+// model allows the adversary to pick (Section 2.1: no assumption on
+// interleaving).
+func TestAdversarialPartitions(t *testing.T) {
+	const n = 600
+	cfg := Config{K: 6, S: 5}
+	for name, af := range map[string]stream.AssignFn{
+		"contiguous":  stream.Contiguous(cfg.K, n),
+		"single-site": stream.SingleSite(),
+		"epochblocks": stream.EpochBlocks(cfg.K),
+	} {
+		rec := NewRecorder()
+		cl, coord := newTestCluster(cfg, 3033, rec)
+		g := stream.NewGenerator(n, cfg.K, stream.ParetoWeights(1.1), af)
+		rng := xrand.New(3034)
+		g.Reset()
+		step := 0
+		for {
+			u, ok := g.Next(rng)
+			if !ok {
+				break
+			}
+			if err := cl.Feed(u.Site, u.Item); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			step++
+			checkExactTopS(t, coord, rec, step)
+		}
+	}
+}
+
+// TestDuplicateIdentifiers exercises the paper's note that the same id
+// may appear many times, each occurrence sampled independently.
+func TestDuplicateIdentifiers(t *testing.T) {
+	cfg := Config{K: 2, S: 4}
+	cl, coord := newTestCluster(cfg, 404, nil)
+	for i := 0; i < 100; i++ {
+		// One identifier, many occurrences with varying weights.
+		if err := cl.Feed(i%2, stream.Item{ID: 7, Weight: float64(1 + i%3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	q := coord.Query()
+	if len(q) != cfg.S {
+		t.Fatalf("query size %d", len(q))
+	}
+	for _, e := range q {
+		if e.Item.ID != 7 {
+			t.Fatalf("unexpected id %d", e.Item.ID)
+		}
+	}
+}
+
+// TestManySitesFewItems covers k >> n (most sites silent).
+func TestManySitesFewItems(t *testing.T) {
+	cfg := Config{K: 64, S: 4}
+	rec := NewRecorder()
+	cl, coord := newTestCluster(cfg, 505, rec)
+	for i := 0; i < 10; i++ {
+		if err := cl.Feed(i*5%cfg.K, stream.Item{ID: uint64(i), Weight: float64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+		checkExactTopS(t, coord, rec, i+1)
+	}
+}
+
+// TestLongRunStability pushes one long stream through a small config and
+// verifies the message rate decays (the defining property of the
+// epoch-filter design) and u grows monotonically throughout.
+func TestLongRunStability(t *testing.T) {
+	cfg := Config{K: 4, S: 4}
+	cl, coord := newTestCluster(cfg, 606, nil)
+	g := stream.NewGenerator(200000, cfg.K, stream.UniformWeights(10), stream.RoundRobin(cfg.K))
+	rng := xrand.New(607)
+	g.Reset()
+	var firstHalf, secondHalf int64
+	half := int64(0)
+	n := 0
+	for {
+		u, ok := g.Next(rng)
+		if !ok {
+			break
+		}
+		if err := cl.Feed(u.Site, u.Item); err != nil {
+			t.Fatal(err)
+		}
+		n++
+		if n == 100000 {
+			half = cl.Stats.Total()
+		}
+	}
+	firstHalf = half
+	secondHalf = cl.Stats.Total() - half
+	if secondHalf >= firstHalf {
+		t.Errorf("message rate did not decay: first half %d, second half %d", firstHalf, secondHalf)
+	}
+	if coord.U() <= 0 {
+		t.Error("u never advanced")
+	}
+}

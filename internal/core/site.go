@@ -1,0 +1,167 @@
+package core
+
+import (
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// Site is the per-site state machine of Algorithm 1. It holds O(1) words
+// of state — the current epoch threshold plus one saturation bit per
+// level (at most log_r(W) bits, i.e. O(1) machine words) — and does O(1)
+// expected work per update.
+type Site struct {
+	id        int
+	cfg       Config
+	r         float64
+	rng       *xrand.RNG
+	threshold float64
+	saturated map[int]bool
+	rec       *Recorder
+
+	// Diagnostics.
+	DecisionBits int64 // random bits used by threshold comparisons
+	TotalBits    int64 // all random bits, including key materialization
+	Observed     int64
+	Sent         int64
+}
+
+// NewSite returns the state machine for site id. Each site must get an
+// independently seeded RNG.
+func NewSite(id int, cfg Config, rng *xrand.RNG) *Site {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Site{
+		id:        id,
+		cfg:       cfg,
+		r:         cfg.R(),
+		rng:       rng,
+		saturated: make(map[int]bool),
+	}
+}
+
+// ID returns the site's identifier.
+func (st *Site) ID() int { return st.id }
+
+// SetRecorder attaches a key recorder (tests only; see Recorder).
+func (st *Site) SetRecorder(rec *Recorder) { st.rec = rec }
+
+// Threshold returns the site's current filtering threshold.
+func (st *Site) Threshold() float64 { return st.threshold }
+
+// Observe processes one local arrival, emitting any resulting message
+// through send. It is the hot path: one lazy threshold comparison
+// (expected O(1) random bits) and, only if the key passes, one key
+// materialization.
+func (st *Site) Observe(it stream.Item, send func(Message)) error {
+	if err := validWeight(it.Weight); err != nil {
+		return err
+	}
+	st.Observed++
+	j := levelOf(it.Weight, st.r)
+	if !st.cfg.DisableLevelSets && !st.saturated[j] {
+		st.Sent++
+		send(Message{Kind: MsgEarly, Item: it})
+		return nil
+	}
+	th := st.threshold
+	if st.cfg.DisableEpochs {
+		th = 0
+	}
+	te := xrand.NewThresholdExp(st.rng, it.Weight)
+	above := te.Above(th)
+	if above || st.rec != nil {
+		key := te.Key()
+		if st.rec != nil {
+			st.rec.Record(it.ID, key)
+		}
+		if above {
+			st.Sent++
+			send(Message{Kind: MsgRegular, Item: it, Key: key})
+		}
+	}
+	st.DecisionBits += int64(te.DecisionBits())
+	st.TotalBits += int64(te.TotalBits())
+	return nil
+}
+
+// ObserveRepeated processes `count` identical copies of an item, as
+// needed by the L1-tracking reduction of Section 5 (each update is
+// duplicated l = s/(2*eps) times). It is distributionally identical to
+// calling Observe count times but runs in O(1 + messages) time: the
+// copies that fall below the threshold are skipped in one Binomial draw
+// and the passing keys are drawn from the conditional (truncated
+// exponential) distribution.
+//
+// When a Recorder is attached it falls back to the one-by-one path so
+// every key is materialized.
+func (st *Site) ObserveRepeated(it stream.Item, count int, send func(Message)) error {
+	if err := validWeight(it.Weight); err != nil {
+		return err
+	}
+	if count < 0 {
+		count = 0
+	}
+	if st.rec != nil {
+		for i := 0; i < count; i++ {
+			if err := st.Observe(it, send); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	j := levelOf(it.Weight, st.r)
+	// Withheld copies go out one by one until the level saturates (the
+	// saturation broadcast may flip the flag mid-loop in the synchronous
+	// runtime, which is why the flag is re-checked per copy).
+	for count > 0 && !st.cfg.DisableLevelSets && !st.saturated[j] {
+		st.Observed++
+		st.Sent++
+		send(Message{Kind: MsgEarly, Item: it})
+		count--
+	}
+	// Remaining copies are regular. Walk from one passing copy to the
+	// next with a geometric skip (a copy passes with p = 1 - e^(-w/th)),
+	// re-reading the threshold after every send — a send can advance the
+	// epoch synchronously, so this is exactly equivalent to the
+	// one-by-one loop while doing O(1 + messages sent) work.
+	for count > 0 {
+		th := st.threshold
+		if st.cfg.DisableEpochs {
+			th = 0
+		}
+		if th <= 0 {
+			st.Observed++
+			st.Sent++
+			count--
+			send(Message{Kind: MsgRegular, Item: it, Key: st.rng.ExpKey(it.Weight)})
+			continue
+		}
+		p := -expm1Neg(it.Weight / th)
+		skip := st.rng.Geometric(p)
+		if skip >= count {
+			st.Observed += int64(count)
+			return nil
+		}
+		st.Observed += int64(skip + 1)
+		count -= skip + 1
+		t := st.rng.TruncExpBelow(it.Weight / th)
+		st.Sent++
+		send(Message{Kind: MsgRegular, Item: it, Key: it.Weight / t})
+	}
+	return nil
+}
+
+// HandleBroadcast applies a coordinator announcement. It never sends.
+func (st *Site) HandleBroadcast(m Message) {
+	switch m.Kind {
+	case MsgLevelSaturated:
+		st.saturated[m.Level] = true
+	case MsgEpochUpdate:
+		// Thresholds are monotone; the guard tolerates out-of-order
+		// delivery in asynchronous runtimes.
+		if m.Threshold > st.threshold {
+			st.threshold = m.Threshold
+		}
+	}
+}

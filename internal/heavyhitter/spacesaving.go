@@ -1,0 +1,136 @@
+package heavyhitter
+
+import "sort"
+
+// SpaceSaving is the classic Metwally–Agrawal–El Abbadi sketch, included
+// as the standard *centralized* heavy-hitter comparator: m counters give
+// per-item overestimates bounded by W/m. It operates on aggregated item
+// identities (unlike the samplers, which treat each occurrence as
+// distinct), which is how it would be deployed against the same streams.
+type SpaceSaving struct {
+	m       int
+	entries map[uint64]*ssEntry
+	heap    []*ssEntry // min-heap by Count
+	total   float64
+}
+
+type ssEntry struct {
+	ID    uint64
+	Count float64
+	Err   float64 // overestimate bound for this counter
+	pos   int
+}
+
+// NewSpaceSaving returns a sketch with m counters, m >= 1.
+func NewSpaceSaving(m int) *SpaceSaving {
+	if m < 1 {
+		panic("heavyhitter: NewSpaceSaving requires m >= 1")
+	}
+	return &SpaceSaving{m: m, entries: make(map[uint64]*ssEntry, m)}
+}
+
+// Observe adds weight w for item id.
+func (s *SpaceSaving) Observe(id uint64, w float64) {
+	if !(w > 0) {
+		panic("heavyhitter: SpaceSaving requires positive weights")
+	}
+	s.total += w
+	if e, ok := s.entries[id]; ok {
+		e.Count += w
+		s.down(e.pos)
+		return
+	}
+	if len(s.heap) < s.m {
+		e := &ssEntry{ID: id, Count: w, pos: len(s.heap)}
+		s.entries[id] = e
+		s.heap = append(s.heap, e)
+		s.up(e.pos)
+		return
+	}
+	// Evict the minimum counter: the newcomer inherits its count as
+	// error bound.
+	min := s.heap[0]
+	delete(s.entries, min.ID)
+	e := &ssEntry{ID: id, Count: min.Count + w, Err: min.Count, pos: 0}
+	s.entries[id] = e
+	s.heap[0] = e
+	s.down(0)
+}
+
+// Estimate returns the (over)estimate and error bound for id; ok is false
+// if the item is not tracked (estimate at most W/m).
+func (s *SpaceSaving) Estimate(id uint64) (count, errBound float64, ok bool) {
+	e, found := s.entries[id]
+	if !found {
+		return 0, s.ErrorBound(), false
+	}
+	return e.Count, e.Err, true
+}
+
+// ErrorBound returns the global overestimate bound: the minimum counter
+// value (<= W/m).
+func (s *SpaceSaving) ErrorBound() float64 {
+	if len(s.heap) < s.m {
+		return 0
+	}
+	return s.heap[0].Count
+}
+
+// Total returns the total observed weight.
+func (s *SpaceSaving) Total() float64 { return s.total }
+
+// Candidate is a SpaceSaving query result.
+type Candidate struct {
+	ID    uint64
+	Count float64 // overestimate of true weight
+	Err   float64 // Count - Err <= true weight <= Count
+}
+
+// Query returns all items with estimated weight >= phi * total, heaviest
+// first. Every true phi-heavy hitter is included (no false negatives).
+func (s *SpaceSaving) Query(phi float64) []Candidate {
+	var out []Candidate
+	for _, e := range s.heap {
+		if e.Count >= phi*s.total {
+			out = append(out, Candidate{ID: e.ID, Count: e.Count, Err: e.Err})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Count > out[j].Count })
+	return out
+}
+
+func (s *SpaceSaving) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if s.heap[parent].Count <= s.heap[i].Count {
+			break
+		}
+		s.swap(parent, i)
+		i = parent
+	}
+}
+
+func (s *SpaceSaving) down(i int) {
+	n := len(s.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && s.heap[l].Count < s.heap[small].Count {
+			small = l
+		}
+		if r < n && s.heap[r].Count < s.heap[small].Count {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		s.swap(i, small)
+		i = small
+	}
+}
+
+func (s *SpaceSaving) swap(i, j int) {
+	s.heap[i], s.heap[j] = s.heap[j], s.heap[i]
+	s.heap[i].pos = i
+	s.heap[j].pos = j
+}

@@ -1,0 +1,289 @@
+package l1track
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wrs/internal/core"
+	"wrs/internal/netsim"
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// ---- Counter tracker -------------------------------------------------------
+
+func buildCounter(k int, eps float64) (*netsim.Cluster[CounterMsg], *CounterCoordinator) {
+	coord := NewCounterCoordinator(k)
+	sites := make([]netsim.Site[CounterMsg], k)
+	for i := 0; i < k; i++ {
+		sites[i] = NewCounterSite(i, eps)
+	}
+	return netsim.NewCluster[CounterMsg](coord, sites), coord
+}
+
+func TestCounterDeterministicGuarantee(t *testing.T) {
+	// Property: at every instant W/(1+eps) <= estimate <= W.
+	f := func(seedRaw uint16, kRaw, epsRaw uint8) bool {
+		k := int(kRaw%8) + 1
+		eps := 0.05 + float64(epsRaw%20)/40 // in [0.05, 0.525)
+		cl, coord := buildCounter(k, eps)
+		rng := xrand.New(uint64(seedRaw))
+		var W float64
+		for i := 0; i < 500; i++ {
+			w := 1 + 20*rng.Float64()
+			W += w
+			if err := cl.Feed(rng.Intn(k), stream.Item{ID: uint64(i), Weight: w}); err != nil {
+				return false
+			}
+			est := coord.Estimate()
+			if est > W*(1+1e-12) || est < W/(1+eps)-1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCounterMessageCount(t *testing.T) {
+	// ~ k * log_{1+eps}(W_site) messages.
+	const k, n = 8, 100000
+	eps := 0.1
+	cl, _ := buildCounter(k, eps)
+	g := stream.NewGenerator(n, k, stream.UnitWeights(), stream.RoundRobin(k))
+	if err := cl.Run(g, xrand.New(1)); err != nil {
+		t.Fatal(err)
+	}
+	perSite := math.Log(float64(n/k)) / math.Log(1+eps)
+	want := float64(k) * perSite
+	got := float64(cl.Stats.Upstream)
+	if got < want/3 || got > want*3 {
+		t.Errorf("counter messages = %v, want ~%v", got, want)
+	}
+	if cl.Stats.Downstream != 0 {
+		t.Errorf("counter tracker broadcast %d messages", cl.Stats.Downstream)
+	}
+}
+
+func TestCounterRejectsBadWeight(t *testing.T) {
+	s := NewCounterSite(0, 0.1)
+	if err := s.Observe(stream.Item{Weight: -1}, func(CounterMsg) {}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+// ---- HYZ tracker ------------------------------------------------------------
+
+func buildHYZ(k int, eps float64, seed uint64) (*netsim.Cluster[HYZMsg], *HYZCoordinator) {
+	master := xrand.New(seed)
+	coord := NewHYZCoordinator(k, eps)
+	sites := make([]netsim.Site[HYZMsg], k)
+	for i := 0; i < k; i++ {
+		sites[i] = NewHYZSite(i, master.Split())
+	}
+	return netsim.NewCluster[HYZMsg](coord, sites), coord
+}
+
+func TestHYZAccuracy(t *testing.T) {
+	// Unit stream, round-robin: estimate within ~eps at the end. The
+	// estimator's 3-sigma radius is eps*W; allow 1.5x for drift bias.
+	const k, n = 16, 200000
+	eps := 0.1
+	bad := 0
+	const trials = 10
+	for tr := 0; tr < trials; tr++ {
+		cl, coord := buildHYZ(k, eps, uint64(100+tr))
+		g := stream.NewGenerator(n, k, stream.UnitWeights(), stream.RoundRobin(k))
+		if err := cl.Run(g, xrand.New(uint64(7+tr))); err != nil {
+			t.Fatal(err)
+		}
+		rel := math.Abs(coord.Estimate()-n) / n
+		if rel > 1.5*eps {
+			bad++
+			t.Logf("trial %d: relative error %v", tr, rel)
+		}
+	}
+	if bad > 1 {
+		t.Errorf("%d/%d trials exceeded 1.5*eps relative error", bad, trials)
+	}
+}
+
+func TestHYZMessageShape(t *testing.T) {
+	// The defining difference between the rows of the Section 5 table:
+	// HYZ messages grow ~ sqrt(k)/eps * logW while the counter tracker
+	// grows ~ k/eps * logW. Verify the scaling in k (16x more sites must
+	// cost the counter tracker ~16x and HYZ only ~4x, modulo the additive
+	// k*logW broadcast term), plus an absolute envelope.
+	const n = 200000
+	eps := 0.05
+	runH := func(k int) int64 {
+		cl, _ := buildHYZ(k, eps, uint64(3+k))
+		g := stream.NewGenerator(n, k, stream.UnitWeights(), stream.RoundRobin(k))
+		if err := cl.Run(g, xrand.New(uint64(11+k))); err != nil {
+			t.Fatal(err)
+		}
+		return cl.Stats.Total()
+	}
+	runC := func(k int) int64 {
+		cl, _ := buildCounter(k, eps)
+		g := stream.NewGenerator(n, k, stream.UnitWeights(), stream.RoundRobin(k))
+		if err := cl.Run(g, xrand.New(uint64(12+k))); err != nil {
+			t.Fatal(err)
+		}
+		return cl.Stats.Total()
+	}
+	h4, h64 := runH(4), runH(64)
+	c4, c64 := runC(4), runC(64)
+	hRatio := float64(h64) / float64(h4)
+	cRatio := float64(c64) / float64(c4)
+	t.Logf("k 4->64: HYZ %d->%d (%.1fx), counter %d->%d (%.1fx)", h4, h64, hRatio, c4, c64, cRatio)
+	if hRatio > 9 {
+		t.Errorf("HYZ grew %vx in k; want ~sqrt(16)=4x (allowing <9x)", hRatio)
+	}
+	if cRatio < 10 {
+		t.Errorf("counter tracker grew %vx in k; want ~16x (at least 10x)", cRatio)
+	}
+	envelope := 60 * (64 + math.Sqrt(64)/eps) * math.Log2(float64(n))
+	if float64(h64) > envelope {
+		t.Errorf("HYZ messages %d exceed envelope %v", h64, envelope)
+	}
+}
+
+func TestHYZRejectsNonIntegerWeights(t *testing.T) {
+	s := NewHYZSite(0, xrand.New(1))
+	if err := s.Observe(stream.Item{Weight: 0.5}, func(HYZMsg) {}); err == nil {
+		t.Error("fractional weight accepted")
+	}
+}
+
+// ---- Duplication tracker (the paper's algorithm) ---------------------------
+
+func buildDup(k int, p DupParams, seed uint64) (*netsim.Cluster[core.Message], *DupCoordinator, error) {
+	coord, sites, err := NewDupTracker(k, p, xrand.New(seed))
+	if err != nil {
+		return nil, nil, err
+	}
+	ns := make([]netsim.Site[core.Message], k)
+	for i, s := range sites {
+		ns[i] = s
+	}
+	return netsim.NewCluster[core.Message](coord, ns), coord, nil
+}
+
+func TestDupParams(t *testing.T) {
+	p := DupParams{Eps: 0.1, Delta: 0.1}
+	if p.S() != int(math.Ceil(10*math.Log(10)/0.01)) {
+		t.Errorf("S = %d", p.S())
+	}
+	if p.L() != int(math.Ceil(float64(p.S())/0.2)) {
+		t.Errorf("L = %d", p.L())
+	}
+	if err := (DupParams{Eps: 0.6, Delta: 0.1}).Validate(); err == nil {
+		t.Error("eps = 0.6 accepted")
+	}
+	if _, _, err := NewDupTracker(2, DupParams{Eps: 0, Delta: 0.1}, xrand.New(1)); err == nil {
+		t.Error("invalid params accepted by NewDupTracker")
+	}
+}
+
+func TestDupTrackerAccuracy(t *testing.T) {
+	// eps = 0.15 with a reduced constant factor (SFactor 4) keeps the
+	// test fast; the estimator radius then is ~eps at 2-3 sigma. Check
+	// accuracy at several checkpoints and at the end.
+	p := DupParams{Eps: 0.15, Delta: 0.2, SFactor: 4}
+	const k, n = 4, 3000
+	bad, checks := 0, 0
+	for tr := 0; tr < 6; tr++ {
+		cl, coord, err := buildDup(k, p, uint64(500+tr))
+		if err != nil {
+			t.Fatal(err)
+		}
+		rng := xrand.New(uint64(900 + tr))
+		var W float64
+		for i := 0; i < n; i++ {
+			w := 1 + math.Floor(9*rng.Float64())
+			W += w
+			if err := cl.Feed(i%k, stream.Item{ID: uint64(i), Weight: w}); err != nil {
+				t.Fatal(err)
+			}
+			if i%500 == 499 || i == n-1 {
+				checks++
+				rel := math.Abs(coord.Estimate()-W) / W
+				if rel > p.Eps {
+					bad++
+				}
+			}
+		}
+	}
+	// delta = 0.2 per fixed time step; allow up to ~35% of checkpoints to
+	// miss before failing (observed rate is far lower).
+	if float64(bad) > 0.35*float64(checks) {
+		t.Errorf("%d/%d checkpoints exceeded eps relative error", bad, checks)
+	}
+}
+
+func TestDupTrackerExactPrefix(t *testing.T) {
+	// Until the first positive threshold the estimate must be *exact*.
+	p := DupParams{Eps: 0.2, Delta: 0.3, SFactor: 3}
+	cl, coord, err := buildDup(2, p, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var W float64
+	for i := 0; i < 10; i++ {
+		w := float64(1 + i)
+		W += w
+		if err := cl.Feed(i%2, stream.Item{ID: uint64(i), Weight: w}); err != nil {
+			t.Fatal(err)
+		}
+		if coord.Core().CurrentThreshold() == 0 {
+			if got := coord.Estimate(); math.Abs(got-W) > 1e-6*W {
+				t.Fatalf("exact-prefix estimate = %v, want %v", got, W)
+			}
+		}
+	}
+}
+
+func TestDupTrackerMessageSublinearity(t *testing.T) {
+	// Messages must be sublinear in n (and enormously sublinear in the
+	// duplicated stream n*l).
+	p := DupParams{Eps: 0.15, Delta: 0.2, SFactor: 4}
+	const k, n = 4, 20000
+	cl, _, err := buildDup(k, p, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := stream.NewGenerator(n, k, stream.UnitWeights(), stream.RoundRobin(k))
+	if err := cl.Run(g, xrand.New(8)); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Stats.Total() > int64(n) {
+		t.Errorf("dup tracker sent %d messages on %d updates", cl.Stats.Total(), n)
+	}
+	t.Logf("dup tracker: %d messages for %d updates (l = %d copies each)",
+		cl.Stats.Total(), n, p.L())
+}
+
+func TestDupParamsAllTimes(t *testing.T) {
+	p := DupParams{Eps: 0.1, Delta: 0.1}
+	at := p.AllTimes(1e6)
+	if at.Delta >= p.Delta {
+		t.Errorf("AllTimes did not reduce delta: %v -> %v", p.Delta, at.Delta)
+	}
+	// ~log(1e6)/0.1 = 138 steps.
+	wantSteps := math.Log(1e6) / 0.1
+	if math.Abs(at.Delta-p.Delta/wantSteps) > 1e-12 {
+		t.Errorf("AllTimes delta = %v, want %v", at.Delta, p.Delta/wantSteps)
+	}
+	if at.S() <= p.S() {
+		t.Errorf("AllTimes should enlarge the sample: %d vs %d", at.S(), p.S())
+	}
+	// Degenerate input does not blow up.
+	tiny := p.AllTimes(0)
+	if !(tiny.Delta > 0) {
+		t.Errorf("AllTimes(0) delta = %v", tiny.Delta)
+	}
+}

@@ -1,0 +1,126 @@
+package netsim
+
+import (
+	"sync"
+	"sync/atomic"
+
+	"wrs/internal/stream"
+)
+
+// ConcurrentCluster runs one goroutine per site plus one for the
+// coordinator, wired by FIFO channels (site -> coordinator) and unbounded
+// FIFO mailboxes (coordinator -> site). It models the paper's
+// communication assumptions — FIFO links, no loss — without the
+// synchrony: sites may act on stale thresholds, which is safe by design
+// (see DESIGN.md).
+type ConcurrentCluster[M Msg] struct {
+	coord Coordinator[M]
+	sites []Site[M]
+
+	inCh  []chan stream.Item
+	boxes []*Mailbox[M]
+	upCh  chan M
+
+	up, down, upWords, downWords atomic.Int64
+
+	siteWG  sync.WaitGroup
+	coordWG sync.WaitGroup
+	errOnce sync.Once
+	err     error
+	started bool
+}
+
+// NewConcurrentCluster assembles the runtime; call Start before feeding.
+func NewConcurrentCluster[M Msg](coord Coordinator[M], sites []Site[M]) *ConcurrentCluster[M] {
+	cc := &ConcurrentCluster[M]{
+		coord: coord,
+		sites: sites,
+		inCh:  make([]chan stream.Item, len(sites)),
+		boxes: make([]*Mailbox[M], len(sites)),
+		upCh:  make(chan M, 1024),
+	}
+	for i := range sites {
+		cc.inCh[i] = make(chan stream.Item, 256)
+		cc.boxes[i] = NewMailbox[M]()
+	}
+	return cc
+}
+
+// Start launches the site and coordinator goroutines.
+func (cc *ConcurrentCluster[M]) Start() {
+	if cc.started {
+		panic("netsim: ConcurrentCluster started twice")
+	}
+	cc.started = true
+
+	cc.coordWG.Add(1)
+	go func() {
+		defer cc.coordWG.Done()
+		bcast := func(m M) {
+			k := int64(len(cc.sites))
+			cc.down.Add(k)
+			cc.downWords.Add(int64(m.Words()) * k)
+			for _, b := range cc.boxes {
+				b.Put(m)
+			}
+		}
+		for m := range cc.upCh {
+			cc.coord.HandleMessage(m, bcast)
+		}
+	}()
+
+	for i := range cc.sites {
+		cc.siteWG.Add(1)
+		go func(id int) {
+			defer cc.siteWG.Done()
+			site := cc.sites[id]
+			box := cc.boxes[id]
+			send := func(m M) {
+				cc.up.Add(1)
+				cc.upWords.Add(int64(m.Words()))
+				cc.upCh <- m
+			}
+			for it := range cc.inCh[id] {
+				// Apply pending announcements first so thresholds are as
+				// fresh as the asynchrony allows.
+				for {
+					m, ok := box.TryGet()
+					if !ok {
+						break
+					}
+					site.HandleBroadcast(m)
+				}
+				if err := site.Observe(it, send); err != nil {
+					cc.errOnce.Do(func() { cc.err = err })
+				}
+			}
+		}(i)
+	}
+}
+
+// Feed enqueues one arrival for a site. It may block if the site's input
+// buffer is full (backpressure), never deadlocks.
+func (cc *ConcurrentCluster[M]) Feed(siteID int, it stream.Item) {
+	cc.inCh[siteID] <- it
+}
+
+// Drain closes the inputs, waits for all in-flight messages to be
+// processed by the coordinator, and returns the traffic statistics and
+// the first site error, if any. The cluster cannot be reused afterwards.
+func (cc *ConcurrentCluster[M]) Drain() (Stats, error) {
+	for _, ch := range cc.inCh {
+		close(ch)
+	}
+	cc.siteWG.Wait()
+	close(cc.upCh)
+	cc.coordWG.Wait()
+	for _, b := range cc.boxes {
+		b.Close()
+	}
+	return Stats{
+		Upstream:   cc.up.Load(),
+		Downstream: cc.down.Load(),
+		UpWords:    cc.upWords.Load(),
+		DownWords:  cc.downWords.Load(),
+	}, cc.err
+}

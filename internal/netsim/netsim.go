@@ -1,0 +1,153 @@
+// Package netsim provides the two runtimes that drive the
+// transport-agnostic site/coordinator state machines:
+//
+//   - Cluster: a deterministic sequential simulator matching the
+//     synchronous model of Section 2.1 (a broadcast is delivered to every
+//     site before the next arrival), with exact message and word
+//     accounting. All message-complexity experiments run on it.
+//   - ConcurrentCluster (concurrent.go): a goroutine-per-site runtime
+//     with FIFO channels in both directions, demonstrating the protocol
+//     live and validating that correctness survives asynchrony (stale
+//     thresholds only cost extra messages; see DESIGN.md).
+package netsim
+
+import (
+	"fmt"
+
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// Msg is the constraint for protocol messages: they must report their
+// size in machine words for communication accounting.
+type Msg interface {
+	Words() int
+}
+
+// Site is a per-site protocol state machine.
+type Site[M Msg] interface {
+	// Observe processes one local arrival and may emit messages to the
+	// coordinator through send.
+	Observe(it stream.Item, send func(M)) error
+	// HandleBroadcast applies a coordinator announcement. Implementations
+	// must not send from inside HandleBroadcast.
+	HandleBroadcast(M)
+}
+
+// RepeatSite is implemented by sites that can process many identical
+// copies of an update in sublinear time (the L1-tracking duplication).
+type RepeatSite[M Msg] interface {
+	ObserveRepeated(it stream.Item, count int, send func(M)) error
+}
+
+// Coordinator is the central protocol state machine.
+type Coordinator[M Msg] interface {
+	// HandleMessage processes one site message and may broadcast
+	// announcements to all sites through bcast.
+	HandleMessage(m M, bcast func(M))
+}
+
+// Stats counts network traffic. A broadcast costs k messages, matching
+// the paper's accounting.
+type Stats struct {
+	Upstream   int64 // site -> coordinator messages
+	Downstream int64 // coordinator -> site messages (broadcast = k)
+	UpWords    int64
+	DownWords  int64
+}
+
+// Total returns the total number of messages sent over the network.
+func (s Stats) Total() int64 { return s.Upstream + s.Downstream }
+
+// TotalWords returns the total number of machine words sent.
+func (s Stats) TotalWords() int64 { return s.UpWords + s.DownWords }
+
+// Add accumulates other into s.
+func (s *Stats) Add(other Stats) {
+	s.Upstream += other.Upstream
+	s.Downstream += other.Downstream
+	s.UpWords += other.UpWords
+	s.DownWords += other.DownWords
+}
+
+// Cluster is the sequential, deterministic runtime.
+type Cluster[M Msg] struct {
+	Coord Coordinator[M]
+	Sites []Site[M]
+	Stats Stats
+
+	send  func(M)
+	bcast func(M)
+}
+
+// NewCluster assembles a sequential cluster.
+func NewCluster[M Msg](coord Coordinator[M], sites []Site[M]) *Cluster[M] {
+	c := &Cluster[M]{Coord: coord, Sites: sites}
+	c.bcast = func(m M) {
+		k := int64(len(c.Sites))
+		c.Stats.Downstream += k
+		c.Stats.DownWords += int64(m.Words()) * k
+		for _, s := range c.Sites {
+			s.HandleBroadcast(m)
+		}
+	}
+	c.send = func(m M) {
+		c.Stats.Upstream++
+		c.Stats.UpWords += int64(m.Words())
+		c.Coord.HandleMessage(m, c.bcast)
+	}
+	return c
+}
+
+// K returns the number of sites.
+func (c *Cluster[M]) K() int { return len(c.Sites) }
+
+// Feed delivers one arrival to a site and synchronously propagates every
+// resulting message and broadcast.
+func (c *Cluster[M]) Feed(siteID int, it stream.Item) error {
+	if siteID < 0 || siteID >= len(c.Sites) {
+		return fmt.Errorf("netsim: site %d out of range [0,%d)", siteID, len(c.Sites))
+	}
+	return c.Sites[siteID].Observe(it, c.send)
+}
+
+// FeedRepeated delivers count identical copies of an arrival, using the
+// site's batched path when available.
+func (c *Cluster[M]) FeedRepeated(siteID int, it stream.Item, count int) error {
+	if siteID < 0 || siteID >= len(c.Sites) {
+		return fmt.Errorf("netsim: site %d out of range [0,%d)", siteID, len(c.Sites))
+	}
+	if rs, ok := c.Sites[siteID].(RepeatSite[M]); ok {
+		return rs.ObserveRepeated(it, count, c.send)
+	}
+	for i := 0; i < count; i++ {
+		if err := c.Sites[siteID].Observe(it, c.send); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Run feeds an entire generated stream through the cluster.
+func (c *Cluster[M]) Run(g *stream.Generator, rng *xrand.RNG) error {
+	g.Reset()
+	for {
+		u, ok := g.Next(rng)
+		if !ok {
+			return nil
+		}
+		if err := c.Feed(u.Site, u.Item); err != nil {
+			return err
+		}
+	}
+}
+
+// RunStream feeds a materialized stream through the cluster.
+func (c *Cluster[M]) RunStream(s *stream.Stream) error {
+	for _, u := range s.Updates {
+		if err := c.Feed(u.Site, u.Item); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -1,0 +1,49 @@
+package sample
+
+import (
+	"testing"
+
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+func BenchmarkTopKOffer(b *testing.B) {
+	rng := xrand.New(1)
+	top := NewTopK[int](64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		top.Offer(rng.Float64(), i)
+	}
+}
+
+func BenchmarkESObserve(b *testing.B) {
+	es := NewES(64, xrand.New(2))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		es.Observe(stream.Item{ID: uint64(i), Weight: 1 + float64(i%100)})
+	}
+}
+
+func BenchmarkReservoirL(b *testing.B) {
+	r := NewReservoirL(64, xrand.New(3))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		r.Observe(stream.Item{ID: uint64(i), Weight: 1})
+	}
+}
+
+func BenchmarkCascadeObserve(b *testing.B) {
+	c := NewCascade(16, xrand.New(4))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Observe(stream.Item{ID: uint64(i), Weight: 1 + float64(i%100)})
+	}
+}
+
+func BenchmarkPriorityObserve(b *testing.B) {
+	p := NewPriority(64, xrand.New(5))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Observe(stream.Item{ID: uint64(i), Weight: 1 + float64(i%100)})
+	}
+}

@@ -1,0 +1,71 @@
+package sample
+
+import (
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// Cascade implements cascade sampling in the style of Braverman,
+// Ostrovsky and Vorsanger (IPL 2015): a chain of s single-item weighted
+// samplers. Every arriving item is offered to level 1; at each level the
+// incumbent and the offer compete (the offer wins with probability
+// w/W_level where W_level counts all weight offered to that level) and
+// the loser cascades to the next level. Level ell therefore holds the
+// ell-th draw of a weighted SWOR, giving a second, structurally different
+// sequential oracle to validate the distributed sampler against.
+type Cascade struct {
+	rng    *xrand.RNG
+	levels []cascadeLevel
+	n      int
+}
+
+type cascadeLevel struct {
+	item     stream.Item
+	w        float64
+	occupied bool
+}
+
+// NewCascade returns a cascade sampler of size s.
+func NewCascade(s int, rng *xrand.RNG) *Cascade {
+	if s < 1 {
+		panic("sample: NewCascade requires s >= 1")
+	}
+	return &Cascade{rng: rng, levels: make([]cascadeLevel, s)}
+}
+
+// Observe feeds one item; weights must be positive.
+func (c *Cascade) Observe(it stream.Item) {
+	if !(it.Weight > 0) {
+		panic("sample: Cascade requires positive weights")
+	}
+	c.n++
+	cur := it
+	for i := range c.levels {
+		lv := &c.levels[i]
+		lv.w += cur.Weight
+		if !lv.occupied {
+			lv.item = cur
+			lv.occupied = true
+			return
+		}
+		if c.rng.Float64() < cur.Weight/lv.w {
+			cur, lv.item = lv.item, cur // offer accepted; incumbent cascades
+		}
+		// else the offer itself cascades
+	}
+}
+
+// Sample returns the held items in draw order (level 1 first). Its size
+// is min(s, items observed).
+func (c *Cascade) Sample() []stream.Item {
+	var out []stream.Item
+	for _, lv := range c.levels {
+		if lv.occupied {
+			out = append(out, lv.item)
+		}
+	}
+	return out
+}
+
+// N returns the number of observed items.
+func (c *Cascade) N() int { return c.n }

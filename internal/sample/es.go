@@ -1,0 +1,73 @@
+package sample
+
+import (
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// ES is the Efraimidis–Spirakis one-pass weighted sampler without
+// replacement: each item receives key v = w/t with t ~ Exp(1) and the s
+// largest keys are retained. (Efraimidis–Spirakis state keys as u^(1/w)
+// with u uniform; -ln turns one into the other, so the retained set is
+// identical in distribution — and this form matches the paper's
+// Proposition 1.) It is the centralized oracle the distributed sampler is
+// validated against.
+type ES struct {
+	rng *xrand.RNG
+	top *TopK[stream.Item]
+	n   int
+}
+
+// NewES returns a weighted SWOR sampler of size s.
+func NewES(s int, rng *xrand.RNG) *ES {
+	return &ES{rng: rng, top: NewTopK[stream.Item](s)}
+}
+
+// Observe feeds one item; weights must be positive.
+func (e *ES) Observe(it stream.Item) {
+	e.ObserveWithKey(it, e.rng.ExpKey(it.Weight))
+}
+
+// ObserveWithKey feeds one item with an externally generated key. Tests
+// use it to compare against brute force under identical randomness.
+func (e *ES) ObserveWithKey(it stream.Item, key float64) {
+	if !(it.Weight > 0) {
+		panic("sample: ES requires positive weights")
+	}
+	e.n++
+	e.top.Offer(key, it)
+}
+
+// N returns the number of items observed.
+func (e *ES) N() int { return e.n }
+
+// Sample returns the current weighted SWOR, largest key first. Its size
+// is min(s, items observed).
+func (e *ES) Sample() []stream.Item {
+	entries := e.top.SortedDesc()
+	out := make([]stream.Item, len(entries))
+	for i, en := range entries {
+		out[i] = en.Val
+	}
+	return out
+}
+
+// Keys returns the current retained keys, largest first.
+func (e *ES) Keys() []float64 {
+	entries := e.top.SortedDesc()
+	out := make([]float64, len(entries))
+	for i, en := range entries {
+		out[i] = en.Key
+	}
+	return out
+}
+
+// Threshold returns the smallest retained key once the sample is full,
+// else 0.
+func (e *ES) Threshold() float64 {
+	if !e.top.Full() {
+		return 0
+	}
+	m, _ := e.top.Min()
+	return m
+}

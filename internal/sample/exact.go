@@ -1,0 +1,104 @@
+package sample
+
+import "math"
+
+// InclusionProbs computes, by exhaustive enumeration of the sequential
+// SWOR process of Definition 1, the exact probability that each item
+// belongs to a weighted sample without replacement of size s. It runs in
+// O(n^s) time and exists purely as a ground-truth oracle for statistical
+// tests (n and s must be small).
+func InclusionProbs(weights []float64, s int) []float64 {
+	n := len(weights)
+	if s > n {
+		s = n
+	}
+	probs := make([]float64, n)
+	if s == 0 {
+		return probs
+	}
+	var total float64
+	for _, w := range weights {
+		if !(w > 0) {
+			panic("sample: InclusionProbs requires positive weights")
+		}
+		total += w
+	}
+	chosen := make([]bool, n)
+	var rec func(depth int, pathP, remW float64)
+	rec = func(depth int, pathP, remW float64) {
+		for i := 0; i < n; i++ {
+			if chosen[i] {
+				continue
+			}
+			p := pathP * weights[i] / remW
+			probs[i] += p
+			if depth+1 < s {
+				chosen[i] = true
+				rec(depth+1, p, remW-weights[i])
+				chosen[i] = false
+			}
+		}
+	}
+	rec(0, 1, total)
+	return probs
+}
+
+// SWRInclusionProb returns the probability that an item of weight w is
+// present in a size-s weighted sample with replacement over total weight
+// W: 1 - (1 - w/W)^s.
+func SWRInclusionProb(w, W float64, s int) float64 {
+	return 1 - math.Pow(1-w/W, float64(s))
+}
+
+// PairInclusionProbs computes, by the same exhaustive enumeration as
+// InclusionProbs, the exact probability that items i and j are *both* in
+// a weighted SWOR of size s. The joint law distinguishes SWOR from
+// schemes that merely match the marginals, so tests use it to validate
+// the samplers' dependence structure. O(n^s) time; small inputs only.
+func PairInclusionProbs(weights []float64, s int) [][]float64 {
+	n := len(weights)
+	if s > n {
+		s = n
+	}
+	probs := make([][]float64, n)
+	for i := range probs {
+		probs[i] = make([]float64, n)
+	}
+	if s < 2 {
+		return probs
+	}
+	var total float64
+	for _, w := range weights {
+		if !(w > 0) {
+			panic("sample: PairInclusionProbs requires positive weights")
+		}
+		total += w
+	}
+	chosen := make([]int, 0, s)
+	var rec func(depth int, pathP, remW float64)
+	rec = func(depth int, pathP, remW float64) {
+		if depth == s {
+			for a := 0; a < len(chosen); a++ {
+				for b := a + 1; b < len(chosen); b++ {
+					i, j := chosen[a], chosen[b]
+					probs[i][j] += pathP
+					probs[j][i] += pathP
+				}
+			}
+			return
+		}
+	outer:
+		for i := 0; i < n; i++ {
+			for _, c := range chosen {
+				if c == i {
+					continue outer
+				}
+			}
+			chosen = append(chosen, i)
+			rec(depth+1, pathP*weights[i]/remW, remW-weights[i])
+			chosen = chosen[:len(chosen)-1]
+		}
+	}
+	rec(0, 1, total)
+	return probs
+}

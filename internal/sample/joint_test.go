@@ -1,0 +1,165 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+func TestPairInclusionProbsBasics(t *testing.T) {
+	// Uniform weights, s=2, n=4: P(both i and j) = 2/(4*3) * 2 = 1/6...
+	// directly: number of ordered pairs = 12, each unordered pair has
+	// probability 2 * (1/4)(1/3) = 1/6.
+	p := PairInclusionProbs([]float64{1, 1, 1, 1}, 2)
+	for i := 0; i < 4; i++ {
+		if p[i][i] != 0 {
+			t.Errorf("diagonal [%d][%d] = %v", i, i, p[i][i])
+		}
+		for j := 0; j < 4; j++ {
+			if i == j {
+				continue
+			}
+			if math.Abs(p[i][j]-1.0/6) > 1e-12 {
+				t.Errorf("pair [%d][%d] = %v, want 1/6", i, j, p[i][j])
+			}
+		}
+	}
+	// Sum over unordered pairs = C(s,2) = 1.
+	var sum float64
+	for i := 0; i < 4; i++ {
+		for j := i + 1; j < 4; j++ {
+			sum += p[i][j]
+		}
+	}
+	if math.Abs(sum-1) > 1e-12 {
+		t.Errorf("pair sum = %v, want 1", sum)
+	}
+	// s < 2: all zero.
+	p1 := PairInclusionProbs([]float64{1, 2, 3}, 1)
+	for i := range p1 {
+		for j := range p1[i] {
+			if p1[i][j] != 0 {
+				t.Errorf("s=1 pair prob [%d][%d] = %v", i, j, p1[i][j])
+			}
+		}
+	}
+}
+
+func TestPairInclusionConsistentWithMarginals(t *testing.T) {
+	// sum_j P(i,j both in) = (s-1) * P(i in).
+	weights := []float64{1, 2, 4, 8, 16}
+	const s = 3
+	pair := PairInclusionProbs(weights, s)
+	marg := InclusionProbs(weights, s)
+	for i := range weights {
+		var rowSum float64
+		for j := range weights {
+			rowSum += pair[i][j]
+		}
+		want := float64(s-1) * marg[i]
+		if math.Abs(rowSum-want) > 1e-10 {
+			t.Errorf("row %d sum = %v, want (s-1)*marginal = %v", i, rowSum, want)
+		}
+	}
+}
+
+func TestESMatchesExactJointLaw(t *testing.T) {
+	// The joint (pairwise) inclusion law is what separates true SWOR from
+	// independent-marginal schemes; validate ES against the enumeration
+	// oracle.
+	weights := []float64{1, 2, 4, 8}
+	const s, trials = 2, 80000
+	want := PairInclusionProbs(weights, s)
+	rng := xrand.New(21)
+	counts := make([][]float64, len(weights))
+	for i := range counts {
+		counts[i] = make([]float64, len(weights))
+	}
+	for tr := 0; tr < trials; tr++ {
+		es := NewES(s, rng)
+		for i, w := range weights {
+			es.Observe(stream.Item{ID: uint64(i), Weight: w})
+		}
+		smp := es.Sample()
+		for a := 0; a < len(smp); a++ {
+			for b := a + 1; b < len(smp); b++ {
+				i, j := smp[a].ID, smp[b].ID
+				counts[i][j]++
+				counts[j][i]++
+			}
+		}
+	}
+	for i := range weights {
+		for j := range weights {
+			if i == j {
+				continue
+			}
+			got := counts[i][j] / trials
+			sigma := math.Sqrt(want[i][j] * (1 - want[i][j]) / trials)
+			if math.Abs(got-want[i][j]) > 5*sigma+1e-9 {
+				t.Errorf("pair (%d,%d): got %v, want %v", i, j, got, want[i][j])
+			}
+		}
+	}
+}
+
+func TestCascadeMatchesExactJointLaw(t *testing.T) {
+	weights := []float64{1, 2, 4, 8}
+	const s, trials = 2, 80000
+	want := PairInclusionProbs(weights, s)
+	rng := xrand.New(22)
+	counts := make([][]float64, len(weights))
+	for i := range counts {
+		counts[i] = make([]float64, len(weights))
+	}
+	for tr := 0; tr < trials; tr++ {
+		c := NewCascade(s, rng)
+		for i, w := range weights {
+			c.Observe(stream.Item{ID: uint64(i), Weight: w})
+		}
+		smp := c.Sample()
+		for a := 0; a < len(smp); a++ {
+			for b := a + 1; b < len(smp); b++ {
+				i, j := smp[a].ID, smp[b].ID
+				counts[i][j]++
+				counts[j][i]++
+			}
+		}
+	}
+	for i := range weights {
+		for j := range weights {
+			if i == j {
+				continue
+			}
+			got := counts[i][j] / trials
+			sigma := math.Sqrt(want[i][j] * (1 - want[i][j]) / trials)
+			if math.Abs(got-want[i][j]) > 5*sigma+1e-9 {
+				t.Errorf("pair (%d,%d): got %v, want %v", i, j, got, want[i][j])
+			}
+		}
+	}
+}
+
+func TestESOrderedFirstDrawLaw(t *testing.T) {
+	// The largest key must be a single weighted draw: P = w_i / W.
+	weights := []float64{2, 3, 5}
+	const trials = 60000
+	rng := xrand.New(23)
+	counts := make([]float64, len(weights))
+	for tr := 0; tr < trials; tr++ {
+		es := NewES(1, rng)
+		for i, w := range weights {
+			es.Observe(stream.Item{ID: uint64(i), Weight: w})
+		}
+		counts[es.Sample()[0].ID]++
+	}
+	for i, w := range weights {
+		got := counts[i] / trials
+		want := w / 10
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("first draw P(%d) = %v, want %v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,74 @@
+package sample
+
+import (
+	"math"
+
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// Priority implements priority sampling (Duffield–Lund–Thorup, J.ACM
+// 2007), the subset-sum estimation scheme the paper cites as a relative
+// of precision sampling: each item gets priority w/u with u ~ U(0,1); the
+// sampler keeps the s+1 largest priorities and estimates any subset sum
+// as the sum over retained subset members of max(w_i, tau), where tau is
+// the (s+1)-th priority.
+type Priority struct {
+	rng *xrand.RNG
+	top *TopK[stream.Item]
+	s   int
+	n   int
+}
+
+// NewPriority returns a priority sampler with sample size s (it retains
+// s+1 items internally).
+func NewPriority(s int, rng *xrand.RNG) *Priority {
+	if s < 1 {
+		panic("sample: NewPriority requires s >= 1")
+	}
+	return &Priority{rng: rng, top: NewTopK[stream.Item](s + 1), s: s}
+}
+
+// Observe feeds one item.
+func (p *Priority) Observe(it stream.Item) {
+	if !(it.Weight > 0) {
+		panic("sample: Priority requires positive weights")
+	}
+	p.n++
+	p.top.Offer(it.Weight/p.rng.OpenFloat64(), it)
+}
+
+// Tau returns the threshold (the (s+1)-th largest priority), or 0 when
+// fewer than s+1 items have been observed.
+func (p *Priority) Tau() float64 {
+	if !p.top.Full() {
+		return 0
+	}
+	m, _ := p.top.Min()
+	return m
+}
+
+// EstimateSubset returns the unbiased estimate of the total weight of
+// items satisfying pred.
+func (p *Priority) EstimateSubset(pred func(stream.Item) bool) float64 {
+	tau := p.Tau()
+	entries := p.top.SortedDesc()
+	if p.top.Full() {
+		entries = entries[:p.s] // exclude the threshold item itself
+	}
+	var est float64
+	for _, e := range entries {
+		if pred(e.Val) {
+			est += math.Max(e.Val.Weight, tau)
+		}
+	}
+	return est
+}
+
+// EstimateTotal returns the unbiased estimate of the total stream weight.
+func (p *Priority) EstimateTotal() float64 {
+	return p.EstimateSubset(func(stream.Item) bool { return true })
+}
+
+// N returns the number of observed items.
+func (p *Priority) N() int { return p.n }

@@ -1,0 +1,75 @@
+package sample
+
+import (
+	"math"
+
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// Reservoir is Vitter's classic unweighted reservoir sampler (Algorithm R
+// by default, the skip-based Algorithm L when constructed with
+// NewReservoirL). The paper's distributed weighted SWOR degenerates to
+// this distribution when all weights are 1, which the tests exploit.
+type Reservoir struct {
+	rng  *xrand.RNG
+	buf  []stream.Item
+	s    int
+	n    int
+	useL bool
+	// Algorithm L state.
+	wExp float64
+	next int
+}
+
+// NewReservoir returns an Algorithm R reservoir of size s.
+func NewReservoir(s int, rng *xrand.RNG) *Reservoir {
+	if s < 1 {
+		panic("sample: NewReservoir requires s >= 1")
+	}
+	return &Reservoir{rng: rng, s: s}
+}
+
+// NewReservoirL returns an Algorithm L (geometric-skip) reservoir of size
+// s. It observes the same distribution as Algorithm R but performs
+// expected O(s log(n/s)) random draws instead of n.
+func NewReservoirL(s int, rng *xrand.RNG) *Reservoir {
+	r := NewReservoir(s, rng)
+	r.useL = true
+	r.wExp = math.Exp(math.Log(rng.OpenFloat64()) / float64(s))
+	r.next = s - 1 + r.skip()
+	return r
+}
+
+func (r *Reservoir) skip() int {
+	return int(math.Floor(math.Log(r.rng.OpenFloat64())/math.Log1p(-r.wExp))) + 1
+}
+
+// Observe feeds one item.
+func (r *Reservoir) Observe(it stream.Item) {
+	r.n++
+	if len(r.buf) < r.s {
+		r.buf = append(r.buf, it)
+		return
+	}
+	if r.useL {
+		if r.n-1 == r.next { // 0-based index of current item is r.n-1
+			r.buf[r.rng.Intn(r.s)] = it
+			r.wExp *= math.Exp(math.Log(r.rng.OpenFloat64()) / float64(r.s))
+			r.next += r.skip()
+		}
+		return
+	}
+	// Algorithm R: replace a random slot with probability s/n.
+	if j := r.rng.Intn(r.n); j < r.s {
+		r.buf[j] = it
+	}
+}
+
+// Sample returns the current sample (size min(s, n)), in slot order.
+func (r *Reservoir) Sample() []stream.Item {
+	return append([]stream.Item(nil), r.buf...)
+}
+
+// N returns the number of observed items.
+func (r *Reservoir) N() int { return r.n }

@@ -1,0 +1,325 @@
+package sample
+
+import (
+	"math"
+	"testing"
+
+	"wrs/internal/stats"
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+func items(weights ...float64) []stream.Item {
+	out := make([]stream.Item, len(weights))
+	for i, w := range weights {
+		out[i] = stream.Item{ID: uint64(i), Weight: w}
+	}
+	return out
+}
+
+// runInclusionTrial counts, over `trials` runs, how often each item is in
+// the sample produced by build().
+func runInclusionTrials(t *testing.T, its []stream.Item, trials int,
+	build func() interface {
+		Observe(stream.Item)
+		Sample() []stream.Item
+	}) []float64 {
+	t.Helper()
+	counts := make([]float64, len(its))
+	for tr := 0; tr < trials; tr++ {
+		s := build()
+		for _, it := range its {
+			s.Observe(it)
+		}
+		for _, it := range s.Sample() {
+			counts[it.ID]++
+		}
+	}
+	for i := range counts {
+		counts[i] /= float64(trials)
+	}
+	return counts
+}
+
+func checkInclusion(t *testing.T, name string, got, want []float64, trials int) {
+	t.Helper()
+	for i := range got {
+		sigma := math.Sqrt(want[i] * (1 - want[i]) / float64(trials))
+		if math.Abs(got[i]-want[i]) > 5*sigma+1e-9 {
+			t.Errorf("%s: item %d inclusion = %v, want %v (5 sigma = %v)",
+				name, i, got[i], want[i], 5*sigma)
+		}
+	}
+}
+
+func TestExactInclusionProbsBasics(t *testing.T) {
+	// Uniform weights: inclusion = s/n for everyone.
+	p := InclusionProbs([]float64{2, 2, 2, 2}, 2)
+	for i, v := range p {
+		if math.Abs(v-0.5) > 1e-12 {
+			t.Errorf("uniform inclusion[%d] = %v", i, v)
+		}
+	}
+	// Probabilities sum to s.
+	p = InclusionProbs([]float64{1, 2, 3, 4, 5}, 3)
+	var sum float64
+	for _, v := range p {
+		sum += v
+	}
+	if math.Abs(sum-3) > 1e-12 {
+		t.Errorf("inclusion sum = %v, want 3", sum)
+	}
+	// Monotone in weight.
+	for i := 1; i < len(p); i++ {
+		if p[i] < p[i-1] {
+			t.Errorf("inclusion not monotone: %v", p)
+		}
+	}
+	// s >= n: everything included.
+	p = InclusionProbs([]float64{1, 9}, 5)
+	if p[0] != 1 || p[1] != 1 {
+		t.Errorf("s >= n inclusion = %v", p)
+	}
+	// Single draw: proportional to weight.
+	p = InclusionProbs([]float64{1, 3}, 1)
+	if math.Abs(p[0]-0.25) > 1e-12 || math.Abs(p[1]-0.75) > 1e-12 {
+		t.Errorf("single draw = %v", p)
+	}
+}
+
+func TestESMatchesExactSWOR(t *testing.T) {
+	rng := xrand.New(10)
+	its := items(1, 2, 4, 8, 16)
+	want := InclusionProbs([]float64{1, 2, 4, 8, 16}, 2)
+	const trials = 60000
+	got := runInclusionTrials(t, its, trials, func() interface {
+		Observe(stream.Item)
+		Sample() []stream.Item
+	} {
+		return NewES(2, rng)
+	})
+	checkInclusion(t, "ES", got, want, trials)
+}
+
+func TestCascadeMatchesExactSWOR(t *testing.T) {
+	rng := xrand.New(11)
+	its := items(1, 2, 4, 8, 16)
+	want := InclusionProbs([]float64{1, 2, 4, 8, 16}, 2)
+	const trials = 60000
+	got := runInclusionTrials(t, its, trials, func() interface {
+		Observe(stream.Item)
+		Sample() []stream.Item
+	} {
+		return NewCascade(2, rng)
+	})
+	checkInclusion(t, "Cascade", got, want, trials)
+}
+
+func TestCascadeFirstLevelIsSingleDraw(t *testing.T) {
+	// Level 1 of the cascade must be a plain single weighted sample.
+	rng := xrand.New(12)
+	its := items(1, 5, 2)
+	counts := make([]float64, 3)
+	const trials = 60000
+	for tr := 0; tr < trials; tr++ {
+		c := NewCascade(1, rng)
+		for _, it := range its {
+			c.Observe(it)
+		}
+		counts[c.Sample()[0].ID]++
+	}
+	for i, w := range []float64{1, 5, 2} {
+		got := counts[i] / trials
+		want := w / 8
+		if math.Abs(got-want) > 0.01 {
+			t.Errorf("level-1 P(item %d) = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestESSampleShape(t *testing.T) {
+	rng := xrand.New(13)
+	e := NewES(3, rng)
+	if len(e.Sample()) != 0 {
+		t.Fatal("empty sampler returned items")
+	}
+	e.Observe(stream.Item{ID: 1, Weight: 2})
+	if len(e.Sample()) != 1 {
+		t.Fatal("size after 1 item != 1")
+	}
+	for i := 2; i <= 10; i++ {
+		e.Observe(stream.Item{ID: uint64(i), Weight: float64(i)})
+	}
+	s := e.Sample()
+	if len(s) != 3 {
+		t.Fatalf("size = %d, want 3", len(s))
+	}
+	seen := map[uint64]bool{}
+	for _, it := range s {
+		if seen[it.ID] {
+			t.Fatalf("duplicate id %d in SWOR sample", it.ID)
+		}
+		seen[it.ID] = true
+	}
+	keys := e.Keys()
+	for i := 1; i < len(keys); i++ {
+		if keys[i] > keys[i-1] {
+			t.Fatal("keys not sorted desc")
+		}
+	}
+	if th := e.Threshold(); th != keys[len(keys)-1] {
+		t.Fatalf("threshold %v != smallest key %v", th, keys[len(keys)-1])
+	}
+}
+
+func TestSWRInclusion(t *testing.T) {
+	rng := xrand.New(14)
+	weights := []float64{1, 2, 4, 8, 16}
+	its := items(weights...)
+	var W float64
+	for _, w := range weights {
+		W += w
+	}
+	const s, trials = 3, 60000
+	counts := make([]float64, len(its))
+	for tr := 0; tr < trials; tr++ {
+		sw := NewSWR(s, rng)
+		for _, it := range its {
+			sw.Observe(it)
+		}
+		seen := map[uint64]bool{}
+		for _, it := range sw.Sample() {
+			if !seen[it.ID] {
+				seen[it.ID] = true
+				counts[it.ID]++
+			}
+		}
+	}
+	for i, w := range weights {
+		got := counts[i] / trials
+		want := SWRInclusionProb(w, W, s)
+		sigma := math.Sqrt(want * (1 - want) / trials)
+		if math.Abs(got-want) > 5*sigma+1e-9 {
+			t.Errorf("SWR inclusion[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestSWRSlotsIndependent(t *testing.T) {
+	// P(slot0 = heavy AND slot1 = heavy) must equal P(slot=heavy)^2.
+	rng := xrand.New(15)
+	its := items(1, 1, 8)
+	const trials = 60000
+	both, single := 0.0, 0.0
+	for tr := 0; tr < trials; tr++ {
+		sw := NewSWR(2, rng)
+		for _, it := range its {
+			sw.Observe(it)
+		}
+		s := sw.Sample()
+		if s[0].ID == 2 {
+			single++
+		}
+		if s[0].ID == 2 && s[1].ID == 2 {
+			both++
+		}
+	}
+	p := single / trials
+	pBoth := both / trials
+	if math.Abs(pBoth-p*p) > 0.01 {
+		t.Errorf("joint = %v, product = %v: slots not independent", pBoth, p*p)
+	}
+	if math.Abs(p-0.8) > 0.01 {
+		t.Errorf("marginal = %v, want 0.8", p)
+	}
+}
+
+func TestReservoirUniformInclusion(t *testing.T) {
+	for _, mode := range []string{"R", "L"} {
+		rng := xrand.New(16)
+		const n, s, trials = 30, 5, 30000
+		counts := make([]float64, n)
+		for tr := 0; tr < trials; tr++ {
+			var r *Reservoir
+			if mode == "R" {
+				r = NewReservoir(s, rng)
+			} else {
+				r = NewReservoirL(s, rng)
+			}
+			for i := 0; i < n; i++ {
+				r.Observe(stream.Item{ID: uint64(i), Weight: 1})
+			}
+			if got := len(r.Sample()); got != s {
+				t.Fatalf("%s: sample size %d", mode, got)
+			}
+			for _, it := range r.Sample() {
+				counts[it.ID]++
+			}
+		}
+		want := float64(s) / n
+		sigma := math.Sqrt(want * (1 - want) / trials)
+		for i := range counts {
+			got := counts[i] / trials
+			if math.Abs(got-want) > 5.5*sigma {
+				t.Errorf("%s: inclusion[%d] = %v, want %v", mode, i, got, want)
+			}
+		}
+	}
+}
+
+func TestPriorityUnbiasedSubsetSum(t *testing.T) {
+	rng := xrand.New(17)
+	its := items(3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7)
+	var evenSum float64
+	for _, it := range its {
+		if it.ID%2 == 0 {
+			evenSum += it.Weight
+		}
+	}
+	const trials = 40000
+	var est []float64
+	for tr := 0; tr < trials; tr++ {
+		p := NewPriority(5, rng)
+		for _, it := range its {
+			p.Observe(it)
+		}
+		est = append(est, p.EstimateSubset(func(it stream.Item) bool { return it.ID%2 == 0 }))
+	}
+	mean := stats.Mean(est)
+	se := stats.StdDev(est) / math.Sqrt(trials)
+	if math.Abs(mean-evenSum) > 5*se {
+		t.Errorf("priority subset estimate = %v +- %v, want %v", mean, se, evenSum)
+	}
+}
+
+func TestPriorityTotalEstimate(t *testing.T) {
+	rng := xrand.New(18)
+	its := items(10, 20, 30, 40)
+	p := NewPriority(10, rng) // s >= n: estimate must be exact
+	for _, it := range its {
+		p.Observe(it)
+	}
+	if got := p.EstimateTotal(); math.Abs(got-100) > 1e-9 {
+		t.Errorf("full-retention estimate = %v, want 100", got)
+	}
+}
+
+func TestSamplersRejectNonPositiveWeights(t *testing.T) {
+	rng := xrand.New(19)
+	bad := stream.Item{ID: 0, Weight: 0}
+	for name, fn := range map[string]func(){
+		"ES":       func() { NewES(2, rng).Observe(bad) },
+		"SWR":      func() { NewSWR(2, rng).Observe(bad) },
+		"Cascade":  func() { NewCascade(2, rng).Observe(bad) },
+		"Priority": func() { NewPriority(2, rng).Observe(bad) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s accepted weight 0", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -1,0 +1,56 @@
+package sample
+
+import (
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// SWR is a sequential weighted sampler with replacement: s independent
+// single-item weighted samplers, each retaining the item with the maximum
+// precision-sampling key it has seen. Slot i therefore holds item e with
+// probability w_e/W independently across slots, which is exactly
+// Definition 2 of the paper.
+type SWR struct {
+	rng   *xrand.RNG
+	best  []float64
+	items []stream.Item
+	n     int
+	w     float64
+}
+
+// NewSWR returns a weighted SWR sampler of size s.
+func NewSWR(s int, rng *xrand.RNG) *SWR {
+	if s < 1 {
+		panic("sample: NewSWR requires s >= 1")
+	}
+	return &SWR{rng: rng, best: make([]float64, s), items: make([]stream.Item, s)}
+}
+
+// Observe feeds one item; weights must be positive.
+func (s *SWR) Observe(it stream.Item) {
+	if !(it.Weight > 0) {
+		panic("sample: SWR requires positive weights")
+	}
+	s.n++
+	s.w += it.Weight
+	for i := range s.best {
+		if key := s.rng.ExpKey(it.Weight); key > s.best[i] {
+			s.best[i] = key
+			s.items[i] = it
+		}
+	}
+}
+
+// Sample returns the current with-replacement sample of size s (slots
+// observed no items are absent; before any item arrives the sample is
+// empty).
+func (s *SWR) Sample() []stream.Item {
+	if s.n == 0 {
+		return nil
+	}
+	return append([]stream.Item(nil), s.items...)
+}
+
+// N returns the number of observed items; TotalWeight the sum of weights.
+func (s *SWR) N() int               { return s.n }
+func (s *SWR) TotalWeight() float64 { return s.w }

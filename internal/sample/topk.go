@@ -1,0 +1,165 @@
+// Package sample implements the centralized (single-stream) samplers that
+// the distributed algorithms are built from and validated against:
+//
+//   - Efraimidis–Spirakis weighted sampling without replacement (the
+//     sequential analogue of the paper's precision sampling),
+//   - Vitter's reservoir sampling, algorithms R and L (the unweighted
+//     classic the paper generalizes),
+//   - sequential weighted sampling with replacement,
+//   - priority sampling (Duffield–Lund–Thorup), a related key-based
+//     scheme for subset-sum estimation,
+//   - cascade sampling in the style of Braverman–Ostrovsky–Vorsanger,
+//   - an exact brute-force oracle for weighted-SWOR inclusion
+//     probabilities, used by the statistical tests.
+package sample
+
+// Entry is a keyed payload held by TopK.
+type Entry[T any] struct {
+	Key float64
+	Val T
+}
+
+// TopK retains the k entries with the largest keys seen so far, using a
+// min-heap so each offer is O(log k). Ties are broken arbitrarily; the
+// samplers built on top of it use continuous keys, so ties occur with
+// probability zero.
+type TopK[T any] struct {
+	k int
+	h []Entry[T]
+}
+
+// NewTopK returns a TopK retaining the k largest-keyed entries, k >= 1.
+func NewTopK[T any](k int) *TopK[T] {
+	if k < 1 {
+		panic("sample: NewTopK requires k >= 1")
+	}
+	return &TopK[T]{k: k}
+}
+
+// Len returns the number of retained entries (<= k).
+func (t *TopK[T]) Len() int { return len(t.h) }
+
+// K returns the retention capacity.
+func (t *TopK[T]) K() int { return t.k }
+
+// Min returns the smallest retained key. ok is false when empty.
+func (t *TopK[T]) Min() (key float64, ok bool) {
+	if len(t.h) == 0 {
+		return 0, false
+	}
+	return t.h[0].Key, true
+}
+
+// Full reports whether k entries are retained.
+func (t *TopK[T]) Full() bool { return len(t.h) == t.k }
+
+// Offer inserts (key, val). If the structure overflows, the entry with
+// the smallest key is evicted and returned with evicted=true. accepted
+// reports whether the offered entry itself was retained.
+func (t *TopK[T]) Offer(key float64, val T) (evKey float64, evVal T, evicted, accepted bool) {
+	if len(t.h) < t.k {
+		t.h = append(t.h, Entry[T]{key, val})
+		t.up(len(t.h) - 1)
+		return 0, evVal, false, true
+	}
+	if key <= t.h[0].Key {
+		return key, val, true, false
+	}
+	ev := t.h[0]
+	t.h[0] = Entry[T]{key, val}
+	t.down(0)
+	return ev.Key, ev.Val, true, true
+}
+
+// Items returns the retained entries in arbitrary (heap) order. The
+// returned slice aliases internal storage; callers must not modify it.
+func (t *TopK[T]) Items() []Entry[T] { return t.h }
+
+// SortedDesc returns a fresh slice of the retained entries sorted by
+// descending key.
+func (t *TopK[T]) SortedDesc() []Entry[T] {
+	out := append([]Entry[T](nil), t.h...)
+	// Simple heapsort-free path: small k, use insertion-friendly sort.
+	sortEntriesDesc(out)
+	return out
+}
+
+// Reset empties the structure, retaining capacity.
+func (t *TopK[T]) Reset() { t.h = t.h[:0] }
+
+func (t *TopK[T]) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if t.h[parent].Key <= t.h[i].Key {
+			break
+		}
+		t.h[parent], t.h[i] = t.h[i], t.h[parent]
+		i = parent
+	}
+}
+
+func (t *TopK[T]) down(i int) {
+	n := len(t.h)
+	for {
+		l, r := 2*i+1, 2*i+2
+		small := i
+		if l < n && t.h[l].Key < t.h[small].Key {
+			small = l
+		}
+		if r < n && t.h[r].Key < t.h[small].Key {
+			small = r
+		}
+		if small == i {
+			return
+		}
+		t.h[i], t.h[small] = t.h[small], t.h[i]
+		i = small
+	}
+}
+
+func sortEntriesDesc[T any](es []Entry[T]) {
+	// Insertion sort is fine for sample-sized slices; switch to a
+	// pivot-based sort for larger ones.
+	if len(es) > 64 {
+		quickSortDesc(es)
+		return
+	}
+	for i := 1; i < len(es); i++ {
+		e := es[i]
+		j := i - 1
+		for j >= 0 && es[j].Key < e.Key {
+			es[j+1] = es[j]
+			j--
+		}
+		es[j+1] = e
+	}
+}
+
+func quickSortDesc[T any](es []Entry[T]) {
+	for len(es) > 32 {
+		p := partitionDesc(es)
+		if p < len(es)-p {
+			quickSortDesc(es[:p])
+			es = es[p+1:]
+		} else {
+			quickSortDesc(es[p+1:])
+			es = es[:p]
+		}
+	}
+	sortEntriesDesc(es)
+}
+
+func partitionDesc[T any](es []Entry[T]) int {
+	mid := len(es) / 2
+	es[mid], es[len(es)-1] = es[len(es)-1], es[mid]
+	pivot := es[len(es)-1].Key
+	i := 0
+	for j := 0; j < len(es)-1; j++ {
+		if es[j].Key > pivot {
+			es[i], es[j] = es[j], es[i]
+			i++
+		}
+	}
+	es[i], es[len(es)-1] = es[len(es)-1], es[i]
+	return i
+}

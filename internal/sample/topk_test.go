@@ -1,0 +1,96 @@
+package sample
+
+import (
+	"sort"
+	"testing"
+	"testing/quick"
+
+	"wrs/internal/xrand"
+)
+
+func TestTopKBruteForce(t *testing.T) {
+	rng := xrand.New(1)
+	f := func(kRaw uint8, nRaw uint16) bool {
+		k := int(kRaw%20) + 1
+		n := int(nRaw % 300)
+		top := NewTopK[int](k)
+		keys := make([]float64, n)
+		for i := 0; i < n; i++ {
+			keys[i] = rng.Float64()
+			top.Offer(keys[i], i)
+		}
+		// Brute-force top-k keys.
+		sorted := append([]float64(nil), keys...)
+		sort.Sort(sort.Reverse(sort.Float64Slice(sorted)))
+		want := sorted
+		if len(want) > k {
+			want = want[:k]
+		}
+		got := top.SortedDesc()
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range got {
+			if got[i].Key != want[i] {
+				return false
+			}
+		}
+		// Min must match the smallest retained key.
+		if len(want) > 0 {
+			m, ok := top.Min()
+			if !ok || m != want[len(want)-1] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestTopKEviction(t *testing.T) {
+	top := NewTopK[string](2)
+	_, _, ev, acc := top.Offer(1, "a")
+	if ev || !acc {
+		t.Fatal("first offer should be accepted without eviction")
+	}
+	top.Offer(2, "b")
+	evKey, evVal, ev, acc := top.Offer(3, "c")
+	if !ev || !acc || evKey != 1 || evVal != "a" {
+		t.Fatalf("expected eviction of (1, a), got (%v, %v, %v, %v)", evKey, evVal, ev, acc)
+	}
+	evKey, evVal, ev, acc = top.Offer(0.5, "d")
+	if !ev || acc || evKey != 0.5 || evVal != "d" {
+		t.Fatalf("low offer should bounce: (%v, %v, %v, %v)", evKey, evVal, ev, acc)
+	}
+}
+
+func TestTopKSortLargeSlice(t *testing.T) {
+	rng := xrand.New(2)
+	top := NewTopK[int](500)
+	for i := 0; i < 2000; i++ {
+		top.Offer(rng.Float64(), i)
+	}
+	got := top.SortedDesc()
+	if len(got) != 500 {
+		t.Fatalf("len = %d", len(got))
+	}
+	for i := 1; i < len(got); i++ {
+		if got[i].Key > got[i-1].Key {
+			t.Fatalf("not sorted desc at %d", i)
+		}
+	}
+}
+
+func TestTopKReset(t *testing.T) {
+	top := NewTopK[int](3)
+	top.Offer(1, 1)
+	top.Reset()
+	if top.Len() != 0 {
+		t.Fatal("reset did not clear")
+	}
+	if _, ok := top.Min(); ok {
+		t.Fatal("Min on empty returned ok")
+	}
+}

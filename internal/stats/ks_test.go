@@ -1,0 +1,71 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"wrs/internal/xrand"
+)
+
+func TestKSUniformAccepts(t *testing.T) {
+	rng := xrand.New(1)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.Float64()
+	}
+	d, p := KSTest(xs, func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	})
+	if p < 0.001 {
+		t.Errorf("uniform sample rejected: D=%v p=%v", d, p)
+	}
+}
+
+func TestKSExponentialAccepts(t *testing.T) {
+	rng := xrand.New(2)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.Exp()
+	}
+	_, p := KSTest(xs, func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		return -math.Expm1(-x)
+	})
+	if p < 0.001 {
+		t.Errorf("exponential sample rejected: p=%v", p)
+	}
+}
+
+func TestKSDetectsWrongDistribution(t *testing.T) {
+	rng := xrand.New(3)
+	xs := make([]float64, 5000)
+	for i := range xs {
+		xs[i] = rng.Float64() * rng.Float64() // not uniform
+	}
+	d, p := KSTest(xs, func(x float64) float64 {
+		if x < 0 {
+			return 0
+		}
+		if x > 1 {
+			return 1
+		}
+		return x
+	})
+	if p > 1e-6 {
+		t.Errorf("non-uniform sample accepted: D=%v p=%v", d, p)
+	}
+}
+
+func TestKSEmpty(t *testing.T) {
+	if d, p := KSTest(nil, func(float64) float64 { return 0 }); d != 0 || p != 1 {
+		t.Errorf("empty KS = (%v, %v)", d, p)
+	}
+}

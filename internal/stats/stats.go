@@ -1,0 +1,248 @@
+// Package stats provides the small statistical toolkit used to validate
+// the samplers (chi-square goodness of fit against exact inclusion
+// probabilities) and to analyze experiment sweeps (descriptive statistics
+// and log-log slope fits for message-complexity curves).
+package stats
+
+import (
+	"math"
+	"sort"
+)
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}
+
+// Variance returns the unbiased sample variance of xs.
+func Variance(xs []float64) float64 {
+	if len(xs) < 2 {
+		return 0
+	}
+	m := Mean(xs)
+	var s float64
+	for _, x := range xs {
+		d := x - m
+		s += d * d
+	}
+	return s / float64(len(xs)-1)
+}
+
+// StdDev returns the sample standard deviation of xs.
+func StdDev(xs []float64) float64 { return math.Sqrt(Variance(xs)) }
+
+// Quantile returns the q-th quantile (0 <= q <= 1) of xs using linear
+// interpolation. xs need not be sorted.
+func Quantile(xs []float64, q float64) float64 {
+	if len(xs) == 0 {
+		return math.NaN()
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if q <= 0 {
+		return sorted[0]
+	}
+	if q >= 1 {
+		return sorted[len(sorted)-1]
+	}
+	pos := q * float64(len(sorted)-1)
+	i := int(pos)
+	frac := pos - float64(i)
+	if i+1 >= len(sorted) {
+		return sorted[len(sorted)-1]
+	}
+	return sorted[i]*(1-frac) + sorted[i+1]*frac
+}
+
+// Max returns the maximum of xs (-Inf for empty input).
+func Max(xs []float64) float64 {
+	m := math.Inf(-1)
+	for _, x := range xs {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// ChiSquare computes the chi-square statistic of observed counts against
+// expected counts and the corresponding p-value (upper tail, df =
+// len(observed)-1 unless df > 0 is supplied). Buckets with expected count
+// below 1e-12 must have zero observations.
+func ChiSquare(observed []float64, expected []float64, df int) (stat, p float64) {
+	if len(observed) != len(expected) {
+		panic("stats: ChiSquare length mismatch")
+	}
+	k := 0
+	for i := range observed {
+		if expected[i] < 1e-12 {
+			continue
+		}
+		d := observed[i] - expected[i]
+		stat += d * d / expected[i]
+		k++
+	}
+	if df <= 0 {
+		df = k - 1
+	}
+	if df <= 0 {
+		return stat, 1
+	}
+	p = GammaIncQ(float64(df)/2, stat/2)
+	return stat, p
+}
+
+// GammaIncQ returns the regularized upper incomplete gamma function
+// Q(a, x) = Γ(a, x)/Γ(a), the chi-square upper-tail probability with
+// a = df/2, x = stat/2. Implementation follows Numerical Recipes: series
+// for x < a+1, continued fraction otherwise.
+func GammaIncQ(a, x float64) float64 {
+	switch {
+	case x < 0 || a <= 0:
+		return math.NaN()
+	case x == 0:
+		return 1
+	case x < a+1:
+		return 1 - gser(a, x)
+	default:
+		return gcf(a, x)
+	}
+}
+
+// gser: series representation of P(a,x).
+func gser(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	lg, _ := math.Lgamma(a)
+	ap := a
+	sum := 1 / a
+	del := sum
+	for n := 0; n < itmax; n++ {
+		ap++
+		del *= x / ap
+		sum += del
+		if math.Abs(del) < math.Abs(sum)*eps {
+			break
+		}
+	}
+	return sum * math.Exp(-x+a*math.Log(x)-lg)
+}
+
+// gcf: continued fraction representation of Q(a,x) via modified Lentz.
+func gcf(a, x float64) float64 {
+	const itmax = 500
+	const eps = 3e-14
+	const fpmin = 1e-300
+	lg, _ := math.Lgamma(a)
+	b := x + 1 - a
+	c := 1 / fpmin
+	d := 1 / b
+	h := d
+	for i := 1; i <= itmax; i++ {
+		an := -float64(i) * (float64(i) - a)
+		b += 2
+		d = an*d + b
+		if math.Abs(d) < fpmin {
+			d = fpmin
+		}
+		c = b + an/c
+		if math.Abs(c) < fpmin {
+			c = fpmin
+		}
+		d = 1 / d
+		del := d * c
+		h *= del
+		if math.Abs(del-1) < eps {
+			break
+		}
+	}
+	return math.Exp(-x+a*math.Log(x)-lg) * h
+}
+
+// LogLogSlope fits log(y) = a + b*log(x) by least squares and returns the
+// slope b. It is used to check asymptotic shapes (e.g. message counts
+// growing like log W means slope ~0 in W on a log-log plot of
+// messages/logW... the experiments fit in the appropriate transformed
+// coordinates).
+func LogLogSlope(xs, ys []float64) float64 {
+	lx := make([]float64, len(xs))
+	ly := make([]float64, len(ys))
+	for i := range xs {
+		lx[i] = math.Log(xs[i])
+		ly[i] = math.Log(ys[i])
+	}
+	return Slope(lx, ly)
+}
+
+// Slope fits y = a + b*x by least squares and returns b.
+func Slope(xs, ys []float64) float64 {
+	if len(xs) != len(ys) || len(xs) < 2 {
+		return math.NaN()
+	}
+	mx, my := Mean(xs), Mean(ys)
+	var num, den float64
+	for i := range xs {
+		num += (xs[i] - mx) * (ys[i] - my)
+		den += (xs[i] - mx) * (xs[i] - mx)
+	}
+	return num / den
+}
+
+// KSTest returns the Kolmogorov–Smirnov statistic D of xs against the
+// continuous CDF cdf, and the asymptotic p-value. Used to validate the
+// generated exponential/uniform variates against their laws.
+func KSTest(xs []float64, cdf func(float64) float64) (dStat, p float64) {
+	n := len(xs)
+	if n == 0 {
+		return 0, 1
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	for i, x := range sorted {
+		f := cdf(x)
+		lo := f - float64(i)/float64(n)
+		hi := float64(i+1)/float64(n) - f
+		if lo > dStat {
+			dStat = lo
+		}
+		if hi > dStat {
+			dStat = hi
+		}
+	}
+	// Asymptotic Kolmogorov distribution (Marsaglia et al. approximation
+	// via the alternating series; adequate for n >= 35).
+	lambda := (math.Sqrt(float64(n)) + 0.12 + 0.11/math.Sqrt(float64(n))) * dStat
+	p = 0
+	sign := 1.0
+	for j := 1; j <= 100; j++ {
+		term := sign * math.Exp(-2*lambda*lambda*float64(j)*float64(j))
+		p += term
+		sign = -sign
+		if math.Abs(term) < 1e-12 {
+			break
+		}
+	}
+	p *= 2
+	if p < 0 {
+		p = 0
+	}
+	if p > 1 {
+		p = 1
+	}
+	return dStat, p
+}
+
+// RelErr returns |got-want| / |want| (or |got| when want == 0).
+func RelErr(got, want float64) float64 {
+	if want == 0 {
+		return math.Abs(got)
+	}
+	return math.Abs(got-want) / math.Abs(want)
+}

@@ -1,0 +1,117 @@
+package stats
+
+import (
+	"math"
+	"testing"
+
+	"wrs/internal/xrand"
+)
+
+func TestDescriptive(t *testing.T) {
+	xs := []float64{1, 2, 3, 4, 5}
+	if m := Mean(xs); m != 3 {
+		t.Errorf("Mean = %v", m)
+	}
+	if v := Variance(xs); math.Abs(v-2.5) > 1e-12 {
+		t.Errorf("Variance = %v, want 2.5", v)
+	}
+	if s := StdDev(xs); math.Abs(s-math.Sqrt(2.5)) > 1e-12 {
+		t.Errorf("StdDev = %v", s)
+	}
+	if q := Quantile(xs, 0.5); q != 3 {
+		t.Errorf("median = %v", q)
+	}
+	if q := Quantile(xs, 0); q != 1 {
+		t.Errorf("q0 = %v", q)
+	}
+	if q := Quantile(xs, 1); q != 5 {
+		t.Errorf("q1 = %v", q)
+	}
+	if m := Max(xs); m != 5 {
+		t.Errorf("Max = %v", m)
+	}
+	if m := Mean(nil); m != 0 {
+		t.Errorf("Mean(nil) = %v", m)
+	}
+}
+
+func TestGammaIncQKnownValues(t *testing.T) {
+	// Q(a, x) reference values.
+	cases := []struct{ a, x, want float64 }{
+		// Q(0.5, x) = erfc(sqrt(x))
+		{0.5, 1, math.Erfc(1)},
+		{0.5, 4, math.Erfc(2)},
+		// Q(1, x) = e^-x
+		{1, 1, math.Exp(-1)},
+		{1, 5, math.Exp(-5)},
+		// Q(2, x) = e^-x (1+x)
+		{2, 3, math.Exp(-3) * 4},
+		// x=0
+		{3, 0, 1},
+	}
+	for _, c := range cases {
+		got := GammaIncQ(c.a, c.x)
+		if math.Abs(got-c.want) > 1e-10*math.Max(1, math.Abs(c.want)) {
+			t.Errorf("GammaIncQ(%v, %v) = %v, want %v", c.a, c.x, got, c.want)
+		}
+	}
+}
+
+func TestChiSquareUniformFit(t *testing.T) {
+	// Chi-square of a genuinely uniform sample should usually not reject.
+	rng := xrand.New(1)
+	const buckets, n = 10, 100000
+	obs := make([]float64, buckets)
+	exp := make([]float64, buckets)
+	for i := 0; i < n; i++ {
+		obs[rng.Intn(buckets)]++
+	}
+	for i := range exp {
+		exp[i] = n / buckets
+	}
+	_, p := ChiSquare(obs, exp, 0)
+	if p < 0.001 {
+		t.Errorf("uniform data rejected with p = %v", p)
+	}
+}
+
+func TestChiSquareDetectsBias(t *testing.T) {
+	obs := []float64{200, 100, 100, 100}
+	exp := []float64{125, 125, 125, 125}
+	stat, p := ChiSquare(obs, exp, 0)
+	if stat < 40 {
+		t.Errorf("stat = %v, want large", stat)
+	}
+	if p > 1e-6 {
+		t.Errorf("biased data accepted with p = %v", p)
+	}
+}
+
+func TestSlope(t *testing.T) {
+	xs := []float64{1, 2, 3, 4}
+	ys := []float64{3, 5, 7, 9} // y = 1 + 2x
+	if b := Slope(xs, ys); math.Abs(b-2) > 1e-12 {
+		t.Errorf("Slope = %v, want 2", b)
+	}
+}
+
+func TestLogLogSlope(t *testing.T) {
+	// y = 5x^1.7
+	xs := []float64{1, 10, 100, 1000}
+	ys := make([]float64, len(xs))
+	for i, x := range xs {
+		ys[i] = 5 * math.Pow(x, 1.7)
+	}
+	if b := LogLogSlope(xs, ys); math.Abs(b-1.7) > 1e-9 {
+		t.Errorf("LogLogSlope = %v, want 1.7", b)
+	}
+}
+
+func TestRelErr(t *testing.T) {
+	if e := RelErr(110, 100); math.Abs(e-0.1) > 1e-12 {
+		t.Errorf("RelErr = %v", e)
+	}
+	if e := RelErr(0.5, 0); e != 0.5 {
+		t.Errorf("RelErr with zero want = %v", e)
+	}
+}

@@ -1,0 +1,121 @@
+// Package stream defines the data model of the continuous distributed
+// streaming setting of the paper (Section 2.1): a global sequence of
+// weighted items, partitioned adversarially across k sites. It also
+// provides the workload generators used by the experiments — uniform,
+// Zipf and Pareto weight distributions, heavy-head streams that motivate
+// sampling without replacement, and the geometric-weight / epoch-based
+// hard instances from the lower-bound proofs (Theorems 5 and 7).
+package stream
+
+import (
+	"fmt"
+	"math"
+
+	"wrs/internal/xrand"
+)
+
+// Item is a single stream update (e, w): an identifier and a positive
+// weight. Identifiers may repeat across the stream; per Section 1, each
+// occurrence is sampled as if it were a distinct item, so samplers track
+// the global arrival position (Pos) as the identity of an occurrence.
+type Item struct {
+	ID     uint64
+	Weight float64
+}
+
+// Update is an item along with its global arrival position and the site
+// that observes it.
+type Update struct {
+	Pos  int // 0-based global arrival index
+	Site int
+	Item Item
+}
+
+// Stream is a finite, materialized stream of updates in global arrival
+// order. Large benchmark workloads use Generator instead.
+type Stream struct {
+	Updates []Update
+	K       int // number of sites
+}
+
+// TotalWeight returns the sum of all weights in the stream.
+func (s *Stream) TotalWeight() float64 {
+	var w float64
+	for _, u := range s.Updates {
+		w += u.Item.Weight
+	}
+	return w
+}
+
+// Validate checks the invariants the algorithms assume: positive weights,
+// site indices within [0, K).
+func (s *Stream) Validate() error {
+	for _, u := range s.Updates {
+		if !(u.Item.Weight > 0) || math.IsInf(u.Item.Weight, 0) || math.IsNaN(u.Item.Weight) {
+			return fmt.Errorf("stream: update %d has invalid weight %v", u.Pos, u.Item.Weight)
+		}
+		if u.Site < 0 || u.Site >= s.K {
+			return fmt.Errorf("stream: update %d assigned to site %d of %d", u.Pos, u.Site, s.K)
+		}
+	}
+	return nil
+}
+
+// Generator produces stream updates one at a time so that workloads larger
+// than memory can be streamed through a simulation.
+type Generator struct {
+	n       int
+	k       int
+	pos     int
+	weights WeightFn
+	assign  AssignFn
+}
+
+// WeightFn returns the weight of the item at global position pos.
+type WeightFn func(pos int, rng *xrand.RNG) float64
+
+// AssignFn returns the site observing the item at global position pos.
+type AssignFn func(pos int, rng *xrand.RNG) int
+
+// NewGenerator builds a generator for n updates over k sites.
+func NewGenerator(n, k int, weights WeightFn, assign AssignFn) *Generator {
+	if n < 0 || k <= 0 {
+		panic("stream: NewGenerator requires n >= 0 and k > 0")
+	}
+	return &Generator{n: n, k: k, weights: weights, assign: assign}
+}
+
+// Next returns the next update. ok is false once the stream is exhausted.
+func (g *Generator) Next(rng *xrand.RNG) (u Update, ok bool) {
+	if g.pos >= g.n {
+		return Update{}, false
+	}
+	w := g.weights(g.pos, rng)
+	site := g.assign(g.pos, rng)
+	u = Update{Pos: g.pos, Site: site, Item: Item{ID: uint64(g.pos), Weight: w}}
+	g.pos++
+	return u, true
+}
+
+// Len returns the total number of updates the generator will produce.
+func (g *Generator) Len() int { return g.n }
+
+// K returns the number of sites.
+func (g *Generator) K() int { return g.k }
+
+// Reset rewinds the generator to the beginning.
+func (g *Generator) Reset() { g.pos = 0 }
+
+// Materialize runs the generator to completion into a Stream.
+func (g *Generator) Materialize(rng *xrand.RNG) *Stream {
+	s := &Stream{K: g.k, Updates: make([]Update, 0, g.n)}
+	g.Reset()
+	for {
+		u, ok := g.Next(rng)
+		if !ok {
+			break
+		}
+		s.Updates = append(s.Updates, u)
+	}
+	return s
+}

@@ -1,0 +1,233 @@
+package stream
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"wrs/internal/xrand"
+)
+
+func TestGeneratorBasics(t *testing.T) {
+	rng := xrand.New(1)
+	g := NewGenerator(100, 4, UnitWeights(), RoundRobin(4))
+	s := g.Materialize(rng)
+	if len(s.Updates) != 100 {
+		t.Fatalf("got %d updates, want 100", len(s.Updates))
+	}
+	if err := s.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, u := range s.Updates {
+		if u.Pos != i {
+			t.Fatalf("update %d has Pos %d", i, u.Pos)
+		}
+		if u.Site != i%4 {
+			t.Fatalf("round robin broken at %d: site %d", i, u.Site)
+		}
+		if u.Item.Weight != 1 {
+			t.Fatalf("unit weight broken at %d: %v", i, u.Item.Weight)
+		}
+	}
+	if w := s.TotalWeight(); w != 100 {
+		t.Fatalf("total weight %v, want 100", w)
+	}
+}
+
+func TestGeneratorReset(t *testing.T) {
+	rng := xrand.New(2)
+	g := NewGenerator(10, 2, UnitWeights(), RoundRobin(2))
+	a := g.Materialize(rng)
+	b := g.Materialize(rng)
+	if len(a.Updates) != len(b.Updates) {
+		t.Fatalf("reset failed: %d vs %d", len(a.Updates), len(b.Updates))
+	}
+}
+
+func TestGeneratorDeterminism(t *testing.T) {
+	g1 := NewGenerator(500, 8, ParetoWeights(1.2), RandomSites(8))
+	g2 := NewGenerator(500, 8, ParetoWeights(1.2), RandomSites(8))
+	s1 := g1.Materialize(xrand.New(99))
+	s2 := g2.Materialize(xrand.New(99))
+	for i := range s1.Updates {
+		if s1.Updates[i] != s2.Updates[i] {
+			t.Fatalf("determinism broken at %d: %v vs %v", i, s1.Updates[i], s2.Updates[i])
+		}
+	}
+}
+
+func TestWeightFunctionsPositive(t *testing.T) {
+	rng := xrand.New(3)
+	fns := map[string]WeightFn{
+		"unit":      UnitWeights(),
+		"uniform":   UniformWeights(1000),
+		"zipf":      ZipfWeights(1.5, 10000),
+		"pareto":    ParetoWeights(1.1),
+		"heavyhead": HeavyHeadWeights(10, 1e9),
+		"geometric": GeometricWeights(0.1),
+	}
+	for name, fn := range fns {
+		for pos := 0; pos < 2000; pos++ {
+			w := fn(pos, rng)
+			if !(w > 0) || math.IsInf(w, 0) || math.IsNaN(w) {
+				t.Fatalf("%s weight at pos %d invalid: %v", name, pos, w)
+			}
+		}
+	}
+}
+
+func TestAssignFnsCoverAllSites(t *testing.T) {
+	rng := xrand.New(4)
+	const k, n = 7, 10000
+	fns := map[string]AssignFn{
+		"roundrobin": RoundRobin(k),
+		"random":     RandomSites(k),
+		"contiguous": Contiguous(k, n),
+		"epoch":      EpochBlocks(k),
+	}
+	for name, fn := range fns {
+		seen := make([]bool, k)
+		for pos := 0; pos < n; pos++ {
+			s := fn(pos, rng)
+			if s < 0 || s >= k {
+				t.Fatalf("%s assigned site %d", name, s)
+			}
+			seen[s] = true
+		}
+		for i, ok := range seen {
+			if !ok {
+				t.Errorf("%s never used site %d", name, i)
+			}
+		}
+	}
+}
+
+func TestContiguousIsMonotone(t *testing.T) {
+	f := func(kRaw, nRaw uint16) bool {
+		k := int(kRaw%16) + 1
+		n := int(nRaw%2000) + k
+		fn := Contiguous(k, n)
+		prev := 0
+		for pos := 0; pos < n; pos++ {
+			s := fn(pos, nil)
+			if s < prev || s >= k {
+				return false
+			}
+			prev = s
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGeometricWeightsAreHeavyAtArrival(t *testing.T) {
+	// The Theorem 5 construction: each new item must be an eps/2 heavy
+	// hitter of everything so far.
+	const eps = 0.2
+	fn := GeometricWeights(eps)
+	var total float64
+	for pos := 0; pos < 200; pos++ {
+		w := fn(pos, nil)
+		total += w
+		if w < (eps/2)*total {
+			t.Fatalf("item %d (w=%v) is not an eps/2 HH of total %v", pos, w, total)
+		}
+	}
+}
+
+func TestHeavyHeadDominance(t *testing.T) {
+	// 5 heavy items at 1e9 dominate 1e5 unit items.
+	fn := HeavyHeadWeights(5, 1e9)
+	var heavy, light float64
+	for pos := 0; pos < 100000; pos++ {
+		w := fn(pos, nil)
+		if pos < 5 {
+			heavy += w
+		} else {
+			light += w
+		}
+	}
+	if heavy < 1000*light {
+		t.Fatalf("heavy head does not dominate: %v vs %v", heavy, light)
+	}
+}
+
+func TestValidateRejectsBadStreams(t *testing.T) {
+	s := &Stream{K: 2, Updates: []Update{{Pos: 0, Site: 0, Item: Item{ID: 0, Weight: -1}}}}
+	if err := s.Validate(); err == nil {
+		t.Error("negative weight accepted")
+	}
+	s = &Stream{K: 2, Updates: []Update{{Pos: 0, Site: 5, Item: Item{ID: 0, Weight: 1}}}}
+	if err := s.Validate(); err == nil {
+		t.Error("out-of-range site accepted")
+	}
+	s = &Stream{K: 2, Updates: []Update{{Pos: 0, Site: 1, Item: Item{ID: 0, Weight: math.NaN()}}}}
+	if err := s.Validate(); err == nil {
+		t.Error("NaN weight accepted")
+	}
+}
+
+func TestEpochBlocksStructure(t *testing.T) {
+	// Within epoch [k^i, k^(i+1)), assignments must be k contiguous runs.
+	const k = 4
+	fn := EpochBlocks(k)
+	for _, bounds := range [][2]int{{1, 4}, {4, 16}, {16, 64}, {64, 256}} {
+		lo, hi := bounds[0], bounds[1]
+		prev := -1
+		for p := lo; p < hi; p++ {
+			s := fn(p-1, nil) // AssignFn takes 0-based pos
+			if s < prev {
+				t.Fatalf("epoch [%d,%d): site decreased from %d to %d at %d", lo, hi, prev, s, p)
+			}
+			prev = s
+		}
+	}
+}
+
+func TestGeneratorAccessors(t *testing.T) {
+	g := NewGenerator(42, 3, UnitWeights(), RoundRobin(3))
+	if g.Len() != 42 {
+		t.Errorf("Len = %d", g.Len())
+	}
+	if g.K() != 3 {
+		t.Errorf("K = %d", g.K())
+	}
+}
+
+func TestNewGeneratorPanics(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"negative n": func() { NewGenerator(-1, 2, UnitWeights(), RoundRobin(2)) },
+		"zero k":     func() { NewGenerator(5, 0, UnitWeights(), RoundRobin(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestIntegerWeightsCeils(t *testing.T) {
+	rng := xrand.New(50)
+	fn := IntegerWeights(UniformWeights(9.5))
+	for i := 0; i < 1000; i++ {
+		w := fn(i, rng)
+		if w != math.Floor(w) || w < 1 {
+			t.Fatalf("IntegerWeights produced %v", w)
+		}
+	}
+}
+
+func TestSingleSiteAssignsZero(t *testing.T) {
+	fn := SingleSite()
+	for i := 0; i < 100; i++ {
+		if s := fn(i, nil); s != 0 {
+			t.Fatalf("SingleSite assigned %d", s)
+		}
+	}
+}

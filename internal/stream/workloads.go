@@ -1,0 +1,125 @@
+package stream
+
+import (
+	"math"
+
+	"wrs/internal/xrand"
+)
+
+// ---- Weight functions -------------------------------------------------
+
+// UnitWeights gives every item weight 1 (the unweighted special case the
+// lower bound of Corollary 2 reduces to).
+func UnitWeights() WeightFn {
+	return func(int, *xrand.RNG) float64 { return 1 }
+}
+
+// UniformWeights draws weights uniformly from [1, maxW].
+func UniformWeights(maxW float64) WeightFn {
+	return func(_ int, rng *xrand.RNG) float64 {
+		return 1 + (maxW-1)*rng.Float64()
+	}
+}
+
+// ZipfWeights assigns weight proportional to 1/rank^alpha where the rank
+// of each arriving item is drawn uniformly from [1, universe]. This gives
+// the skewed distributions for which the paper argues SWOR beats SWR.
+func ZipfWeights(alpha float64, universe int) WeightFn {
+	return func(_ int, rng *xrand.RNG) float64 {
+		rank := 1 + rng.Intn(universe)
+		return math.Pow(float64(universe), alpha) / math.Pow(float64(rank), alpha)
+	}
+}
+
+// ParetoWeights draws i.i.d. Pareto(alpha) weights (support [1, inf)).
+func ParetoWeights(alpha float64) WeightFn {
+	return func(_ int, rng *xrand.RNG) float64 { return rng.Pareto(alpha) }
+}
+
+// HeavyHeadWeights plants `heavy` items of weight heavyW at the front of
+// the stream and gives everything else weight 1. This is the adversarial
+// shape from Section 1.2: a few items that dominate the total weight,
+// which with-replacement samplers resample over and over and which naive
+// SWOR reductions cannot handle.
+func HeavyHeadWeights(heavy int, heavyW float64) WeightFn {
+	return func(pos int, _ *xrand.RNG) float64 {
+		if pos < heavy {
+			return heavyW
+		}
+		return 1
+	}
+}
+
+// GeometricWeights gives item i weight base^i scaled by eps as in the
+// Theorem 5 lower-bound instance: w_0 = 1, w_i = eps*(1+eps)^i, so every
+// arriving item is an eps/2 heavy hitter at its arrival time.
+func GeometricWeights(eps float64) WeightFn {
+	return func(pos int, _ *xrand.RNG) float64 {
+		if pos == 0 {
+			return 1
+		}
+		return eps * math.Pow(1+eps, float64(pos))
+	}
+}
+
+// IntegerWeights rounds another weight function up to integers, as
+// required by the SWR duplication reduction of Section 2.2.
+func IntegerWeights(fn WeightFn) WeightFn {
+	return func(pos int, rng *xrand.RNG) float64 {
+		return math.Ceil(fn(pos, rng))
+	}
+}
+
+// ---- Site assignment functions -----------------------------------------
+
+// RoundRobin deals updates to sites cyclically.
+func RoundRobin(k int) AssignFn {
+	return func(pos int, _ *xrand.RNG) int { return pos % k }
+}
+
+// RandomSites assigns each update to a uniformly random site.
+func RandomSites(k int) AssignFn {
+	return func(_ int, rng *xrand.RNG) int { return rng.Intn(k) }
+}
+
+// Contiguous splits the stream into k equal contiguous blocks, one per
+// site — an adversarial interleaving (one site is completely silent until
+// another finishes).
+func Contiguous(k, n int) AssignFn {
+	block := (n + k - 1) / k
+	return func(pos int, _ *xrand.RNG) int {
+		s := pos / block
+		if s >= k {
+			s = k - 1
+		}
+		return s
+	}
+}
+
+// SingleSite sends the whole stream to site 0 (the centralized extreme).
+func SingleSite() AssignFn {
+	return func(int, *xrand.RNG) int { return 0 }
+}
+
+// EpochBlocks implements the Theorem 7 lower-bound interleaving: in epoch
+// i there are k^(i+1) - k^i unit updates distributed over the k sites in
+// contiguous runs, so that within an epoch each site receives one batch
+// and cannot know whether it was first.
+func EpochBlocks(k int) AssignFn {
+	return func(pos int, _ *xrand.RNG) int {
+		// Epoch boundaries at k^1, k^2, ...; within an epoch [k^i, k^(i+1))
+		// the range is divided into k contiguous runs.
+		p := pos + 1 // 1-based so epoch 0 = [1, k)
+		lo := 1
+		for lo*k <= p {
+			lo *= k
+		}
+		hi := lo * k
+		span := hi - lo
+		run := (p - lo) * k / span
+		if run >= k {
+			run = k - 1
+		}
+		return run
+	}
+}

@@ -1,0 +1,232 @@
+// Package swr implements distributed weighted sampling *with* replacement
+// via the paper's reduction to unweighted sampling (Section 2.2,
+// Corollary 1).
+//
+// Conceptually, an item (e, w) with integer weight w is w unit copies; a
+// single unweighted sample is the copy with the minimum uniform tag, so
+// item e wins a sampler with probability w/W. The s samplers are
+// independent. The implementation keeps all the reduction's shortcuts:
+//
+//   - a site never materializes w copies: the minimum of w uniforms has
+//     CDF 1-(1-x)^w and is sampled directly;
+//   - the number of samplers receiving a candidate from one item is drawn
+//     in a single Binomial(s, alpha) trial, alpha = 1-(1-theta)^w, which
+//     is distributionally identical to s independent decisions (the paper
+//     makes the same observation in the proof of Corollary 1);
+//   - the coordinator maintains a tag threshold theta that halves as the
+//     samplers' minima shrink and is re-broadcast lazily once it has
+//     dropped by the round factor 2 + k/s, giving the
+//     log(W)/log(2+k/s) round structure of Theorem 1/[CMYZ12].
+//
+// One candidate message is sent per (item, sampler) pair, matching the
+// paper's message accounting.
+package swr
+
+import (
+	"fmt"
+	"math"
+
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// MsgKind discriminates protocol messages.
+type MsgKind uint8
+
+const (
+	// MsgCandidate carries an item and its tag to one sampler slot.
+	MsgCandidate MsgKind = iota
+	// MsgThreshold announces a new tag threshold to all sites.
+	MsgThreshold
+)
+
+// Message is a protocol message.
+type Message struct {
+	Kind      MsgKind
+	Item      stream.Item
+	Sampler   int     // candidate: target sampler slot
+	Tag       float64 // candidate: min-of-w-uniforms tag
+	Threshold float64 // threshold update
+}
+
+// Words returns the message size in machine words.
+func (m Message) Words() int {
+	if m.Kind == MsgCandidate {
+		return 5
+	}
+	return 2
+}
+
+// Config holds the protocol parameters.
+type Config struct {
+	K int // number of sites
+	S int // sample size (with replacement)
+}
+
+// Validate reports whether the configuration is usable.
+func (c Config) Validate() error {
+	if c.K < 1 || c.S < 1 {
+		return fmt.Errorf("swr: need K >= 1 and S >= 1, got K=%d S=%d", c.K, c.S)
+	}
+	return nil
+}
+
+// RoundFactor returns the lazy re-broadcast factor 2 + k/s.
+func (c Config) RoundFactor() float64 { return 2 + float64(c.K)/float64(c.S) }
+
+// Site filters local arrivals against the current tag threshold.
+type Site struct {
+	cfg   Config
+	rng   *xrand.RNG
+	theta float64
+	idxs  []int
+
+	// TagHook, when set, receives every (sampler, tag) pair the site
+	// *would* deliver with no filtering, by materializing the suppressed
+	// tags from their conditional distribution (tests only; doubles the
+	// randomness consumed but leaves sent tags' joint law unchanged).
+	TagHook func(sampler int, id uint64, tag float64)
+}
+
+// NewSite returns a site state machine with an independent RNG.
+func NewSite(cfg Config, rng *xrand.RNG) *Site {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Site{cfg: cfg, rng: rng, theta: 1}
+}
+
+// Theta returns the site's current tag threshold.
+func (st *Site) Theta() float64 { return st.theta }
+
+// Observe processes one local arrival. Weights must be positive integers
+// (the duplication reduction is defined for integer weights).
+func (st *Site) Observe(it stream.Item, send func(Message)) error {
+	w := it.Weight
+	if !(w > 0) || w != math.Floor(w) || math.IsInf(w, 0) {
+		return fmt.Errorf("swr: weight must be a positive integer, got %v", w)
+	}
+	// alpha = P(min of w uniforms < theta) = 1 - (1-theta)^w.
+	alpha := 1.0
+	if st.theta < 1 {
+		alpha = -math.Expm1(w * math.Log1p(-st.theta))
+	}
+	x := st.rng.Binomial(st.cfg.S, alpha)
+	if x == 0 && st.TagHook == nil {
+		return nil
+	}
+	st.idxs = st.rng.Choose(st.cfg.S, x, st.idxs)
+	// minOfWTag inverts the min-of-w-uniforms CDF at c: 1 - (1-c)^(1/w).
+	minOfWTag := func(c float64) float64 {
+		return -math.Expm1(math.Log1p(-c) / w)
+	}
+	for _, idx := range st.idxs {
+		// Tag conditioned below theta: CDF value c = alpha*V, V~U(0,1).
+		tag := minOfWTag(alpha * st.rng.OpenFloat64())
+		if st.TagHook != nil {
+			st.TagHook(idx, it.ID, tag)
+		}
+		send(Message{Kind: MsgCandidate, Item: it, Sampler: idx, Tag: tag})
+	}
+	if st.TagHook != nil {
+		// Materialize the suppressed tags (conditioned >= theta) so tests
+		// can reconstruct the unfiltered process exactly.
+		selected := make(map[int]bool, x)
+		for _, idx := range st.idxs {
+			selected[idx] = true
+		}
+		for idx := 0; idx < st.cfg.S; idx++ {
+			if selected[idx] {
+				continue
+			}
+			tag := minOfWTag(alpha + st.rng.OpenFloat64()*(1-alpha))
+			st.TagHook(idx, it.ID, tag)
+		}
+	}
+	return nil
+}
+
+// HandleBroadcast lowers the site's threshold (thresholds only shrink).
+func (st *Site) HandleBroadcast(m Message) {
+	if m.Kind == MsgThreshold && m.Threshold < st.theta {
+		st.theta = m.Threshold
+	}
+}
+
+// Coordinator tracks the minimum tag per sampler slot.
+type Coordinator struct {
+	cfg       Config
+	tags      []float64
+	items     []stream.Item
+	have      int
+	theta     float64 // internal threshold (halves as minima shrink)
+	published float64 // last broadcast threshold
+
+	// Stats.
+	Candidates int64
+	Broadcasts int64
+}
+
+// NewCoordinator returns the coordinator state machine.
+func NewCoordinator(cfg Config) *Coordinator {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	tags := make([]float64, cfg.S)
+	for i := range tags {
+		tags[i] = math.Inf(1)
+	}
+	return &Coordinator{cfg: cfg, tags: tags, items: make([]stream.Item, cfg.S), theta: 1, published: 1}
+}
+
+// HandleMessage folds a candidate into its sampler slot and advances the
+// round threshold when every slot's minimum has dropped below theta/2.
+func (c *Coordinator) HandleMessage(m Message, bcast func(Message)) {
+	if m.Kind != MsgCandidate {
+		return
+	}
+	c.Candidates++
+	slot := m.Sampler
+	if math.IsInf(c.tags[slot], 1) {
+		c.have++
+	}
+	if m.Tag < c.tags[slot] {
+		c.tags[slot] = m.Tag
+		c.items[slot] = m.Item
+	}
+	if c.have < c.cfg.S {
+		return
+	}
+	maxTag := 0.0
+	for _, t := range c.tags {
+		if t > maxTag {
+			maxTag = t
+		}
+	}
+	for maxTag < c.theta/2 {
+		c.theta /= 2
+	}
+	// Lazy re-broadcast: only once theta fell by the round factor.
+	if c.published/c.theta >= c.cfg.RoundFactor() {
+		c.published = c.theta
+		c.Broadcasts++
+		bcast(Message{Kind: MsgThreshold, Threshold: c.theta})
+	}
+}
+
+// Sample returns the current with-replacement sample: slot i holds item e
+// with probability w_e/W, independently across slots. Slots that have not
+// received any candidate yet (only before the first arrivals) are
+// omitted.
+func (c *Coordinator) Sample() []stream.Item {
+	out := make([]stream.Item, 0, c.cfg.S)
+	for i, t := range c.tags {
+		if !math.IsInf(t, 1) {
+			out = append(out, c.items[i])
+		}
+	}
+	return out
+}
+
+// Theta returns the coordinator's internal threshold.
+func (c *Coordinator) Theta() float64 { return c.theta }

@@ -1,0 +1,223 @@
+package swr
+
+import (
+	"math"
+	"testing"
+
+	"wrs/internal/netsim"
+	"wrs/internal/sample"
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+func buildCluster(cfg Config, seed uint64) (*netsim.Cluster[Message], *Coordinator, []*Site) {
+	master := xrand.New(seed)
+	coord := NewCoordinator(cfg)
+	sites := make([]netsim.Site[Message], cfg.K)
+	raw := make([]*Site, cfg.K)
+	for i := 0; i < cfg.K; i++ {
+		raw[i] = NewSite(cfg, master.Split())
+		sites[i] = raw[i]
+	}
+	return netsim.NewCluster[Message](coord, sites), coord, raw
+}
+
+func TestRejectsNonIntegerWeights(t *testing.T) {
+	cfg := Config{K: 1, S: 1}
+	site := NewSite(cfg, xrand.New(1))
+	for _, w := range []float64{0.5, -1, 0, math.Inf(1)} {
+		if err := site.Observe(stream.Item{Weight: w}, func(Message) {}); err == nil {
+			t.Errorf("weight %v accepted", w)
+		}
+	}
+	if err := site.Observe(stream.Item{Weight: 3}, func(Message) {}); err != nil {
+		t.Errorf("integer weight rejected: %v", err)
+	}
+}
+
+func TestSlotMarginalDistribution(t *testing.T) {
+	// P(slot holds item e) = w_e / W for every slot.
+	weights := []float64{1, 2, 4, 8, 16}
+	const W = 31.0
+	cfg := Config{K: 3, S: 2}
+	const trials = 40000
+	counts := make([][]float64, cfg.S)
+	for i := range counts {
+		counts[i] = make([]float64, len(weights))
+	}
+	for tr := 0; tr < trials; tr++ {
+		cl, coord, _ := buildCluster(cfg, uint64(tr)*31+7)
+		for i, w := range weights {
+			if err := cl.Feed(i%cfg.K, stream.Item{ID: uint64(i), Weight: w}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		s := coord.Sample()
+		if len(s) != cfg.S {
+			t.Fatalf("sample size %d", len(s))
+		}
+		for slot, it := range s {
+			counts[slot][it.ID]++
+		}
+	}
+	for slot := range counts {
+		for i, w := range weights {
+			got := counts[slot][i] / trials
+			want := w / W
+			sigma := math.Sqrt(want * (1 - want) / trials)
+			if math.Abs(got-want) > 5*sigma {
+				t.Errorf("slot %d P(item %d) = %v, want %v", slot, i, got, want)
+			}
+		}
+	}
+}
+
+func TestInclusionProbability(t *testing.T) {
+	weights := []float64{1, 2, 4, 8, 16}
+	const W = 31.0
+	cfg := Config{K: 2, S: 4}
+	const trials = 30000
+	counts := make([]float64, len(weights))
+	for tr := 0; tr < trials; tr++ {
+		cl, coord, _ := buildCluster(cfg, uint64(tr)*97+3)
+		for i, w := range weights {
+			if err := cl.Feed(i%cfg.K, stream.Item{ID: uint64(i), Weight: w}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		seen := map[uint64]bool{}
+		for _, it := range coord.Sample() {
+			if !seen[it.ID] {
+				seen[it.ID] = true
+				counts[it.ID]++
+			}
+		}
+	}
+	for i, w := range weights {
+		got := counts[i] / trials
+		want := sample.SWRInclusionProb(w, W, cfg.S)
+		sigma := math.Sqrt(want * (1 - want) / trials)
+		if math.Abs(got-want) > 5*sigma {
+			t.Errorf("inclusion[%d] = %v, want %v", i, got, want)
+		}
+	}
+}
+
+func TestMessageSublinearity(t *testing.T) {
+	cfg := Config{K: 8, S: 4}
+	cl, coord, _ := buildCluster(cfg, 5)
+	const n = 30000
+	g := stream.NewGenerator(n, cfg.K, stream.UnitWeights(), stream.RoundRobin(cfg.K))
+	if err := cl.Run(g, xrand.New(6)); err != nil {
+		t.Fatal(err)
+	}
+	if cl.Stats.Upstream > n/5 {
+		t.Errorf("upstream = %d not sublinear in n = %d", cl.Stats.Upstream, n)
+	}
+	if coord.Candidates != cl.Stats.Upstream {
+		t.Errorf("coordinator counted %d candidates, cluster %d", coord.Candidates, cl.Stats.Upstream)
+	}
+	if coord.Theta() >= 1.0/64 {
+		t.Errorf("theta = %v did not advance on a %d-item stream", coord.Theta(), n)
+	}
+}
+
+func TestThetaMonotoneAndSiteLag(t *testing.T) {
+	cfg := Config{K: 4, S: 4}
+	cl, coord, sites := buildCluster(cfg, 9)
+	g := stream.NewGenerator(5000, cfg.K, stream.IntegerWeights(stream.UniformWeights(9)), stream.RandomSites(cfg.K))
+	rng := xrand.New(10)
+	g.Reset()
+	prev := coord.Theta()
+	for {
+		u, ok := g.Next(rng)
+		if !ok {
+			break
+		}
+		if err := cl.Feed(u.Site, u.Item); err != nil {
+			t.Fatal(err)
+		}
+		if coord.Theta() > prev {
+			t.Fatalf("theta increased: %v -> %v", prev, coord.Theta())
+		}
+		prev = coord.Theta()
+		for _, s := range sites {
+			if s.Theta() < coord.Theta() {
+				t.Fatalf("site theta %v below coordinator theta %v", s.Theta(), coord.Theta())
+			}
+		}
+	}
+}
+
+func TestHeavyItemDominatesSWR(t *testing.T) {
+	// One item with 99% of the weight occupies ~99% of slots: the
+	// motivating weakness of SWR from Section 1.
+	cfg := Config{K: 2, S: 10}
+	heavyFrac := 0.0
+	const trials = 2000
+	for tr := 0; tr < trials; tr++ {
+		cl, coord, _ := buildCluster(cfg, uint64(tr)+1000)
+		cl.Feed(0, stream.Item{ID: 0, Weight: 990})
+		for i := 1; i <= 10; i++ {
+			cl.Feed(i%2, stream.Item{ID: uint64(i), Weight: 1})
+		}
+		for _, it := range coord.Sample() {
+			if it.ID == 0 {
+				heavyFrac++
+			}
+		}
+	}
+	heavyFrac /= trials * float64(cfg.S)
+	if math.Abs(heavyFrac-0.99) > 0.01 {
+		t.Errorf("heavy item occupies %v of SWR slots, want ~0.99", heavyFrac)
+	}
+}
+
+// TestExactWinnerInvariant reconstructs the unfiltered tag process via
+// TagHook and checks that each coordinator slot holds exactly the item
+// with the minimum tag — i.e. filtering never loses a winner.
+func TestExactWinnerInvariant(t *testing.T) {
+	cfg := Config{K: 4, S: 6}
+	type tagRec struct {
+		id  uint64
+		tag float64
+	}
+	best := make([]tagRec, cfg.S)
+	for i := range best {
+		best[i] = tagRec{tag: math.Inf(1)}
+	}
+	cl, coord, sites := buildCluster(cfg, 77)
+	for _, s := range sites {
+		s.TagHook = func(sampler int, id uint64, tag float64) {
+			if tag < best[sampler].tag {
+				best[sampler] = tagRec{id: id, tag: tag}
+			}
+		}
+	}
+	g := stream.NewGenerator(4000, cfg.K, stream.IntegerWeights(stream.UniformWeights(20)), stream.RandomSites(cfg.K))
+	rng := xrand.New(78)
+	g.Reset()
+	step := 0
+	for {
+		u, ok := g.Next(rng)
+		if !ok {
+			break
+		}
+		if err := cl.Feed(u.Site, u.Item); err != nil {
+			t.Fatal(err)
+		}
+		step++
+		if step%500 == 0 || step == 4000 {
+			smp := coord.Sample()
+			if len(smp) != cfg.S {
+				t.Fatalf("step %d: sample size %d", step, len(smp))
+			}
+			for slot, it := range smp {
+				if it.ID != best[slot].id {
+					t.Fatalf("step %d slot %d: coordinator holds %d, true winner %d",
+						step, slot, it.ID, best[slot].id)
+				}
+			}
+		}
+	}
+}

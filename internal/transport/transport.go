@@ -1,0 +1,320 @@
+// Package transport runs the weighted-SWOR protocol over real network
+// connections (TCP or anything net.Listener/net.Conn shaped), using the
+// binary framing of package wire. It is the deployment-shaped runtime:
+// one CoordinatorServer, k SiteClients, FIFO per connection, broadcasts
+// fanned out through per-connection writer queues so a slow site never
+// blocks the coordinator.
+//
+// Asynchrony has the same consequences as in the goroutine runtime (see
+// DESIGN.md): stale thresholds and late early-messages cost extra
+// messages, never correctness.
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"sync/atomic"
+
+	"wrs/internal/core"
+	"wrs/internal/netsim"
+	"wrs/internal/stream"
+	"wrs/internal/wire"
+	"wrs/internal/xrand"
+)
+
+// Control frame payloads (distinct from 29-byte protocol messages).
+var (
+	pingPayload = []byte{200}
+	pongPayload = []byte{201}
+)
+
+// CoordinatorServer hosts the coordinator side of the protocol.
+type CoordinatorServer struct {
+	cfg core.Config
+
+	mu    sync.Mutex // guards coord and conns
+	coord *core.Coordinator
+	conns map[net.Conn]*netsim.Mailbox[[]byte]
+
+	ln        net.Listener
+	wg        sync.WaitGroup
+	closed    atomic.Bool
+	processed atomic.Int64
+	bcasts    atomic.Int64
+}
+
+// NewCoordinatorServer builds a server for the given configuration.
+func NewCoordinatorServer(cfg core.Config, rng *xrand.RNG) (*CoordinatorServer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	return &CoordinatorServer{
+		cfg:   cfg,
+		coord: core.NewCoordinator(cfg, rng),
+		conns: make(map[net.Conn]*netsim.Mailbox[[]byte]),
+	}, nil
+}
+
+// Serve accepts site connections on ln until Close is called. It blocks;
+// run it in a goroutine.
+func (s *CoordinatorServer) Serve(ln net.Listener) error {
+	s.mu.Lock()
+	s.ln = ln
+	s.mu.Unlock()
+	for {
+		conn, err := ln.Accept()
+		if err != nil {
+			if s.closed.Load() {
+				return nil
+			}
+			return err
+		}
+		// The Add and the closed check happen under the same mutex
+		// section Close uses, so either Close sees this handler's
+		// registration or this loop sees the closed flag — and wg.Add is
+		// always ordered before wg.Wait.
+		s.mu.Lock()
+		if s.closed.Load() {
+			s.mu.Unlock()
+			conn.Close()
+			continue
+		}
+		s.wg.Add(1)
+		s.mu.Unlock()
+		go s.handleConn(conn)
+	}
+}
+
+func (s *CoordinatorServer) handleConn(conn net.Conn) {
+	defer s.wg.Done()
+	outbox := netsim.NewMailbox[[]byte]()
+	s.mu.Lock()
+	s.conns[conn] = outbox
+	s.mu.Unlock()
+	// Close may have snapshotted the connection map before this
+	// registration; re-checking after registering guarantees that every
+	// interleaving either lets Close see the connection or lets this
+	// goroutine see the closed flag — otherwise Close's wg.Wait() could
+	// hang on a connection nobody tears down.
+	if s.closed.Load() {
+		s.mu.Lock()
+		delete(s.conns, conn)
+		s.mu.Unlock()
+		outbox.Close()
+		conn.Close()
+		return
+	}
+
+	// Writer: drains the outbox so broadcasts never block the reader.
+	writerDone := make(chan struct{})
+	go func() {
+		defer close(writerDone)
+		for {
+			payload, ok := outbox.Get()
+			if !ok {
+				return
+			}
+			if err := wire.WriteFrame(conn, payload); err != nil {
+				return
+			}
+		}
+	}()
+
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(conn, buf)
+		if err != nil {
+			break
+		}
+		buf = payload
+		if len(payload) == 1 && payload[0] == pingPayload[0] {
+			outbox.Put(append([]byte(nil), pongPayload...))
+			continue
+		}
+		m, err := wire.ParseMessage(payload)
+		if err != nil {
+			break // protocol violation: drop the connection
+		}
+		s.mu.Lock()
+		s.coord.HandleMessage(m, s.broadcastLocked)
+		s.mu.Unlock()
+		s.processed.Add(1)
+	}
+
+	s.mu.Lock()
+	delete(s.conns, conn)
+	s.mu.Unlock()
+	outbox.Close()
+	<-writerDone
+	conn.Close()
+}
+
+// broadcastLocked fans a coordinator announcement to every connected
+// site. Caller holds s.mu.
+func (s *CoordinatorServer) broadcastLocked(m core.Message) {
+	payload := wire.AppendMessage(nil, m)
+	for _, box := range s.conns {
+		box.Put(payload)
+		s.bcasts.Add(1)
+	}
+}
+
+// Query returns the current weighted sample (safe for concurrent use).
+func (s *CoordinatorServer) Query() []core.SampleEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.coord.Query()
+}
+
+// Processed returns the number of protocol messages handled so far.
+func (s *CoordinatorServer) Processed() int64 { return s.processed.Load() }
+
+// BroadcastsSent returns the number of per-site broadcast frames sent.
+func (s *CoordinatorServer) BroadcastsSent() int64 { return s.bcasts.Load() }
+
+// Stats returns the coordinator's protocol statistics.
+func (s *CoordinatorServer) Stats() core.CoordStats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.coord.Stats
+}
+
+// Close stops accepting and tears down all connections.
+func (s *CoordinatorServer) Close() error {
+	s.mu.Lock()
+	s.closed.Store(true)
+	ln := s.ln
+	conns := make([]net.Conn, 0, len(s.conns))
+	for c := range s.conns {
+		conns = append(conns, c)
+	}
+	s.mu.Unlock()
+	var err error
+	if ln != nil {
+		err = ln.Close()
+	}
+	for _, c := range conns {
+		c.Close()
+	}
+	s.wg.Wait()
+	return err
+}
+
+// SiteClient is the site side of the protocol over one connection.
+// Observe is safe for use from one goroutine; the broadcast reader runs
+// in the background and synchronizes with Observe internally.
+type SiteClient struct {
+	mu   sync.Mutex // guards site state and writes
+	site *core.Site
+	conn net.Conn
+
+	sent       atomic.Int64
+	pong       chan struct{}
+	readerDone chan struct{}
+	readerErr  error
+}
+
+// DialSite connects a site state machine to the coordinator at addr.
+func DialSite(addr string, id int, cfg core.Config, rng *xrand.RNG) (*SiteClient, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	c := &SiteClient{
+		site:       core.NewSite(id, cfg, rng),
+		conn:       conn,
+		pong:       make(chan struct{}, 4),
+		readerDone: make(chan struct{}),
+	}
+	go c.readLoop()
+	return c, nil
+}
+
+func (c *SiteClient) readLoop() {
+	defer close(c.readerDone)
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(c.conn, buf)
+		if err != nil {
+			c.readerErr = err
+			return
+		}
+		buf = payload
+		if len(payload) == 1 && payload[0] == pongPayload[0] {
+			select {
+			case c.pong <- struct{}{}:
+			default:
+			}
+			continue
+		}
+		m, err := wire.ParseMessage(payload)
+		if err != nil {
+			c.readerErr = err
+			return
+		}
+		c.mu.Lock()
+		c.site.HandleBroadcast(m)
+		c.mu.Unlock()
+	}
+}
+
+// Observe processes one local arrival, sending any resulting protocol
+// messages over the connection.
+func (c *SiteClient) Observe(it stream.Item) error {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var sendErr error
+	err := c.site.Observe(it, func(m core.Message) {
+		if sendErr == nil {
+			sendErr = wire.WriteMessage(c.conn, m)
+			c.sent.Add(1)
+		}
+	})
+	if err != nil {
+		return err
+	}
+	return sendErr
+}
+
+// Flush round-trips a ping so that every message this client sent has
+// been processed by the coordinator when it returns.
+func (c *SiteClient) Flush() error {
+	c.mu.Lock()
+	err := wire.WriteFrame(c.conn, pingPayload)
+	c.mu.Unlock()
+	if err != nil {
+		return err
+	}
+	select {
+	case <-c.pong:
+		return nil
+	case <-c.readerDone:
+		return fmt.Errorf("transport: connection closed during flush: %w", errOr(c.readerErr))
+	}
+}
+
+// Sent returns the number of protocol messages this client has sent.
+func (c *SiteClient) Sent() int64 { return c.sent.Load() }
+
+// Site returns the underlying state machine (diagnostics; synchronize
+// externally if the client is still live).
+func (c *SiteClient) Site() *core.Site { return c.site }
+
+// Close tears down the connection.
+func (c *SiteClient) Close() error {
+	err := c.conn.Close()
+	<-c.readerDone
+	return err
+}
+
+func errOr(err error) error {
+	if err == nil {
+		return errors.New("EOF")
+	}
+	return err
+}

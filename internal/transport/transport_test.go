@@ -1,0 +1,210 @@
+package transport
+
+import (
+	"net"
+	"sync"
+	"testing"
+	"time"
+
+	"wrs/internal/core"
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+func deadline() time.Time { return time.Now().Add(2 * time.Second) }
+
+// startServer spins up a coordinator server on a loopback listener.
+func startServer(t *testing.T, cfg core.Config, rng *xrand.RNG) (*CoordinatorServer, string) {
+	t.Helper()
+	srv, err := NewCoordinatorServer(cfg, rng)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	return srv, ln.Addr().String()
+}
+
+func TestTCPEndToEndExactness(t *testing.T) {
+	cfg := core.Config{K: 4, S: 8}
+	rec := core.NewRecorder()
+	master := xrand.New(1)
+	coordRNG := master.Split()
+
+	srv, addr := startServer(t, cfg, coordRNG)
+	defer srv.Close()
+	// The server-side coordinator must record early-item keys too.
+	srv.mu.Lock()
+	srv.coord.SetRecorder(rec)
+	srv.mu.Unlock()
+
+	clients := make([]*SiteClient, cfg.K)
+	for i := 0; i < cfg.K; i++ {
+		c, err := DialSite(addr, i, cfg, master.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		c.Site().SetRecorder(rec)
+		clients[i] = c
+	}
+
+	// Feed concurrently from one goroutine per site.
+	const perSite = 2500
+	var wg sync.WaitGroup
+	for i, c := range clients {
+		wg.Add(1)
+		go func(site int, c *SiteClient) {
+			defer wg.Done()
+			rng := xrand.New(uint64(100 + site))
+			for j := 0; j < perSite; j++ {
+				it := stream.Item{
+					ID:     uint64(site*perSite + j),
+					Weight: rng.Pareto(1.3),
+				}
+				if err := c.Observe(it); err != nil {
+					t.Errorf("site %d observe: %v", site, err)
+					return
+				}
+			}
+		}(i, c)
+	}
+	wg.Wait()
+
+	// Flush every connection: afterwards all sent messages are processed.
+	for _, c := range clients {
+		if err := c.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	total := int64(0)
+	for _, c := range clients {
+		total += c.Sent()
+	}
+	if got := srv.Processed(); got != total {
+		t.Fatalf("server processed %d of %d sent messages", got, total)
+	}
+	if rec.Len() != cfg.K*perSite {
+		t.Fatalf("recorded %d keys, want %d", rec.Len(), cfg.K*perSite)
+	}
+
+	// Exactness over TCP: the query is the brute-force top-s of all keys.
+	q := srv.Query()
+	if len(q) != cfg.S {
+		t.Fatalf("query size %d, want %d", len(q), cfg.S)
+	}
+	want := rec.TopIDs(cfg.S)
+	for _, e := range q {
+		if !want[e.Item.ID] {
+			t.Fatalf("sample item %d is not a top-%d key", e.Item.ID, cfg.S)
+		}
+	}
+	t.Logf("TCP run: %d messages upstream for %d updates, %d broadcast frames",
+		total, cfg.K*perSite, srv.BroadcastsSent())
+
+	// Message efficiency should survive the transport (sublinear in n).
+	if total > int64(cfg.K*perSite/2) {
+		t.Errorf("upstream messages %d not sublinear in %d updates", total, cfg.K*perSite)
+	}
+
+	for _, c := range clients {
+		if err := c.Close(); err != nil {
+			t.Errorf("close: %v", err)
+		}
+	}
+}
+
+func TestTCPFlushSemantics(t *testing.T) {
+	cfg := core.Config{K: 1, S: 2}
+	master := xrand.New(7)
+	srv, addr := startServer(t, cfg, master.Split())
+	defer srv.Close()
+
+	c, err := DialSite(addr, 0, cfg, master.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	for i := 0; i < 100; i++ {
+		if err := c.Observe(stream.Item{ID: uint64(i), Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if srv.Processed() != c.Sent() {
+		t.Fatalf("flush returned but only %d of %d processed", srv.Processed(), c.Sent())
+	}
+	// Repeated flushes are fine.
+	if err := c.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTCPServerClose(t *testing.T) {
+	cfg := core.Config{K: 1, S: 1}
+	master := xrand.New(9)
+	srv, addr := startServer(t, cfg, master.Split())
+	c, err := DialSite(addr, 0, cfg, master.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Observe(stream.Item{ID: 1, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := srv.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// After server close the client's flush must fail, not hang.
+	if err := c.Flush(); err == nil {
+		t.Error("flush succeeded after server close")
+	}
+	c.Close()
+}
+
+func TestTCPInvalidWeightSurfacesLocally(t *testing.T) {
+	cfg := core.Config{K: 1, S: 1}
+	master := xrand.New(11)
+	srv, addr := startServer(t, cfg, master.Split())
+	defer srv.Close()
+	c, err := DialSite(addr, 0, cfg, master.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+	if err := c.Observe(stream.Item{ID: 1, Weight: -5}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestTCPProtocolViolationDropsConn(t *testing.T) {
+	cfg := core.Config{K: 1, S: 1}
+	master := xrand.New(13)
+	srv, addr := startServer(t, cfg, master.Split())
+	defer srv.Close()
+
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// A garbage frame (wrong payload size) must get the connection
+	// dropped by the server.
+	if _, err := conn.Write([]byte{5, 0, 0, 0, 1, 2, 3, 4, 5}); err != nil {
+		t.Fatal(err)
+	}
+	buf := make([]byte, 16)
+	conn.SetReadDeadline(deadline())
+	if _, err := conn.Read(buf); err == nil {
+		t.Error("expected connection drop after protocol violation")
+	}
+}

@@ -1,0 +1,346 @@
+package window
+
+import (
+	"fmt"
+	"sort"
+
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// This file extends the sliding-window sampler to the distributed
+// coordinator model — a first cut at the paper's Section 6 open problem.
+// Message-optimal distributed window sampling is open; this protocol is
+// *exact* and empirically far below send-everything, which is what a
+// downstream user needs and what gives the open problem a baseline.
+//
+// Protocol (synchronous rounds, like Section 2.1):
+//
+//   - The coordinator publishes a threshold: the s-th largest key among
+//     items in the current window (0 while the window holds < s items).
+//   - A site receiving an item generates its key. Keys above the
+//     published threshold are sent immediately; the rest are buffered.
+//     Unlike the infinite-window threshold u of the main algorithm, the
+//     window threshold is NOT monotone: when a heavy item expires the
+//     threshold falls, and previously buffered keys may become sample
+//     members. The coordinator therefore re-broadcasts on falls, and
+//     sites respond by flushing newly eligible buffered items within the
+//     same round.
+//   - Buffers stay small: a buffered item is discarded once s *later*
+//     local items carry larger keys (later items outlive it in every
+//     window, so it can never re-enter a sample), and once it leaves the
+//     window. Expected buffer size is O(s·log(width/s)).
+//
+// Invariant after every round: every buffered key at every site is at
+// most the coordinator's current s-th window key, hence the coordinator's
+// top-s over received items equals the top-s over all items — the query
+// is exact at every instant.
+
+// SlideMsg is a protocol message for the sliding-window sampler.
+type SlideMsg struct {
+	// Candidate (site -> coordinator):
+	Pos  int
+	Key  float64
+	Item stream.Item
+	// Threshold update (coordinator -> sites):
+	Threshold float64
+	IsThresh  bool
+}
+
+// Words returns the message size in machine words.
+func (m SlideMsg) Words() int {
+	if m.IsThresh {
+		return 2
+	}
+	return 5
+}
+
+// SlideSite is the per-site state machine.
+type SlideSite struct {
+	s         int
+	width     int
+	rng       *xrand.RNG
+	threshold float64
+	buf       []entry // unsent items, ascending Pos
+
+	// KeyHook, when set, receives every generated key (tests).
+	KeyHook func(id uint64, key float64)
+	// Sent counts candidate messages.
+	Sent int64
+}
+
+// NewSlideSite returns a site for sample size s and window width.
+func NewSlideSite(s, width int, rng *xrand.RNG) (*SlideSite, error) {
+	if s < 1 || width < 1 {
+		return nil, fmt.Errorf("window: need s >= 1 and width >= 1, got %d, %d", s, width)
+	}
+	return &SlideSite{s: s, width: width, rng: rng}, nil
+}
+
+// Observe processes a local arrival at global position pos.
+func (d *SlideSite) Observe(pos int, it stream.Item, send func(SlideMsg)) error {
+	if !(it.Weight > 0) {
+		return fmt.Errorf("window: weight must be positive, got %v", it.Weight)
+	}
+	key := d.rng.ExpKey(it.Weight)
+	if d.KeyHook != nil {
+		d.KeyHook(it.ID, key)
+	}
+	d.expire(pos)
+	// Dominance update against the new local arrival.
+	dst := d.buf[:0]
+	for i := range d.buf {
+		e := d.buf[i]
+		if e.Key < key {
+			e.dominators++
+		}
+		if e.dominators < d.s {
+			dst = append(dst, e)
+		}
+	}
+	d.buf = dst
+	if key > d.threshold {
+		d.Sent++
+		send(SlideMsg{Pos: pos, Key: key, Item: it})
+		return nil
+	}
+	d.buf = append(d.buf, entry{Entry: Entry{Pos: pos, Key: key, Item: it}})
+	return nil
+}
+
+// HandleBroadcast applies a threshold update; items that became eligible
+// are flushed through send.
+func (d *SlideSite) HandleBroadcast(m SlideMsg, send func(SlideMsg)) {
+	if !m.IsThresh {
+		return
+	}
+	d.threshold = m.Threshold
+	d.expire(m.Pos) // broadcasts carry the global clock
+	dst := d.buf[:0]
+	for _, e := range d.buf {
+		if e.Key > d.threshold {
+			d.Sent++
+			send(SlideMsg{Pos: e.Pos, Key: e.Key, Item: e.Item})
+		} else {
+			dst = append(dst, e)
+		}
+	}
+	d.buf = dst
+}
+
+// expire drops buffered items that left the window ending at pos.
+func (d *SlideSite) expire(pos int) {
+	lo := pos + 1 - d.width
+	trim := 0
+	for trim < len(d.buf) && d.buf[trim].Pos < lo {
+		trim++
+	}
+	d.buf = d.buf[trim:]
+}
+
+// Buffered returns the current buffer size.
+func (d *SlideSite) Buffered() int { return len(d.buf) }
+
+// Threshold returns the site's current published threshold.
+func (d *SlideSite) Threshold() float64 { return d.threshold }
+
+// SlideCoordinator maintains the exact window sample over received
+// candidates and publishes the s-th window key.
+type SlideCoordinator struct {
+	s         int
+	width     int
+	kept      []entry // received, pruned; ascending Pos
+	published float64
+	now       int // latest global position
+
+	// Broadcasts counts threshold announcements (each costs k messages);
+	// Falls counts the announcements caused by expiring sample members —
+	// the non-monotonicity that makes the window problem hard.
+	Broadcasts int64
+	Falls      int64
+}
+
+// NewSlideCoordinator returns the coordinator for sample size s and
+// window width.
+func NewSlideCoordinator(s, width int) (*SlideCoordinator, error) {
+	if s < 1 || width < 1 {
+		return nil, fmt.Errorf("window: need s >= 1 and width >= 1, got %d, %d", s, width)
+	}
+	return &SlideCoordinator{s: s, width: width, now: -1}, nil
+}
+
+// HandleMessage folds one candidate.
+func (c *SlideCoordinator) HandleMessage(m SlideMsg) {
+	if m.IsThresh {
+		return
+	}
+	if m.Pos > c.now {
+		c.now = m.Pos
+	}
+	// Insert in position order (tail scan: streams are nearly sorted).
+	i := len(c.kept)
+	for i > 0 && c.kept[i-1].Pos > m.Pos {
+		i--
+	}
+	c.kept = append(c.kept, entry{})
+	copy(c.kept[i+1:], c.kept[i:])
+	c.kept[i] = entry{Entry: Entry{Pos: m.Pos, Key: m.Key, Item: m.Item}}
+	dom := 0
+	for j := i + 1; j < len(c.kept); j++ {
+		if c.kept[j].Key > m.Key {
+			dom++
+		}
+	}
+	c.kept[i].dominators = dom
+	for j := 0; j < i; j++ {
+		if c.kept[j].Key < m.Key {
+			c.kept[j].dominators++
+		}
+	}
+}
+
+// EndOfArrival is called by the synchronous driver after the arrival at
+// global position pos (and any same-round flushes) has been delivered.
+// It prunes, recomputes the s-th window key, and returns a threshold
+// announcement to broadcast, if one is needed. needFlush reports whether
+// the threshold fell (sites may now send more items, so the driver must
+// deliver the broadcast and then call EndOfArrival again).
+func (c *SlideCoordinator) EndOfArrival(pos int) (m SlideMsg, broadcast, needFlush bool) {
+	if pos > c.now {
+		c.now = pos
+	}
+	c.compact()
+	th := c.sthKey()
+	switch {
+	case th < c.published:
+		c.published = th
+		c.Broadcasts++
+		c.Falls++
+		return SlideMsg{IsThresh: true, Threshold: th, Pos: c.now}, true, true
+	case th > c.published:
+		// A rise is an optimization only (fewer future sends): buffered
+		// keys are all <= the old threshold, so nothing becomes newly
+		// eligible and no flush round is needed.
+		c.published = th
+		c.Broadcasts++
+		return SlideMsg{IsThresh: true, Threshold: th, Pos: c.now}, true, false
+	default:
+		return SlideMsg{}, false, false
+	}
+}
+
+func (c *SlideCoordinator) compact() {
+	lo := c.now + 1 - c.width
+	dst := c.kept[:0]
+	for _, e := range c.kept {
+		if e.Pos >= lo && e.dominators < c.s {
+			dst = append(dst, e)
+		}
+	}
+	c.kept = dst
+}
+
+// sthKey returns the s-th largest key in the current window (0 if the
+// window holds fewer than s received items).
+func (c *SlideCoordinator) sthKey() float64 {
+	lo := c.now + 1 - c.width
+	keys := make([]float64, 0, len(c.kept))
+	for _, e := range c.kept {
+		if e.Pos >= lo {
+			keys = append(keys, e.Key)
+		}
+	}
+	if len(keys) < c.s {
+		return 0
+	}
+	sort.Float64s(keys)
+	return keys[len(keys)-c.s]
+}
+
+// Query returns the exact weighted SWOR of the current window, largest
+// key first.
+func (c *SlideCoordinator) Query() []Entry {
+	lo := c.now + 1 - c.width
+	out := make([]Entry, 0, len(c.kept))
+	for _, e := range c.kept {
+		if e.Pos >= lo {
+			out = append(out, e.Entry)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key > out[j].Key })
+	if len(out) > c.s {
+		out = out[:c.s]
+	}
+	return out
+}
+
+// Retained returns the coordinator's buffered item count.
+func (c *SlideCoordinator) Retained() int { return len(c.kept) }
+
+// Published returns the currently published threshold.
+func (c *SlideCoordinator) Published() float64 { return c.published }
+
+// SlideCluster is the synchronous driver wiring k sites to the
+// coordinator, with message accounting (broadcast = k messages).
+type SlideCluster struct {
+	Coord *SlideCoordinator
+	Sites []*SlideSite
+	pos   int
+
+	Upstream   int64
+	Downstream int64
+}
+
+// NewSlideCluster builds a cluster of k sites.
+func NewSlideCluster(k, s, width int, master *xrand.RNG) (*SlideCluster, error) {
+	coord, err := NewSlideCoordinator(s, width)
+	if err != nil {
+		return nil, err
+	}
+	cl := &SlideCluster{Coord: coord}
+	for i := 0; i < k; i++ {
+		site, err := NewSlideSite(s, width, master.Split())
+		if err != nil {
+			return nil, err
+		}
+		cl.Sites = append(cl.Sites, site)
+	}
+	return cl, nil
+}
+
+// Feed delivers the next global arrival to a site and settles the round.
+func (cl *SlideCluster) Feed(siteID int, it stream.Item) error {
+	if siteID < 0 || siteID >= len(cl.Sites) {
+		return fmt.Errorf("window: site %d out of range", siteID)
+	}
+	pos := cl.pos
+	cl.pos++
+	up := func(m SlideMsg) {
+		cl.Upstream++
+		cl.Coord.HandleMessage(m)
+	}
+	if err := cl.Sites[siteID].Observe(pos, it, up); err != nil {
+		return err
+	}
+	// Settle: thresholds may fall (expiry) then rise (flushed items);
+	// each EndOfArrival round either stabilizes or broadcasts.
+	for rounds := 0; ; rounds++ {
+		m, broadcast, needFlush := cl.Coord.EndOfArrival(pos)
+		if !broadcast {
+			return nil
+		}
+		cl.Downstream += int64(len(cl.Sites))
+		for _, s := range cl.Sites {
+			s.HandleBroadcast(m, up)
+		}
+		if !needFlush {
+			return nil
+		}
+		if rounds > 2*len(cl.Sites)+4 {
+			return fmt.Errorf("window: settle loop did not converge")
+		}
+	}
+}
+
+// N returns the number of arrivals fed so far.
+func (cl *SlideCluster) N() int { return cl.pos }

@@ -1,0 +1,190 @@
+package window
+
+import (
+	"sort"
+	"testing"
+
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// distRecorder collects every key generated across all sites.
+type distRecorder struct {
+	keys []keyRec
+	next int
+}
+
+func (r *distRecorder) hookFor() func(uint64, float64) {
+	return func(id uint64, key float64) {
+		r.keys = append(r.keys, keyRec{pos: r.next, id: id, key: key})
+		r.next++
+	}
+}
+
+// NOTE: the hook relies on the synchronous driver generating exactly one
+// key per Feed, in global order.
+
+func bruteWindowTop(recs []keyRec, width, s int) map[uint64]bool {
+	lo := len(recs) - width
+	if lo < 0 {
+		lo = 0
+	}
+	win := append([]keyRec(nil), recs[lo:]...)
+	sort.Slice(win, func(i, j int) bool { return win[i].key > win[j].key })
+	if len(win) > s {
+		win = win[:s]
+	}
+	out := map[uint64]bool{}
+	for _, r := range win {
+		out[r.id] = true
+	}
+	return out
+}
+
+func TestSlideClusterExactEveryStep(t *testing.T) {
+	cases := []struct {
+		k, s, width int
+		wf          stream.WeightFn
+		name        string
+	}{
+		{3, 2, 20, stream.UniformWeights(50), "uniform"},
+		{4, 5, 60, stream.ParetoWeights(1.2), "pareto"},
+		{2, 3, 30, stream.HeavyHeadWeights(2, 1e7), "heavyhead"},
+		{1, 4, 15, stream.UnitWeights(), "single-site"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			master := xrand.New(uint64(c.k*1000 + c.s))
+			cl, err := NewSlideCluster(c.k, c.s, c.width, master)
+			if err != nil {
+				t.Fatal(err)
+			}
+			rec := &distRecorder{}
+			for _, site := range cl.Sites {
+				site.KeyHook = rec.hookFor()
+			}
+			rng := xrand.New(42)
+			const n = 500
+			for i := 0; i < n; i++ {
+				it := stream.Item{ID: uint64(i), Weight: c.wf(i, rng)}
+				if err := cl.Feed(i%c.k, it); err != nil {
+					t.Fatal(err)
+				}
+				want := bruteWindowTop(rec.keys, c.width, c.s)
+				got := cl.Coord.Query()
+				if len(got) != len(want) {
+					t.Fatalf("step %d: query size %d, want %d", i, len(got), len(want))
+				}
+				for _, e := range got {
+					if !want[e.Item.ID] {
+						t.Fatalf("step %d: item %d not in brute-force window top-s", i, e.Item.ID)
+					}
+				}
+			}
+		})
+	}
+}
+
+func TestSlideClusterThresholdFalls(t *testing.T) {
+	// A giant item inside the window inflates the threshold; when it
+	// expires the threshold must fall and buffered light items must be
+	// flushed into the sample.
+	const k, s, width = 2, 2, 10
+	master := xrand.New(7)
+	cl, err := NewSlideCluster(k, s, width, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rec := &distRecorder{}
+	for _, site := range cl.Sites {
+		site.KeyHook = rec.hookFor()
+	}
+	feed := func(i int, w float64) {
+		if err := cl.Feed(i%k, stream.Item{ID: uint64(i), Weight: w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	i := 0
+	for ; i < 3; i++ {
+		feed(i, 1e9) // giants
+	}
+	for ; i < 60; i++ {
+		feed(i, 1)
+		// Exactness maintained throughout the giants' expiry.
+		want := bruteWindowTop(rec.keys, width, s)
+		for _, e := range cl.Coord.Query() {
+			if !want[e.Item.ID] {
+				t.Fatalf("step %d: stale/wrong sample item %d", i, e.Item.ID)
+			}
+		}
+	}
+	if cl.Coord.Falls == 0 {
+		t.Error("no threshold falls observed; the instance should force them")
+	}
+}
+
+func TestSlideClusterMessageEfficiency(t *testing.T) {
+	const k, s, width, n = 4, 8, 2000, 30000
+	master := xrand.New(11)
+	cl, err := NewSlideCluster(k, s, width, master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := xrand.New(12)
+	maxBuf := 0
+	for i := 0; i < n; i++ {
+		it := stream.Item{ID: uint64(i), Weight: 1 + 9*rng.Float64()}
+		if err := cl.Feed(i%k, it); err != nil {
+			t.Fatal(err)
+		}
+		for _, site := range cl.Sites {
+			if b := site.Buffered(); b > maxBuf {
+				maxBuf = b
+			}
+		}
+	}
+	if cl.Upstream > n/3 {
+		t.Errorf("upstream %d not well below n = %d (send-all)", cl.Upstream, n)
+	}
+	// Expected per-site buffer O(s log(width/s)); allow a wide envelope.
+	if maxBuf > 40*s {
+		t.Errorf("site buffer reached %d, want O(s log(width/s))", maxBuf)
+	}
+	t.Logf("sliding window: %d up + %d down messages for %d updates (%.3f/update), max site buffer %d, falls %d",
+		cl.Upstream, cl.Downstream, n,
+		float64(cl.Upstream+cl.Downstream)/float64(n), maxBuf, cl.Coord.Falls)
+}
+
+func TestSlideClusterValidation(t *testing.T) {
+	if _, err := NewSlideCluster(2, 0, 5, xrand.New(1)); err == nil {
+		t.Error("s=0 accepted")
+	}
+	if _, err := NewSlideCoordinator(1, 0); err == nil {
+		t.Error("width=0 accepted")
+	}
+	if _, err := NewSlideSite(0, 5, xrand.New(1)); err == nil {
+		t.Error("site s=0 accepted")
+	}
+	cl, _ := NewSlideCluster(2, 2, 5, xrand.New(2))
+	if err := cl.Feed(5, stream.Item{Weight: 1}); err == nil {
+		t.Error("out-of-range site accepted")
+	}
+	if err := cl.Feed(0, stream.Item{Weight: -1}); err == nil {
+		t.Error("bad weight accepted")
+	}
+}
+
+func TestSlideClusterSmallWindowRampUp(t *testing.T) {
+	cl, _ := NewSlideCluster(2, 5, 100, xrand.New(3))
+	for i := 0; i < 4; i++ {
+		if err := cl.Feed(i%2, stream.Item{ID: uint64(i), Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(cl.Coord.Query()); got != i+1 {
+			t.Fatalf("after %d items query size = %d", i+1, got)
+		}
+	}
+	if cl.N() != 4 {
+		t.Errorf("N = %d", cl.N())
+	}
+}

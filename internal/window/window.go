@@ -1,0 +1,115 @@
+// Package window implements weighted sampling without replacement over a
+// sliding window — the extension the paper poses as future work in its
+// conclusion ("extend our algorithm for weighted sampling to the sliding
+// window model"). This is the centralized (single-stream) building block:
+// a sequence-based window of the most recent `width` items, over which a
+// weighted SWOR of size s is maintained at every step.
+//
+// It uses the same precision-sampling keys as the rest of the library
+// (v = w/t, t ~ Exp(1)); the sample for any window is the top-s keys
+// among the items in it. The structure retains exactly the items that
+// could still enter some future sample: an item can be discarded once s
+// *later* items hold larger keys, because every window that contains the
+// item also contains all later items (windows are suffixes). The expected
+// number of retained items is O(s·log(width/s)) — the classic bound for
+// such dominance lists.
+package window
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// Entry is a retained item with its key and global arrival position.
+type Entry struct {
+	Pos  int
+	Key  float64
+	Item stream.Item
+}
+
+// Sampler maintains a weighted SWOR of size s over the last `width`
+// arrivals.
+type Sampler struct {
+	s     int
+	width int
+	rng   *xrand.RNG
+	n     int
+	kept  []entry // ascending by Pos
+
+	// KeyHook, when set, receives every generated key (tests).
+	KeyHook func(id uint64, key float64)
+}
+
+type entry struct {
+	Entry
+	dominators int // later items with larger keys (monotone)
+}
+
+// New returns a sliding-window sampler with sample size s and window
+// width in items.
+func New(s, width int, rng *xrand.RNG) (*Sampler, error) {
+	if s < 1 || width < 1 {
+		return nil, fmt.Errorf("window: need s >= 1 and width >= 1, got %d, %d", s, width)
+	}
+	return &Sampler{s: s, width: width, rng: rng}, nil
+}
+
+// Observe feeds one item; weights must be positive and finite.
+func (w *Sampler) Observe(it stream.Item) error {
+	if !(it.Weight > 0) || math.IsInf(it.Weight, 0) || math.IsNaN(it.Weight) {
+		return fmt.Errorf("window: weight must be positive and finite, got %v", it.Weight)
+	}
+	pos := w.n
+	w.n++
+	key := w.rng.ExpKey(it.Weight)
+	if w.KeyHook != nil {
+		w.KeyHook(it.ID, key)
+	}
+	// Expire items that left the window: window = [n-width, n-1].
+	lo := w.n - w.width
+	trim := 0
+	for trim < len(w.kept) && w.kept[trim].Pos < lo {
+		trim++
+	}
+	w.kept = w.kept[trim:]
+	// The new arrival dominates every retained item with a smaller key;
+	// an item with s dominators can never re-enter a sample (all its
+	// dominators live in every window that still contains it).
+	dst := w.kept[:0]
+	for i := range w.kept {
+		e := w.kept[i]
+		if e.Key < key {
+			e.dominators++
+		}
+		if e.dominators < w.s {
+			dst = append(dst, e)
+		}
+	}
+	w.kept = append(dst, entry{Entry: Entry{Pos: pos, Key: key, Item: it}})
+	return nil
+}
+
+// Sample returns the weighted SWOR of the current window: the items with
+// the top min(s, window size) keys, largest first.
+func (w *Sampler) Sample() []Entry {
+	out := make([]Entry, 0, len(w.kept))
+	for _, e := range w.kept {
+		out = append(out, e.Entry)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key > out[j].Key })
+	if len(out) > w.s {
+		out = out[:w.s]
+	}
+	return out
+}
+
+// Retained returns the number of items currently stored — expected
+// O(s·log(width/s)), far below width.
+func (w *Sampler) Retained() int { return len(w.kept) }
+
+// N returns the number of items observed so far.
+func (w *Sampler) N() int { return w.n }

@@ -1,0 +1,122 @@
+// Package wire provides the binary wire format for the protocol messages
+// and length-prefixed framing, so the samplers can run over real network
+// transports (see package transport). The encoding is fixed-layout
+// little-endian; every message fits in O(1) machine words, matching the
+// paper's accounting (Proposition 7).
+package wire
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"wrs/internal/core"
+	"wrs/internal/stream"
+)
+
+// Frame layout: 4-byte little-endian payload length, then the payload.
+// Message payload layout (fixed 29 bytes):
+//
+//	offset 0  : kind (1 byte)
+//	offset 1  : item ID (8 bytes)
+//	offset 9  : item weight (8 bytes, IEEE-754)
+//	offset 17 : key / threshold (8 bytes, IEEE-754; kind-dependent)
+//	offset 25 : level (4 bytes, int32; kind-dependent)
+const (
+	payloadLen = 29
+	// MaxFrameSize bounds incoming frames; anything larger is a protocol
+	// violation.
+	MaxFrameSize = 1 << 16
+)
+
+// AppendMessage appends the encoded message to dst and returns it.
+func AppendMessage(dst []byte, m core.Message) []byte {
+	var buf [payloadLen]byte
+	buf[0] = byte(m.Kind)
+	binary.LittleEndian.PutUint64(buf[1:], m.Item.ID)
+	binary.LittleEndian.PutUint64(buf[9:], math.Float64bits(m.Item.Weight))
+	aux := m.Key
+	if m.Kind == core.MsgEpochUpdate {
+		aux = m.Threshold
+	}
+	binary.LittleEndian.PutUint64(buf[17:], math.Float64bits(aux))
+	binary.LittleEndian.PutUint32(buf[25:], uint32(int32(m.Level)))
+	return append(dst, buf[:]...)
+}
+
+// ParseMessage decodes a message encoded by AppendMessage.
+func ParseMessage(b []byte) (core.Message, error) {
+	if len(b) != payloadLen {
+		return core.Message{}, fmt.Errorf("wire: payload length %d, want %d", len(b), payloadLen)
+	}
+	kind := core.MsgKind(b[0])
+	if kind > core.MsgEpochUpdate {
+		return core.Message{}, fmt.Errorf("wire: unknown message kind %d", b[0])
+	}
+	m := core.Message{
+		Kind: kind,
+		Item: stream.Item{
+			ID:     binary.LittleEndian.Uint64(b[1:]),
+			Weight: math.Float64frombits(binary.LittleEndian.Uint64(b[9:])),
+		},
+		Level: int(int32(binary.LittleEndian.Uint32(b[25:]))),
+	}
+	aux := math.Float64frombits(binary.LittleEndian.Uint64(b[17:]))
+	if kind == core.MsgEpochUpdate {
+		m.Threshold = aux
+	} else {
+		m.Key = aux
+	}
+	return m, nil
+}
+
+// WriteFrame writes one length-prefixed frame.
+func WriteFrame(w io.Writer, payload []byte) error {
+	if len(payload) > MaxFrameSize {
+		return fmt.Errorf("wire: frame of %d bytes exceeds max %d", len(payload), MaxFrameSize)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// ReadFrame reads one length-prefixed frame into buf (growing it as
+// needed) and returns the payload slice.
+func ReadFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > MaxFrameSize {
+		return nil, fmt.Errorf("wire: incoming frame of %d bytes exceeds max %d", n, MaxFrameSize)
+	}
+	if cap(buf) < int(n) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// WriteMessage encodes and writes one protocol message as a frame.
+func WriteMessage(w io.Writer, m core.Message) error {
+	return WriteFrame(w, AppendMessage(nil, m))
+}
+
+// ReadMessage reads and decodes one protocol message frame.
+func ReadMessage(r io.Reader, buf []byte) (core.Message, []byte, error) {
+	payload, err := ReadFrame(r, buf)
+	if err != nil {
+		return core.Message{}, payload, err
+	}
+	m, err := ParseMessage(payload)
+	return m, payload, err
+}

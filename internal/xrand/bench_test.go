@@ -1,0 +1,57 @@
+package xrand
+
+import "testing"
+
+func BenchmarkUint64(b *testing.B) {
+	r := New(1)
+	for i := 0; i < b.N; i++ {
+		_ = r.Uint64()
+	}
+}
+
+func BenchmarkExp(b *testing.B) {
+	r := New(2)
+	for i := 0; i < b.N; i++ {
+		_ = r.Exp()
+	}
+}
+
+func BenchmarkExpKey(b *testing.B) {
+	r := New(3)
+	for i := 0; i < b.N; i++ {
+		_ = r.ExpKey(3.5)
+	}
+}
+
+func BenchmarkThresholdExpDecisionOnly(b *testing.B) {
+	// The Proposition 7 hot path: decide without materializing.
+	r := New(4)
+	for i := 0; i < b.N; i++ {
+		te := NewThresholdExp(r, 1)
+		_ = te.Above(100) // rarely passes: early exit
+	}
+}
+
+func BenchmarkThresholdExpWithKey(b *testing.B) {
+	r := New(5)
+	for i := 0; i < b.N; i++ {
+		te := NewThresholdExp(r, 1)
+		if te.Above(0.5) {
+			_ = te.Key()
+		}
+	}
+}
+
+func BenchmarkBinomialSmallP(b *testing.B) {
+	r := New(6)
+	for i := 0; i < b.N; i++ {
+		_ = r.Binomial(10000, 1e-4)
+	}
+}
+
+func BenchmarkGeometric(b *testing.B) {
+	r := New(7)
+	for i := 0; i < b.N; i++ {
+		_ = r.Geometric(0.01)
+	}
+}

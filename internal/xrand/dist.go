@@ -1,0 +1,84 @@
+package xrand
+
+import "math"
+
+// ExpKey returns the precision-sampling key v = w / t for a positive weight
+// w, where t ~ Exp(1). By Proposition 1 of the paper, retaining the items
+// with the s largest keys yields a weighted sample without replacement.
+func (r *RNG) ExpKey(w float64) float64 {
+	return w / r.Exp()
+}
+
+// TruncExpBelow returns an Exp(1) variate conditioned on being < bound,
+// where bound > 0. Used to materialize keys that are known to exceed a
+// threshold: v = w/t > u  <=>  t < w/u.
+func (r *RNG) TruncExpBelow(bound float64) float64 {
+	// CDF of Exp(1) on [0, bound): F(x) = (1-e^-x)/(1-e^-bound).
+	// Inverse transform with V ~ U(0,1): x = -log(1 - V*(1-e^-bound)).
+	if bound <= 0 {
+		panic("xrand: TruncExpBelow requires bound > 0")
+	}
+	v := r.OpenFloat64()
+	// -expm1(-bound) = 1 - e^-bound, computed stably for small bounds.
+	p := -math.Expm1(-bound)
+	x := -math.Log1p(-v * p)
+	if x >= bound {
+		// Floating-point edge: clamp strictly inside the support.
+		x = bound * (1 - 1e-16)
+	}
+	if x <= 0 {
+		x = bound * 1e-300
+	}
+	return x
+}
+
+// Binomial returns a Binomial(n, p) variate. It is exact (up to float64
+// arithmetic in the geometric skip) and runs in O(1 + n*p) expected time,
+// which matches its use here: the caller performs Θ(result) work anyway
+// (one message per success).
+func (r *RNG) Binomial(n int, p float64) int {
+	switch {
+	case n <= 0 || p <= 0:
+		return 0
+	case p >= 1:
+		return n
+	}
+	if p > 0.5 {
+		// Exploit symmetry so the geometric skips stay short.
+		return n - r.Binomial(n, 1-p)
+	}
+	// Geometric skip ("waiting time") method: the gap between successes is
+	// 1 + Geometric(p). ln(1-p) < 0 is precomputed once.
+	x := 0
+	i := 0
+	logq := math.Log1p(-p)
+	for {
+		skip := int(math.Floor(math.Log(r.OpenFloat64()) / logq))
+		i += skip + 1
+		if i > n {
+			return x
+		}
+		x++
+	}
+}
+
+// Geometric returns the number of failures before the first success in
+// Bernoulli(p) trials, p in (0, 1].
+func (r *RNG) Geometric(p float64) int {
+	if p >= 1 {
+		return 0
+	}
+	if p <= 0 {
+		panic("xrand: Geometric requires p > 0")
+	}
+	return int(math.Floor(math.Log(r.OpenFloat64()) / math.Log1p(-p)))
+}
+
+// Pareto returns a Pareto(alpha) variate with scale 1: density
+// alpha/x^(alpha+1) on [1, inf). Smaller alpha means heavier tails.
+func (r *RNG) Pareto(alpha float64) float64 {
+	if alpha <= 0 {
+		panic("xrand: Pareto requires alpha > 0")
+	}
+	return math.Pow(r.OpenFloat64(), -1/alpha)
+}

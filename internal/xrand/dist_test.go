@@ -1,0 +1,199 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestBinomialEdgeCases(t *testing.T) {
+	r := New(1)
+	if got := r.Binomial(0, 0.5); got != 0 {
+		t.Errorf("Binomial(0, .5) = %d", got)
+	}
+	if got := r.Binomial(10, 0); got != 0 {
+		t.Errorf("Binomial(10, 0) = %d", got)
+	}
+	if got := r.Binomial(10, 1); got != 10 {
+		t.Errorf("Binomial(10, 1) = %d", got)
+	}
+	if got := r.Binomial(10, -0.5); got != 0 {
+		t.Errorf("Binomial(10, -0.5) = %d", got)
+	}
+	if got := r.Binomial(10, 1.5); got != 10 {
+		t.Errorf("Binomial(10, 1.5) = %d", got)
+	}
+}
+
+func TestBinomialRange(t *testing.T) {
+	r := New(2)
+	f := func(nRaw uint8, pRaw float64) bool {
+		n := int(nRaw % 100)
+		p := math.Abs(pRaw)
+		p -= math.Floor(p) // p in [0,1)
+		x := r.Binomial(n, p)
+		return x >= 0 && x <= n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestBinomialMoments(t *testing.T) {
+	r := New(3)
+	cases := []struct {
+		n int
+		p float64
+	}{
+		{100, 0.01}, {100, 0.3}, {100, 0.7}, {1000, 0.001}, {10, 0.5},
+	}
+	const trials = 40000
+	for _, c := range cases {
+		var sum, sumsq float64
+		for i := 0; i < trials; i++ {
+			x := float64(r.Binomial(c.n, c.p))
+			sum += x
+			sumsq += x * x
+		}
+		mean := sum / trials
+		varc := sumsq/trials - mean*mean
+		wantMean := float64(c.n) * c.p
+		wantVar := wantMean * (1 - c.p)
+		if math.Abs(mean-wantMean) > 5*math.Sqrt(wantVar/trials)+1e-9 {
+			t.Errorf("Binomial(%d,%v) mean = %v, want %v", c.n, c.p, mean, wantMean)
+		}
+		if wantVar > 0 && math.Abs(varc-wantVar)/wantVar > 0.1 {
+			t.Errorf("Binomial(%d,%v) var = %v, want %v", c.n, c.p, varc, wantVar)
+		}
+	}
+}
+
+func TestBinomialExactSmall(t *testing.T) {
+	// Compare the empirical pmf of Binomial(5, 0.3) against the exact pmf.
+	r := New(4)
+	const n, p, trials = 5, 0.3, 200000
+	counts := make([]int, n+1)
+	for i := 0; i < trials; i++ {
+		counts[r.Binomial(n, p)]++
+	}
+	// Exact pmf.
+	choose := []float64{1, 5, 10, 10, 5, 1}
+	for k := 0; k <= n; k++ {
+		want := choose[k] * math.Pow(p, float64(k)) * math.Pow(1-p, float64(n-k)) * trials
+		got := float64(counts[k])
+		if math.Abs(got-want) > 6*math.Sqrt(want)+1 {
+			t.Errorf("pmf(%d): got %v, want %v", k, got, want)
+		}
+	}
+}
+
+func TestGeometricMean(t *testing.T) {
+	r := New(5)
+	const p, trials = 0.2, 100000
+	var sum float64
+	for i := 0; i < trials; i++ {
+		g := r.Geometric(p)
+		if g < 0 {
+			t.Fatalf("Geometric returned %d", g)
+		}
+		sum += float64(g)
+	}
+	mean := sum / trials
+	want := (1 - p) / p
+	if math.Abs(mean-want) > 0.1 {
+		t.Errorf("Geometric(%v) mean = %v, want %v", p, mean, want)
+	}
+	if g := r.Geometric(1); g != 0 {
+		t.Errorf("Geometric(1) = %d, want 0", g)
+	}
+}
+
+func TestTruncExpBelow(t *testing.T) {
+	r := New(6)
+	for _, bound := range []float64{0.01, 0.5, 1, 5, 100} {
+		var sum float64
+		const trials = 50000
+		for i := 0; i < trials; i++ {
+			x := r.TruncExpBelow(bound)
+			if x <= 0 || x >= bound {
+				t.Fatalf("TruncExpBelow(%v) = %v out of (0, bound)", bound, x)
+			}
+			sum += x
+		}
+		// E[X | X < b] = 1 - b*e^-b/(1-e^-b) for Exp(1).
+		want := 1 - bound*math.Exp(-bound)/(-math.Expm1(-bound))
+		mean := sum / trials
+		if math.Abs(mean-want) > 0.02*math.Max(want, 0.003)+0.002 {
+			t.Errorf("TruncExpBelow(%v) mean = %v, want %v", bound, mean, want)
+		}
+	}
+}
+
+func TestParetoSupport(t *testing.T) {
+	r := New(7)
+	for i := 0; i < 10000; i++ {
+		if x := r.Pareto(1.1); x < 1 {
+			t.Fatalf("Pareto < 1: %v", x)
+		}
+	}
+}
+
+func TestExpKeyWeightedSelection(t *testing.T) {
+	// P(key(w1) > key(w2)) must equal w1/(w1+w2): this is the heart of
+	// precision sampling (Proposition 1 for s=1, n=2).
+	r := New(8)
+	cases := [][2]float64{{1, 1}, {3, 1}, {10, 1}, {2, 5}}
+	const trials = 120000
+	for _, c := range cases {
+		wins := 0
+		for i := 0; i < trials; i++ {
+			if r.ExpKey(c[0]) > r.ExpKey(c[1]) {
+				wins++
+			}
+		}
+		got := float64(wins) / trials
+		want := c[0] / (c[0] + c[1])
+		if math.Abs(got-want) > 0.006 {
+			t.Errorf("P(key(%v) beats key(%v)) = %v, want %v", c[0], c[1], got, want)
+		}
+	}
+}
+
+func TestTruncExpBelowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("TruncExpBelow(0) did not panic")
+		}
+	}()
+	New(1).TruncExpBelow(0)
+}
+
+func TestParetoPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Pareto(0) did not panic")
+		}
+	}()
+	New(1).Pareto(0)
+}
+
+func TestGeometricPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Geometric(0) did not panic")
+		}
+	}()
+	New(1).Geometric(0)
+}
+
+func TestIntnNonPowerOfTwoRejection(t *testing.T) {
+	// Exercise the Lemire rejection path with a bound just under 2^63.
+	r := New(9)
+	bound := (1 << 62) + 12345
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(bound)
+		if v < 0 || v >= bound {
+			t.Fatalf("Intn out of range: %d", v)
+		}
+	}
+}

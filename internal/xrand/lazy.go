@@ -1,0 +1,128 @@
+package xrand
+
+import "math"
+
+// LazyUniform is a uniform (0,1) variate whose bits are generated on
+// demand, most significant first. After n bits the value is known to lie
+// in [prefix/2^n, (prefix+1)/2^n); a comparison against a constant p can
+// therefore be decided as soon as the interval excludes p, which takes an
+// expected O(1) bits. This implements the machinery of Proposition 7 in
+// the paper: a site can decide "does this item's key beat the epoch
+// threshold?" without paying for a full-precision exponential, and only
+// materializes the remaining bits when the item is actually sent.
+//
+// Refinement is capped at 53 bits. If a comparison is still ambiguous at
+// the cap (probability 2^-53 per comparison) the fully materialized value
+// decides it, so decisions are always consistent with Value().
+type LazyUniform struct {
+	rng    *RNG
+	prefix uint64 // high bits generated so far
+	n      uint   // number of bits in prefix (<= 53)
+	buf    uint64 // buffered raw random bits
+	bufn   uint   // number of valid bits in buf
+
+	// DecisionBits counts bits consumed by Above calls; Bits counts all
+	// bits consumed including materialization. Both are diagnostics for
+	// the Proposition 7 experiments.
+	DecisionBits int
+	Bits         int
+}
+
+// NewLazyUniform returns a LazyUniform drawing bits from rng.
+func NewLazyUniform(rng *RNG) LazyUniform {
+	return LazyUniform{rng: rng}
+}
+
+const lazyMaxBits = 53
+
+func (l *LazyUniform) nextBit() uint64 {
+	if l.bufn == 0 {
+		l.buf = l.rng.Uint64()
+		l.bufn = 64
+	}
+	b := l.buf >> 63
+	l.buf <<= 1
+	l.bufn--
+	l.Bits++
+	return b
+}
+
+func (l *LazyUniform) refine() {
+	l.prefix = l.prefix<<1 | l.nextBit()
+	l.n++
+}
+
+// Above reports whether the variate is > p, refining only as many bits as
+// needed to decide.
+func (l *LazyUniform) Above(p float64) bool {
+	if p < 0 {
+		return true
+	}
+	if p >= 1 {
+		return false
+	}
+	for {
+		scale := math.Ldexp(1, -int(l.n)) // 2^-n
+		lo := float64(l.prefix) * scale
+		hi := lo + scale
+		if lo > p {
+			return true
+		}
+		if hi <= p {
+			return false
+		}
+		if l.n >= lazyMaxBits {
+			// Ambiguous at full precision: let the materialized value decide.
+			return l.Value() > p
+		}
+		before := l.Bits
+		l.refine()
+		l.DecisionBits += l.Bits - before
+	}
+}
+
+// Value materializes the variate to 53-bit precision and returns it. The
+// returned value lies strictly inside (0, 1) and inside every interval
+// used by earlier Above decisions, so it never contradicts them.
+func (l *LazyUniform) Value() float64 {
+	for l.n < lazyMaxBits {
+		l.refine()
+	}
+	return (float64(l.prefix) + 0.5) * 0x1p-53
+}
+
+// ThresholdExp decides whether the precision-sampling key v = w/t
+// (t ~ Exp(1)) of an item with weight w exceeds a threshold, and can then
+// materialize the key. The underlying uniform U relates to the key by
+// t = -ln(U), so v > u  <=>  t < w/u  <=>  U > e^(-w/u).
+type ThresholdExp struct {
+	lu LazyUniform
+	w  float64
+}
+
+// NewThresholdExp prepares the key comparison for an item of weight w > 0.
+func NewThresholdExp(rng *RNG, w float64) ThresholdExp {
+	return ThresholdExp{lu: NewLazyUniform(rng), w: w}
+}
+
+// Above reports whether the item's key exceeds u. A non-positive threshold
+// always passes (keys are strictly positive).
+func (t *ThresholdExp) Above(u float64) bool {
+	if u <= 0 {
+		return true
+	}
+	p := math.Exp(-t.w / u)
+	return t.lu.Above(p)
+}
+
+// Key materializes and returns the key v = w / (-ln U). It is consistent
+// with every earlier Above decision.
+func (t *ThresholdExp) Key() float64 {
+	return t.w / -math.Log(t.lu.Value())
+}
+
+// DecisionBits returns the number of random bits consumed by Above calls.
+func (t *ThresholdExp) DecisionBits() int { return t.lu.DecisionBits }
+
+// TotalBits returns all random bits consumed, including materialization.
+func (t *ThresholdExp) TotalBits() int { return t.lu.Bits }

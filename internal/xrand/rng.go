@@ -1,0 +1,146 @@
+// Package xrand provides deterministic, seedable pseudo-randomness and the
+// distribution samplers used throughout the library: exponential and
+// truncated-exponential variates for precision sampling, binomial batching
+// for the SWR reduction and L1-tracking duplication, and the lazily refined
+// uniform of Proposition 7 that decides threshold comparisons with an
+// expected O(1) random bits.
+//
+// The generator is xoshiro256++ seeded via splitmix64. It is not
+// cryptographically secure; it is chosen for speed, quality and
+// reproducibility (every simulation in this repository is replayable from
+// a single seed).
+package xrand
+
+import "math"
+
+// SplitMix64 advances the given state and returns the next value of the
+// splitmix64 sequence. It is used to seed RNG and to derive independent
+// per-component seeds from a master seed.
+func SplitMix64(state *uint64) uint64 {
+	*state += 0x9e3779b97f4a7c15
+	z := *state
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// RNG is a xoshiro256++ pseudo-random number generator.
+// The zero value is not usable; construct with New.
+type RNG struct {
+	s [4]uint64
+}
+
+// New returns an RNG deterministically seeded from seed.
+func New(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		r.s[i] = SplitMix64(&sm)
+	}
+	// xoshiro256++ requires a state that is not all zero; splitmix64 of any
+	// seed never produces four zero words, but guard anyway.
+	if r.s[0]|r.s[1]|r.s[2]|r.s[3] == 0 {
+		r.s[0] = 0x9e3779b97f4a7c15
+	}
+	return r
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[0]+r.s[3], 23) + r.s[0]
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform float64 in [0, 1) with 53 bits of precision.
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) * 0x1p-53
+}
+
+// OpenFloat64 returns a uniform float64 in the open interval (0, 1).
+// It never returns exactly 0 or 1, which makes it safe to pass to math.Log.
+func (r *RNG) OpenFloat64() float64 {
+	return (float64(r.Uint64()>>11) + 0.5) * 0x1p-53
+}
+
+// Intn returns a uniform integer in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("xrand: Intn called with n <= 0")
+	}
+	// Lemire's nearly-divisionless bounded sampling.
+	v := r.Uint64()
+	hi, lo := mul64(v, uint64(n))
+	if lo < uint64(n) {
+		thresh := uint64(-n) % uint64(n)
+		for lo < thresh {
+			v = r.Uint64()
+			hi, lo = mul64(v, uint64(n))
+		}
+	}
+	return int(hi)
+}
+
+// mul64 returns the 128-bit product of a and b as (hi, lo).
+func mul64(a, b uint64) (hi, lo uint64) {
+	const mask32 = 1<<32 - 1
+	a0, a1 := a&mask32, a>>32
+	b0, b1 := b&mask32, b>>32
+	t := a1*b0 + (a0*b0)>>32
+	w1 := t&mask32 + a0*b1
+	hi = a1*b1 + t>>32 + w1>>32
+	lo = a * b
+	return
+}
+
+// Exp returns an exponential variate with rate 1 via inverse transform.
+// The result is strictly positive.
+func (r *RNG) Exp() float64 {
+	return -math.Log(r.OpenFloat64())
+}
+
+// Perm fills dst with a uniformly random permutation of 0..len(dst)-1.
+func (r *RNG) Perm(dst []int) {
+	for i := range dst {
+		dst[i] = i
+	}
+	for i := len(dst) - 1; i > 0; i-- {
+		j := r.Intn(i + 1)
+		dst[i], dst[j] = dst[j], dst[i]
+	}
+}
+
+// Choose writes a uniformly random size-x subset of 0..n-1 into dst and
+// returns it. It panics unless 0 <= x <= n. The returned indices are in
+// arbitrary order. dst must have capacity >= x.
+func (r *RNG) Choose(n, x int, dst []int) []int {
+	if x < 0 || x > n {
+		panic("xrand: Choose called with x out of range")
+	}
+	dst = dst[:0]
+	// Floyd's algorithm: O(x) expected time, no O(n) allocation.
+	seen := make(map[int]struct{}, x)
+	for j := n - x; j < n; j++ {
+		t := r.Intn(j + 1)
+		if _, ok := seen[t]; ok {
+			t = j
+		}
+		seen[t] = struct{}{}
+		dst = append(dst, t)
+	}
+	return dst
+}
+
+// Split returns a new RNG whose seed is derived from the current generator.
+// Use it to fan out independent streams for per-site randomness.
+func (r *RNG) Split() *RNG {
+	return New(r.Uint64())
+}

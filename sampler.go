@@ -1,0 +1,84 @@
+package wrs
+
+import (
+	"wrs/internal/sample"
+	"wrs/internal/xrand"
+)
+
+// Reservoir is a centralized (single-stream) weighted sampler without
+// replacement — the Efraimidis–Spirakis scheme the paper's distributed
+// protocol generalizes. Use it when all data passes through one process.
+type Reservoir struct {
+	es *sample.ES
+}
+
+// NewReservoir returns a weighted SWOR reservoir of size s.
+func NewReservoir(s int, opts ...Option) (*Reservoir, error) {
+	if s < 1 {
+		return nil, errSampleSize(s)
+	}
+	o := buildOptions(opts)
+	return &Reservoir{es: sample.NewES(s, xrand.New(o.seed))}, nil
+}
+
+// Observe feeds one item; the weight must be positive and finite.
+func (r *Reservoir) Observe(it Item) error {
+	if err := validateWeight(it.Weight); err != nil {
+		return err
+	}
+	r.es.Observe(it.internal())
+	return nil
+}
+
+// Sample returns the current weighted SWOR, largest key first.
+func (r *Reservoir) Sample() []Sampled {
+	items := r.es.Sample()
+	keys := r.es.Keys()
+	out := make([]Sampled, len(items))
+	for i := range items {
+		out[i] = Sampled{Item: fromInternal(items[i]), Key: keys[i]}
+	}
+	return out
+}
+
+// N returns the number of items observed.
+func (r *Reservoir) N() int { return r.es.N() }
+
+// WithReplacement is a centralized weighted sampler *with* replacement: s
+// independent single-item samples. On heavily skewed streams its slots
+// collapse onto the few heavy items — the failure mode that motivates
+// sampling without replacement (Section 1 of the paper).
+type WithReplacement struct {
+	swr *sample.SWR
+}
+
+// NewWithReplacement returns a weighted SWR sampler of size s.
+func NewWithReplacement(s int, opts ...Option) (*WithReplacement, error) {
+	if s < 1 {
+		return nil, errSampleSize(s)
+	}
+	o := buildOptions(opts)
+	return &WithReplacement{swr: sample.NewSWR(s, xrand.New(o.seed))}, nil
+}
+
+// Observe feeds one item; the weight must be positive and finite.
+func (w *WithReplacement) Observe(it Item) error {
+	if err := validateWeight(it.Weight); err != nil {
+		return err
+	}
+	w.swr.Observe(it.internal())
+	return nil
+}
+
+// Sample returns the s slots (empty before the first item).
+func (w *WithReplacement) Sample() []Item {
+	items := w.swr.Sample()
+	out := make([]Item, len(items))
+	for i, it := range items {
+		out[i] = fromInternal(it)
+	}
+	return out
+}
+
+// N returns the number of items observed.
+func (w *WithReplacement) N() int { return w.swr.N() }

@@ -1,0 +1,109 @@
+package wrs
+
+import (
+	"fmt"
+	"math"
+
+	"wrs/internal/core"
+	"wrs/internal/heavyhitter"
+	"wrs/internal/l1track"
+	"wrs/internal/netsim"
+	"wrs/internal/xrand"
+)
+
+func errSampleSize(s int) error {
+	return fmt.Errorf("wrs: sample size must be >= 1, got %d", s)
+}
+
+func validateWeight(w float64) error {
+	if !(w > 0) || math.IsInf(w, 0) || math.IsNaN(w) {
+		return fmt.Errorf("wrs: weight must be positive and finite, got %v", w)
+	}
+	return nil
+}
+
+// HeavyHitterTracker continuously monitors heavy hitters with the
+// *residual* guarantee of Section 4: with probability 1-delta, a query
+// contains every item whose weight is at least eps times the residual L1
+// (total weight after the top ceil(1/eps) items are removed). This is
+// strictly stronger than the usual eps-L1 guarantee and is exactly what
+// with-replacement sampling cannot provide on skewed streams.
+type HeavyHitterTracker struct {
+	tracker *heavyhitter.Tracker
+	cluster *netsim.Cluster[core.Message]
+}
+
+// NewHeavyHitterTracker creates a tracker over k sites with parameters
+// eps, delta in (0,1). The underlying sample size is
+// ceil(6·ln(1/(eps·delta))/eps) (Theorem 4).
+func NewHeavyHitterTracker(k int, eps, delta float64, opts ...Option) (*HeavyHitterTracker, error) {
+	o := buildOptions(opts)
+	tr, err := heavyhitter.NewTracker(k, heavyhitter.Params{Eps: eps, Delta: delta}, xrand.New(o.seed))
+	if err != nil {
+		return nil, err
+	}
+	sites := make([]netsim.Site[core.Message], k)
+	for i, s := range tr.Sites {
+		sites[i] = s
+	}
+	return &HeavyHitterTracker{
+		tracker: tr,
+		cluster: netsim.NewCluster[core.Message](tr.Coord, sites),
+	}, nil
+}
+
+// Observe delivers one arrival to a site.
+func (h *HeavyHitterTracker) Observe(site int, it Item) error {
+	return h.cluster.Feed(site, it.internal())
+}
+
+// Candidates returns at most ceil(2/eps) items, heaviest first; with
+// probability 1-delta every residual eps-heavy hitter is among them.
+func (h *HeavyHitterTracker) Candidates() []Item {
+	items := h.tracker.Query()
+	out := make([]Item, len(items))
+	for i, it := range items {
+		out[i] = fromInternal(it)
+	}
+	return out
+}
+
+// Stats returns cumulative network traffic.
+func (h *HeavyHitterTracker) Stats() Stats { return fromNetsim(h.cluster.Stats) }
+
+// L1Tracker continuously maintains a (1±eps)-approximation of the total
+// weight across all sites (Section 5, Theorem 6): each update is
+// duplicated l = s/(2·eps) times into a weighted SWOR of size
+// s = Θ(log(1/delta)/eps²) and the s-th largest key calibrates the total.
+type L1Tracker struct {
+	coord   *l1track.DupCoordinator
+	cluster *netsim.Cluster[core.Message]
+}
+
+// NewL1Tracker creates a tracker over k sites; eps in (0, 0.5), delta in
+// (0,1). delta is the failure probability at any one fixed time step
+// (union-bound over eps^-1·log(W) steps for an always-correct guarantee,
+// per Corollary 3).
+func NewL1Tracker(k int, eps, delta float64, opts ...Option) (*L1Tracker, error) {
+	o := buildOptions(opts)
+	coord, sites, err := l1track.NewDupTracker(k, l1track.DupParams{Eps: eps, Delta: delta}, xrand.New(o.seed))
+	if err != nil {
+		return nil, err
+	}
+	ns := make([]netsim.Site[core.Message], k)
+	for i, s := range sites {
+		ns[i] = s
+	}
+	return &L1Tracker{coord: coord, cluster: netsim.NewCluster[core.Message](coord, ns)}, nil
+}
+
+// Observe delivers one arrival to a site.
+func (l *L1Tracker) Observe(site int, it Item) error {
+	return l.cluster.Feed(site, it.internal())
+}
+
+// Estimate returns the current (1±eps) estimate of the total weight.
+func (l *L1Tracker) Estimate() float64 { return l.coord.Estimate() }
+
+// Stats returns cumulative network traffic.
+func (l *L1Tracker) Stats() Stats { return fromNetsim(l.cluster.Stats) }

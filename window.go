@@ -1,0 +1,47 @@
+package wrs
+
+import (
+	"wrs/internal/window"
+	"wrs/internal/xrand"
+)
+
+// SlidingReservoir maintains a weighted sample without replacement over
+// the most recent `width` items of a single stream — the sliding-window
+// extension the paper lists as future work (Section 6). It retains an
+// expected O(s·log(width/s)) items, far below the window size.
+type SlidingReservoir struct {
+	w *window.Sampler
+}
+
+// NewSlidingReservoir returns a sliding-window sampler with sample size s
+// over a window of `width` items.
+func NewSlidingReservoir(s, width int, opts ...Option) (*SlidingReservoir, error) {
+	o := buildOptions(opts)
+	w, err := window.New(s, width, xrand.New(o.seed))
+	if err != nil {
+		return nil, err
+	}
+	return &SlidingReservoir{w: w}, nil
+}
+
+// Observe feeds one item; the weight must be positive and finite.
+func (r *SlidingReservoir) Observe(it Item) error {
+	return r.w.Observe(it.internal())
+}
+
+// Sample returns the weighted SWOR of the current window, largest key
+// first (size min(s, window fill)).
+func (r *SlidingReservoir) Sample() []Sampled {
+	entries := r.w.Sample()
+	out := make([]Sampled, len(entries))
+	for i, e := range entries {
+		out[i] = Sampled{Item: fromInternal(e.Item), Key: e.Key}
+	}
+	return out
+}
+
+// Retained returns how many items are currently buffered.
+func (r *SlidingReservoir) Retained() int { return r.w.Retained() }
+
+// N returns the number of items observed.
+func (r *SlidingReservoir) N() int { return r.w.N() }

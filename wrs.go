@@ -1,0 +1,180 @@
+package wrs
+
+import (
+	"fmt"
+
+	"wrs/internal/core"
+	"wrs/internal/netsim"
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// Item is a weighted stream update: an application identifier and a
+// positive, finite weight. The same ID may occur many times; each
+// occurrence is sampled as a distinct element, exactly as in the paper.
+type Item struct {
+	ID     uint64
+	Weight float64
+}
+
+func (it Item) internal() stream.Item { return stream.Item{ID: it.ID, Weight: it.Weight} }
+
+func fromInternal(it stream.Item) Item { return Item{ID: it.ID, Weight: it.Weight} }
+
+// Sampled is a sampled item together with its precision-sampling key
+// (v = w/t, t ~ Exp(1)); larger keys rank higher.
+type Sampled struct {
+	Item Item
+	Key  float64
+}
+
+// Stats reports network traffic. Broadcasts count k messages, matching
+// the paper's accounting.
+type Stats struct {
+	Upstream   int64 // site -> coordinator messages
+	Downstream int64 // coordinator -> site messages
+	UpWords    int64 // machine words, site -> coordinator
+	DownWords  int64 // machine words, coordinator -> site
+}
+
+// Total returns the total number of messages.
+func (s Stats) Total() int64 { return s.Upstream + s.Downstream }
+
+func fromNetsim(s netsim.Stats) Stats {
+	return Stats{Upstream: s.Upstream, Downstream: s.Downstream, UpWords: s.UpWords, DownWords: s.DownWords}
+}
+
+// Option configures a sampler or tracker.
+type Option func(*options)
+
+type options struct {
+	seed uint64
+}
+
+// WithSeed fixes the random seed, making every run replayable. Without
+// it, a fixed default seed is used (the library never reads entropy from
+// the environment; vary the seed for independent runs).
+func WithSeed(seed uint64) Option {
+	return func(o *options) { o.seed = seed }
+}
+
+func buildOptions(opts []Option) options {
+	o := options{seed: 0x9E3779B97F4A7C15}
+	for _, fn := range opts {
+		fn(&o)
+	}
+	return o
+}
+
+// DistributedSampler maintains a weighted sample without replacement of
+// size s over k sites, using the paper's message-optimal protocol. This
+// driver delivers messages synchronously and deterministically (the model
+// analyzed in the paper); use ConcurrentSampler for a live goroutine
+// runtime, or the netsim building blocks for a custom transport.
+type DistributedSampler struct {
+	cluster *netsim.Cluster[core.Message]
+	coord   *core.Coordinator
+	k       int
+}
+
+// NewDistributedSampler creates a sampler over k sites with sample size s.
+func NewDistributedSampler(k, s int, opts ...Option) (*DistributedSampler, error) {
+	cfg := core.Config{K: k, S: s}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	o := buildOptions(opts)
+	master := xrand.New(o.seed)
+	coord := core.NewCoordinator(cfg, master.Split())
+	sites := make([]netsim.Site[core.Message], k)
+	for i := 0; i < k; i++ {
+		sites[i] = core.NewSite(i, cfg, master.Split())
+	}
+	return &DistributedSampler{
+		cluster: netsim.NewCluster[core.Message](coord, sites),
+		coord:   coord,
+		k:       k,
+	}, nil
+}
+
+// Observe delivers one arrival to a site (0 <= site < k).
+func (d *DistributedSampler) Observe(site int, it Item) error {
+	return d.cluster.Feed(site, it.internal())
+}
+
+// Sample returns the current weighted sample without replacement —
+// min(items observed, s) items, largest key first. It is valid at any
+// instant (Definition 3: the sampler never fails to maintain the sample).
+func (d *DistributedSampler) Sample() []Sampled {
+	q := d.coord.Query()
+	out := make([]Sampled, len(q))
+	for i, e := range q {
+		out[i] = Sampled{Item: fromInternal(e.Item), Key: e.Key}
+	}
+	return out
+}
+
+// Stats returns cumulative network traffic.
+func (d *DistributedSampler) Stats() Stats { return fromNetsim(d.cluster.Stats) }
+
+// K returns the number of sites.
+func (d *DistributedSampler) K() int { return d.k }
+
+// ConcurrentSampler is the same protocol on a goroutine-per-site runtime
+// with FIFO links. Feed may be called from any goroutine; Drain must be
+// called exactly once, after which Sample is available.
+type ConcurrentSampler struct {
+	cc      *netsim.ConcurrentCluster[core.Message]
+	coord   *core.Coordinator
+	k       int
+	drained bool
+	stats   Stats
+	err     error
+}
+
+// NewConcurrentSampler creates and starts a concurrent sampler.
+func NewConcurrentSampler(k, s int, opts ...Option) (*ConcurrentSampler, error) {
+	cfg := core.Config{K: k, S: s}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	o := buildOptions(opts)
+	master := xrand.New(o.seed)
+	coord := core.NewCoordinator(cfg, master.Split())
+	sites := make([]netsim.Site[core.Message], k)
+	for i := 0; i < k; i++ {
+		sites[i] = core.NewSite(i, cfg, master.Split())
+	}
+	cc := netsim.NewConcurrentCluster[core.Message](coord, sites)
+	cc.Start()
+	return &ConcurrentSampler{cc: cc, coord: coord, k: k}, nil
+}
+
+// Feed enqueues one arrival for a site. Invalid weights surface as an
+// error from Drain.
+func (c *ConcurrentSampler) Feed(site int, it Item) {
+	c.cc.Feed(site, it.internal())
+}
+
+// Drain waits for all in-flight work and returns traffic statistics.
+func (c *ConcurrentSampler) Drain() (Stats, error) {
+	if !c.drained {
+		s, err := c.cc.Drain()
+		c.stats, c.err = fromNetsim(s), err
+		c.drained = true
+	}
+	return c.stats, c.err
+}
+
+// Sample returns the final sample; it must be called after Drain.
+func (c *ConcurrentSampler) Sample() ([]Sampled, error) {
+	if !c.drained {
+		return nil, fmt.Errorf("wrs: Sample before Drain on ConcurrentSampler")
+	}
+	q := c.coord.Query()
+	out := make([]Sampled, len(q))
+	for i, e := range q {
+		out[i] = Sampled{Item: fromInternal(e.Item), Key: e.Key}
+	}
+	return out, nil
+}

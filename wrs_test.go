@@ -1,0 +1,240 @@
+package wrs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestDistributedSamplerBasics(t *testing.T) {
+	s, err := NewDistributedSampler(4, 8, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.K() != 4 {
+		t.Errorf("K = %d", s.K())
+	}
+	for i := 0; i < 100; i++ {
+		if err := s.Observe(i%4, Item{ID: uint64(i), Weight: float64(1 + i%10)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	smp := s.Sample()
+	if len(smp) != 8 {
+		t.Fatalf("sample size = %d, want 8", len(smp))
+	}
+	seen := map[uint64]bool{}
+	for i, e := range smp {
+		if seen[e.Item.ID] {
+			t.Errorf("duplicate id %d in SWOR sample", e.Item.ID)
+		}
+		seen[e.Item.ID] = true
+		if e.Key <= 0 {
+			t.Errorf("non-positive key %v", e.Key)
+		}
+		if i > 0 && smp[i].Key > smp[i-1].Key {
+			t.Error("sample not sorted by descending key")
+		}
+	}
+	if s.Stats().Total() == 0 {
+		t.Error("no messages recorded")
+	}
+}
+
+func TestDistributedSamplerSampleSizeRampUp(t *testing.T) {
+	s, _ := NewDistributedSampler(2, 10, WithSeed(2))
+	for i := 0; i < 5; i++ {
+		if err := s.Observe(i%2, Item{ID: uint64(i), Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if got := len(s.Sample()); got != i+1 {
+			t.Fatalf("after %d items sample size = %d", i+1, got)
+		}
+	}
+}
+
+func TestDistributedSamplerValidation(t *testing.T) {
+	if _, err := NewDistributedSampler(0, 5); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := NewDistributedSampler(5, 0); err == nil {
+		t.Error("s=0 accepted")
+	}
+	s, _ := NewDistributedSampler(2, 2)
+	if err := s.Observe(0, Item{Weight: -3}); err == nil {
+		t.Error("negative weight accepted")
+	}
+	if err := s.Observe(7, Item{Weight: 1}); err == nil {
+		t.Error("out-of-range site accepted")
+	}
+}
+
+func TestDistributedSamplerDeterministic(t *testing.T) {
+	run := func() []Sampled {
+		s, _ := NewDistributedSampler(3, 5, WithSeed(99))
+		for i := 0; i < 200; i++ {
+			s.Observe(i%3, Item{ID: uint64(i), Weight: float64(1 + i%7)})
+		}
+		return s.Sample()
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("replay diverged at %d: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestConcurrentSamplerEndToEnd(t *testing.T) {
+	c, err := NewConcurrentSampler(4, 6, WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Sample(); err == nil {
+		t.Error("Sample before Drain should error")
+	}
+	for i := 0; i < 5000; i++ {
+		c.Feed(i%4, Item{ID: uint64(i), Weight: 1 + float64(i%13)})
+	}
+	stats, err := c.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.Upstream == 0 {
+		t.Error("no upstream messages")
+	}
+	smp, err := c.Sample()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(smp) != 6 {
+		t.Fatalf("sample size %d", len(smp))
+	}
+	// Drain is idempotent.
+	stats2, _ := c.Drain()
+	if stats2 != stats {
+		t.Error("second Drain changed stats")
+	}
+}
+
+func TestReservoirFacade(t *testing.T) {
+	r, err := NewReservoir(3, WithSeed(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewReservoir(0); err == nil {
+		t.Error("s=0 accepted")
+	}
+	if err := r.Observe(Item{Weight: 0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	for i := 0; i < 50; i++ {
+		if err := r.Observe(Item{ID: uint64(i), Weight: float64(i + 1)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if r.N() != 50 {
+		t.Errorf("N = %d", r.N())
+	}
+	smp := r.Sample()
+	if len(smp) != 3 {
+		t.Fatalf("sample size %d", len(smp))
+	}
+	for i := 1; i < len(smp); i++ {
+		if smp[i].Key > smp[i-1].Key {
+			t.Error("not sorted desc")
+		}
+	}
+}
+
+func TestWithReplacementFacade(t *testing.T) {
+	w, err := NewWithReplacement(5, WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewWithReplacement(-1); err == nil {
+		t.Error("negative s accepted")
+	}
+	if got := w.Sample(); len(got) != 0 {
+		t.Errorf("empty sampler returned %v", got)
+	}
+	if err := w.Observe(Item{Weight: math.NaN()}); err == nil {
+		t.Error("NaN weight accepted")
+	}
+	for i := 0; i < 20; i++ {
+		if err := w.Observe(Item{ID: uint64(i), Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if got := len(w.Sample()); got != 5 {
+		t.Errorf("sample size %d, want 5", got)
+	}
+}
+
+func TestHeavyHitterTrackerFacade(t *testing.T) {
+	h, err := NewHeavyHitterTracker(4, 0.1, 0.1, WithSeed(6))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewHeavyHitterTracker(4, 0, 0.1); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	// 5 giants + lights: giants must be among candidates.
+	for i := 0; i < 5; i++ {
+		if err := h.Observe(i%4, Item{ID: uint64(i), Weight: 1e7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 5; i < 3000; i++ {
+		if err := h.Observe(i%4, Item{ID: uint64(i), Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	cand := h.Candidates()
+	if len(cand) == 0 || len(cand) > 20 {
+		t.Fatalf("candidate count %d", len(cand))
+	}
+	found := map[uint64]bool{}
+	for _, it := range cand {
+		found[it.ID] = true
+	}
+	for i := uint64(0); i < 5; i++ {
+		if !found[i] {
+			t.Errorf("giant %d missing from candidates", i)
+		}
+	}
+	if h.Stats().Total() == 0 {
+		t.Error("no traffic recorded")
+	}
+}
+
+func TestL1TrackerFacade(t *testing.T) {
+	l, err := NewL1Tracker(4, 0.2, 0.2, WithSeed(7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewL1Tracker(4, 0.9, 0.1); err == nil {
+		t.Error("eps=0.9 accepted")
+	}
+	var W float64
+	for i := 0; i < 2000; i++ {
+		w := float64(1 + i%5)
+		W += w
+		if err := l.Observe(i%4, Item{ID: uint64(i), Weight: w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est := l.Estimate()
+	if math.Abs(est-W)/W > 0.2 {
+		t.Errorf("estimate %v vs true %v: relative error %v", est, W, math.Abs(est-W)/W)
+	}
+	if l.Stats().Total() == 0 {
+		t.Error("no traffic recorded")
+	}
+}
+
+func TestStatsTotal(t *testing.T) {
+	s := Stats{Upstream: 3, Downstream: 4}
+	if s.Total() != 7 {
+		t.Errorf("Total = %d", s.Total())
+	}
+}
