@@ -6,6 +6,10 @@
 // Usage:
 //
 //	wrs-tcp -k 8 -s 10 -n 200000
+//
+// With -batch > 1 the sites feed through ObserveBatch, coalescing
+// protocol messages into multi-message frames (the high-throughput
+// path); -batch 1 sends one frame per message.
 package main
 
 import (
@@ -26,8 +30,12 @@ func main() {
 	k := flag.Int("k", 8, "number of sites")
 	s := flag.Int("s", 10, "sample size")
 	n := flag.Int("n", 200000, "total updates")
+	batch := flag.Int("batch", 256, "updates per ObserveBatch call (1 = unbatched)")
 	seed := flag.Uint64("seed", 1, "random seed")
 	flag.Parse()
+	if *batch < 1 {
+		*batch = 1
+	}
 
 	cfg := core.Config{K: *k, S: *s}
 	if err := cfg.Validate(); err != nil {
@@ -68,11 +76,15 @@ func main() {
 		go func(site int, c *transport.SiteClient) {
 			defer wg.Done()
 			rng := xrand.New(*seed + uint64(site)*7919)
+			items := make([]stream.Item, 0, *batch)
 			for j := 0; j < perSite; j++ {
-				it := stream.Item{ID: uint64(site*perSite + j), Weight: rng.Pareto(1.2)}
-				if err := c.Observe(it); err != nil {
-					fmt.Fprintf(os.Stderr, "wrs-tcp: site %d: %v\n", site, err)
-					return
+				items = append(items, stream.Item{ID: uint64(site*perSite + j), Weight: rng.Pareto(1.2)})
+				if len(items) == *batch || j == perSite-1 {
+					if err := c.ObserveBatch(items); err != nil {
+						fmt.Fprintf(os.Stderr, "wrs-tcp: site %d: %v\n", site, err)
+						return
+					}
+					items = items[:0]
 				}
 			}
 		}(i, c)
@@ -86,15 +98,16 @@ func main() {
 	}
 	elapsed := time.Since(start)
 
-	var sent int64
+	var sent, pings int64
 	for _, c := range clients {
 		sent += c.Sent()
+		pings += c.FlowPings()
 	}
 	total := *k * perSite
 	fmt.Printf("\nstreamed %d updates in %v (%.0f updates/sec)\n",
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
-	fmt.Printf("traffic: %d upstream messages (%.4f/update), %d broadcast frames\n",
-		sent, float64(sent)/float64(total), srv.BroadcastsSent())
+	fmt.Printf("traffic: %d upstream messages (%.4f/update), %d broadcast frames, %d flow pings\n",
+		sent, float64(sent)/float64(total), srv.BroadcastsSent(), pings)
 	st := srv.Stats()
 	fmt.Printf("coordinator: %d early, %d regular, %d saturations, %d epoch advances\n",
 		st.EarlyMsgs, st.RegularMsgs, st.Saturations, st.EpochAdvances)

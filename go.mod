@@ -1,0 +1,3 @@
+module wrs
+
+go 1.24

@@ -133,6 +133,18 @@ func (c Config) LevelCap() int {
 	return cap8s
 }
 
+// StalenessWindow returns the default flow-control window W used by
+// asynchronous transports: after every W upstream messages a site must
+// synchronize (round-trip) with the coordinator before sending more,
+// so it can never run further than W messages ahead of the control
+// plane. W = 4*LevelCap() keeps the round-trip overhead at 2 messages
+// per W sent while bounding how long a site can filter with a stale
+// threshold, preserving the message bound of Theorem 3 on any
+// scheduler or network. See DESIGN.md.
+func (c Config) StalenessWindow() int {
+	return 4 * c.LevelCap()
+}
+
 // levelOf returns the level j >= 0 with w in [r^j, r^(j+1)) per
 // Definition 4 (weights below r, including (0,1), map to level 0). The
 // post-correction loops guard against floating-point boundary rounding.

@@ -23,6 +23,7 @@ type Site struct {
 	TotalBits    int64 // all random bits, including key materialization
 	Observed     int64
 	Sent         int64
+	Applied      int64 // broadcasts applied via HandleBroadcast
 }
 
 // NewSite returns the state machine for site id. Each site must get an
@@ -154,6 +155,7 @@ func (st *Site) ObserveRepeated(it stream.Item, count int, send func(Message)) e
 
 // HandleBroadcast applies a coordinator announcement. It never sends.
 func (st *Site) HandleBroadcast(m Message) {
+	st.Applied++
 	switch m.Kind {
 	case MsgLevelSaturated:
 		st.saturated[m.Level] = true

@@ -104,6 +104,15 @@ func (cc *ConcurrentCluster[M]) Feed(siteID int, it stream.Item) {
 	cc.inCh[siteID] <- it
 }
 
+// FeedBatch enqueues a slice of arrivals for a site in order — the
+// concurrent-runtime counterpart of transport.SiteClient.ObserveBatch.
+// Like Feed it may block on the site's input buffer (backpressure).
+func (cc *ConcurrentCluster[M]) FeedBatch(siteID int, items []stream.Item) {
+	for _, it := range items {
+		cc.Feed(siteID, it)
+	}
+}
+
 // Drain closes the inputs, waits for all in-flight messages to be
 // processed by the coordinator, and returns the traffic statistics and
 // the first site error, if any. The cluster cannot be reused afterwards.

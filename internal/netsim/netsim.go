@@ -111,6 +111,20 @@ func (c *Cluster[M]) Feed(siteID int, it stream.Item) error {
 	return c.Sites[siteID].Observe(it, c.send)
 }
 
+// FeedBatch delivers a slice of arrivals to a site in order — the
+// sequential-runtime counterpart of transport.SiteClient.ObserveBatch,
+// so code can be written against one feeding API and run on either
+// runtime. In the synchronous model batching changes nothing
+// observable; it exists for API parity.
+func (c *Cluster[M]) FeedBatch(siteID int, items []stream.Item) error {
+	for _, it := range items {
+		if err := c.Feed(siteID, it); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
 // FeedRepeated delivers count identical copies of an arrival, using the
 // site's batched path when available.
 func (c *Cluster[M]) FeedRepeated(siteID int, it stream.Item, count int) error {

@@ -1,0 +1,77 @@
+package transport
+
+import (
+	"testing"
+
+	"wrs/internal/core"
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// benchClient wires one site client to a fresh loopback coordinator.
+func benchClient(b *testing.B, cfg core.Config) (*CoordinatorServer, *SiteClient) {
+	b.Helper()
+	master := xrand.New(1)
+	srv, addr := startServer(b, cfg, master.Split())
+	c, err := DialSite(addr, 0, cfg, master.Split())
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv, c
+}
+
+func benchItems(n int) []stream.Item {
+	rng := xrand.New(7)
+	items := make([]stream.Item, n)
+	for i := range items {
+		items[i] = stream.Item{ID: uint64(i), Weight: rng.Pareto(1.2)}
+	}
+	return items
+}
+
+// BenchmarkTCPObserve measures the unbatched hot path: one frame and
+// one flush per update that sends.
+func BenchmarkTCPObserve(b *testing.B) {
+	srv, c := benchClient(b, core.Config{K: 1, S: 32})
+	defer srv.Close()
+	defer c.Close()
+	items := benchItems(b.N)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := range items {
+		if err := c.Observe(items[i]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(c.Sent())/float64(b.N), "msgs/op")
+}
+
+// BenchmarkTCPObserveBatch measures the batched hot path: multi-message
+// frames, one flush per 512 updates.
+func BenchmarkTCPObserveBatch(b *testing.B) {
+	srv, c := benchClient(b, core.Config{K: 1, S: 32})
+	defer srv.Close()
+	defer c.Close()
+	items := benchItems(b.N)
+	const chunk = 512
+	b.ReportAllocs()
+	b.ResetTimer()
+	for start := 0; start < len(items); start += chunk {
+		end := start + chunk
+		if end > len(items) {
+			end = len(items)
+		}
+		if err := c.ObserveBatch(items[start:end]); err != nil {
+			b.Fatal(err)
+		}
+	}
+	if err := c.Flush(); err != nil {
+		b.Fatal(err)
+	}
+	b.StopTimer()
+	b.ReportMetric(float64(c.Sent())/float64(b.N), "msgs/op")
+}

@@ -56,6 +56,24 @@ func TestSiteCrashDoesNotCorruptOthers(t *testing.T) {
 		time.Sleep(5 * time.Millisecond)
 	}
 
+	// Writes after the crash must error out and never inflate Sent():
+	// the counter reflects only messages whose bytes reached the
+	// connection, so the Processed/Sent books below can balance.
+	sentAtCrash := clients[2].Sent()
+	crashErrored := false
+	for i := 5000; i < 15000; i++ {
+		if err := clients[2].Observe(stream.Item{ID: uint64(i), Weight: 1 + rng.Float64()}); err != nil {
+			crashErrored = true
+			break
+		}
+	}
+	if !crashErrored {
+		t.Error("observe kept succeeding on a closed connection")
+	}
+	if got := clients[2].Sent(); got != sentAtCrash {
+		t.Errorf("failed writes counted: Sent() went %d -> %d after crash", sentAtCrash, got)
+	}
+
 	// Survivors keep streaming and stay consistent.
 	feed(clients[0], 2000, 3000)
 	feed(clients[1], 3000, 4000)
@@ -63,6 +81,18 @@ func TestSiteCrashDoesNotCorruptOthers(t *testing.T) {
 		if err := c.Flush(); err != nil {
 			t.Fatal(err)
 		}
+	}
+
+	// Exact accounting under mid-run connection failure: everything any
+	// client successfully wrote — including the crashed site's pre-crash
+	// traffic, delivered before its FIN — was processed, and nothing
+	// else was counted.
+	var sentTotal int64
+	for _, c := range clients {
+		sentTotal += c.Sent()
+	}
+	if got := srv.Processed(); got != sentTotal {
+		t.Errorf("processed %d != %d total successful sends", got, sentTotal)
 	}
 	q := srv.Query()
 	if len(q) != cfg.S {

@@ -7,10 +7,19 @@
 //
 // Asynchrony has the same consequences as in the goroutine runtime (see
 // DESIGN.md): stale thresholds and late early-messages cost extra
-// messages, never correctness.
+// messages, never correctness. What asynchrony must NOT be allowed to do
+// is starve the control plane indefinitely — a site that keeps sending
+// while broadcasts lag the whole feed degenerates to the naive O(n)
+// protocol. SiteClient therefore enforces a bounded-staleness window W
+// (core.Config.StalenessWindow): after every W upstream messages it
+// round-trips a ping before sending more, which fully synchronizes its
+// view of the control plane. The round-trip costs 2 messages per W
+// sent, so the Theorem 3 message bound survives any scheduler or
+// network timing.
 package transport
 
 import (
+	"bufio"
 	"errors"
 	"fmt"
 	"net"
@@ -92,6 +101,18 @@ func (s *CoordinatorServer) handleConn(conn net.Conn) {
 	outbox := netsim.NewMailbox[[]byte]()
 	s.mu.Lock()
 	s.conns[conn] = outbox
+	// Catch-up snapshot: a client starts observing as soon as the TCP
+	// handshake completes, which can be long before this registration —
+	// every broadcast issued in between would otherwise be lost to this
+	// connection forever (broadcasts are not replayed), leaving the
+	// site filtering with threshold 0 and unsaturated levels for the
+	// whole run: the O(n) regression. Replaying the control-plane state
+	// here, under the same lock broadcastLocked takes, guarantees the
+	// outbox carries a prefix-complete view.
+	if snap := s.joinSnapshotLocked(); len(snap) > 0 {
+		outbox.Put(snap)
+		s.bcasts.Add(1)
+	}
 	s.mu.Unlock()
 	// Close may have snapshotted the connection map before this
 	// registration; re-checking after registering guarantees that every
@@ -108,23 +129,37 @@ func (s *CoordinatorServer) handleConn(conn net.Conn) {
 	}
 
 	// Writer: drains the outbox so broadcasts never block the reader.
+	// Flush policy: coalesce every queued frame into one buffered write,
+	// flush before blocking on an empty outbox — no frame is ever held
+	// back, and a burst of broadcasts costs one syscall, not one each.
 	writerDone := make(chan struct{})
 	go func() {
 		defer close(writerDone)
+		bw := bufio.NewWriter(conn)
 		for {
 			payload, ok := outbox.Get()
 			if !ok {
 				return
 			}
-			if err := wire.WriteFrame(conn, payload); err != nil {
+			for {
+				if err := wire.WriteFrame(bw, payload); err != nil {
+					return
+				}
+				payload, ok = outbox.TryGet()
+				if !ok {
+					break
+				}
+			}
+			if err := bw.Flush(); err != nil {
 				return
 			}
 		}
 	}()
 
+	br := bufio.NewReaderSize(conn, 64*1024)
 	var buf []byte
 	for {
-		payload, err := wire.ReadFrame(conn, buf)
+		payload, err := wire.ReadFrame(br, buf)
 		if err != nil {
 			break
 		}
@@ -133,14 +168,18 @@ func (s *CoordinatorServer) handleConn(conn net.Conn) {
 			outbox.Put(append([]byte(nil), pongPayload...))
 			continue
 		}
-		m, err := wire.ParseMessage(payload)
-		if err != nil {
+		// Batch frame: one or more concatenated protocol messages.
+		n := int64(0)
+		s.mu.Lock()
+		perr := wire.ForEachMessage(payload, func(m core.Message) {
+			s.coord.HandleMessage(m, s.broadcastLocked)
+			n++
+		})
+		s.mu.Unlock()
+		s.processed.Add(n)
+		if perr != nil {
 			break // protocol violation: drop the connection
 		}
-		s.mu.Lock()
-		s.coord.HandleMessage(m, s.broadcastLocked)
-		s.mu.Unlock()
-		s.processed.Add(1)
 	}
 
 	s.mu.Lock()
@@ -149,6 +188,20 @@ func (s *CoordinatorServer) handleConn(conn net.Conn) {
 	outbox.Close()
 	<-writerDone
 	conn.Close()
+}
+
+// joinSnapshotLocked encodes the coordinator's current control-plane
+// state — saturated levels and the epoch threshold — as one batch
+// payload for a newly registered connection. Caller holds s.mu.
+func (s *CoordinatorServer) joinSnapshotLocked() []byte {
+	var snap []byte
+	for _, j := range s.coord.SaturatedLevels() {
+		snap = wire.AppendMessage(snap, core.Message{Kind: core.MsgLevelSaturated, Level: j})
+	}
+	if th := s.coord.CurrentThreshold(); th > 0 {
+		snap = wire.AppendMessage(snap, core.Message{Kind: core.MsgEpochUpdate, Threshold: th})
+	}
+	return snap
 }
 
 // broadcastLocked fans a coordinator announcement to every connected
@@ -203,14 +256,54 @@ func (s *CoordinatorServer) Close() error {
 }
 
 // SiteClient is the site side of the protocol over one connection.
-// Observe is safe for use from one goroutine; the broadcast reader runs
-// in the background and synchronizes with Observe internally.
+//
+// Data plane: Observe/ObserveBatch encode messages into multi-message
+// frames through a buffered writer, flushing once per call — the
+// 2-syscalls-per-29-byte-message hot path becomes one syscall per call
+// (per ~2000 messages in the batch path). Sent() counts only messages
+// whose bytes reached the connection: a failed write or flush never
+// inflates the count past what the coordinator can process.
+//
+// Control plane: the background readLoop parses incoming frames into a
+// pending-broadcast queue without touching the site state machine, and
+// Observe drains that queue before filtering each item — a broadcast is
+// applied at the first Observe after it arrives, never blocked behind a
+// network write or a busy data path.
+//
+// Flow control: the client round-trips a ping every W-th upstream
+// message (W = the staleness window); per-connection FIFO guarantees
+// that when the pong arrives, the coordinator has processed everything
+// this client sent and every broadcast that processing triggered has
+// been applied locally. This caps how far a site can outrun the
+// control plane at W messages on any scheduler or network — socket
+// buffering included — at a cost of exactly 2 extra messages per W
+// sent (see DESIGN.md).
+//
+// Observe, ObserveBatch, and Flush must be called from one goroutine;
+// the broadcast reader runs in the background and synchronizes with
+// them internally.
 type SiteClient struct {
-	mu   sync.Mutex // guards site state and writes
+	mu   sync.Mutex // guards site state machine
 	site *core.Site
 	conn net.Conn
 
-	sent       atomic.Int64
+	wmu       sync.Mutex // guards bw and the staleness/accounting counters
+	bw        *bufio.Writer
+	unflushed int64 // messages written but not yet flushed (not in sent)
+	stale     int64 // messages sent since the last completed round-trip
+	window    int64 // bounded-staleness window W
+
+	sent      atomic.Int64
+	flowPings atomic.Int64
+
+	frame []byte           // outgoing batch frame under construction
+	emit  func(m core.Message)
+	one   [1]stream.Item // scratch so Observe can reuse the batch path
+
+	pendMu     sync.Mutex
+	pending    []core.Message
+	hasPending atomic.Bool
+
 	pong       chan struct{}
 	readerDone chan struct{}
 	readerErr  error
@@ -225,21 +318,50 @@ func DialSite(addr string, id int, cfg core.Config, rng *xrand.RNG) (*SiteClient
 	if err != nil {
 		return nil, err
 	}
+	return NewSiteClient(conn, id, cfg, rng)
+}
+
+// NewSiteClient runs the site protocol over an established connection
+// (DialSite with the dialing factored out — tests and custom transports
+// hand in pipes or pre-configured conns).
+func NewSiteClient(conn net.Conn, id int, cfg core.Config, rng *xrand.RNG) (*SiteClient, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	c := &SiteClient{
 		site:       core.NewSite(id, cfg, rng),
 		conn:       conn,
+		bw:         bufio.NewWriterSize(conn, 32*1024),
+		window:     int64(cfg.StalenessWindow()),
 		pong:       make(chan struct{}, 4),
 		readerDone: make(chan struct{}),
 	}
+	c.emit = func(m core.Message) { c.frame = wire.AppendMessage(c.frame, m) }
 	go c.readLoop()
 	return c, nil
 }
 
+// SetStalenessWindow overrides the flow-control window W (default
+// cfg.StalenessWindow()). Must be called before the first Observe.
+func (c *SiteClient) SetStalenessWindow(w int) {
+	if w < 1 {
+		w = 1
+	}
+	c.wmu.Lock()
+	c.window = int64(w)
+	c.wmu.Unlock()
+}
+
+// readLoop parses incoming frames. Broadcasts go into the pending queue
+// for Observe to drain; it never takes the site mutex or blocks on the
+// data path, so a delivered broadcast is always one Observe away from
+// being applied.
 func (c *SiteClient) readLoop() {
 	defer close(c.readerDone)
+	br := bufio.NewReader(c.conn)
 	var buf []byte
 	for {
-		payload, err := wire.ReadFrame(c.conn, buf)
+		payload, err := wire.ReadFrame(br, buf)
 		if err != nil {
 			c.readerErr = err
 			return
@@ -252,60 +374,194 @@ func (c *SiteClient) readLoop() {
 			}
 			continue
 		}
-		m, err := wire.ParseMessage(payload)
-		if err != nil {
+		var msgs []core.Message
+		if err := wire.ForEachMessage(payload, func(m core.Message) {
+			msgs = append(msgs, m)
+		}); err != nil {
 			c.readerErr = err
 			return
 		}
-		c.mu.Lock()
-		c.site.HandleBroadcast(m)
-		c.mu.Unlock()
+		c.pendMu.Lock()
+		c.pending = append(c.pending, msgs...)
+		c.hasPending.Store(true)
+		c.pendMu.Unlock()
 	}
 }
 
-// Observe processes one local arrival, sending any resulting protocol
-// messages over the connection.
-func (c *SiteClient) Observe(it stream.Item) error {
+// drainPending applies every queued broadcast to the site state
+// machine. The fast path is one atomic load.
+//
+// Deliberately NOT a staleness reset: a just-applied broadcast can be
+// arbitrarily old — under full pipelining the kernel socket buffers
+// let a site run thousands of messages ahead of the coordinator while
+// a steady drip of stale broadcasts keeps arriving, which would starve
+// the window forever if applying one reset the clock. Only a completed
+// round-trip (syncCoordinator) proves the site is current.
+func (c *SiteClient) drainPending() bool {
+	if !c.hasPending.Load() {
+		return false
+	}
+	c.pendMu.Lock()
+	batch := c.pending
+	c.pending = nil
+	c.hasPending.Store(false)
+	c.pendMu.Unlock()
+	if len(batch) == 0 {
+		return false
+	}
 	c.mu.Lock()
-	defer c.mu.Unlock()
-	var sendErr error
-	err := c.site.Observe(it, func(m core.Message) {
-		if sendErr == nil {
-			sendErr = wire.WriteMessage(c.conn, m)
-			c.sent.Add(1)
-		}
-	})
-	if err != nil {
+	for _, m := range batch {
+		c.site.HandleBroadcast(m)
+	}
+	c.mu.Unlock()
+	return true
+}
+
+// needSync reports whether sending the currently framed messages would
+// exceed the staleness window.
+func (c *SiteClient) needSync(framed int) bool {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	return c.stale+int64(framed) >= c.window
+}
+
+// writeFrame sends the batch frame under construction. Messages count
+// toward stale immediately but reach Sent() only after a successful
+// flush; a write error drops the frame without inflating the counters.
+func (c *SiteClient) writeFrame() error {
+	if len(c.frame) == 0 {
+		return nil
+	}
+	n := int64(len(c.frame) / wire.MessageSize)
+	c.wmu.Lock()
+	err := wire.WriteFrame(c.bw, c.frame)
+	if err == nil {
+		c.unflushed += n
+		c.stale += n
+	}
+	c.wmu.Unlock()
+	c.frame = c.frame[:0]
+	return err
+}
+
+// flushCommit flushes the buffered writer and, on success, commits the
+// unflushed messages to Sent().
+func (c *SiteClient) flushCommit() error {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if err := c.bw.Flush(); err != nil {
 		return err
 	}
-	return sendErr
+	c.sent.Add(c.unflushed)
+	c.unflushed = 0
+	return nil
 }
 
-// Flush round-trips a ping so that every message this client sent has
-// been processed by the coordinator when it returns.
-func (c *SiteClient) Flush() error {
-	c.mu.Lock()
-	err := wire.WriteFrame(c.conn, pingPayload)
-	c.mu.Unlock()
+// syncCoordinator flushes everything written, round-trips a ping, and
+// applies the broadcasts that arrived before the pong. Per-connection
+// FIFO at both ends guarantees that when the pong is received, the
+// coordinator has processed every message this client sent and every
+// broadcast those messages triggered has been queued ahead of the pong
+// — so after the drain the site's view is fully current.
+func (c *SiteClient) syncCoordinator() error {
+	c.wmu.Lock()
+	err := wire.WriteFrame(c.bw, pingPayload)
+	if err == nil {
+		err = c.bw.Flush()
+	}
+	if err == nil {
+		c.sent.Add(c.unflushed)
+		c.unflushed = 0
+	}
+	c.wmu.Unlock()
 	if err != nil {
 		return err
 	}
 	select {
 	case <-c.pong:
-		return nil
 	case <-c.readerDone:
-		return fmt.Errorf("transport: connection closed during flush: %w", errOr(c.readerErr))
+		return fmt.Errorf("transport: connection closed during sync: %w", errOr(c.readerErr))
 	}
+	c.drainPending()
+	c.wmu.Lock()
+	c.stale = 0
+	c.wmu.Unlock()
+	return nil
 }
 
-// Sent returns the number of protocol messages this client has sent.
+// Observe processes one local arrival, sending any resulting protocol
+// message over the connection (one flush per call).
+func (c *SiteClient) Observe(it stream.Item) error {
+	c.one[0] = it
+	return c.ObserveBatch(c.one[:])
+}
+
+// ObserveBatch processes a slice of local arrivals, coalescing the
+// resulting messages into multi-message frames with a single flush at
+// the end — the hot path for high-throughput feeds. Pending broadcasts
+// are still drained before each item and the staleness window is still
+// enforced, so batching trades no control-plane freshness.
+func (c *SiteClient) ObserveBatch(items []stream.Item) error {
+	for i := range items {
+		c.drainPending()
+		if c.needSync(len(c.frame) / wire.MessageSize) {
+			if err := c.writeFrame(); err != nil {
+				return err
+			}
+			c.flowPings.Add(1)
+			if err := c.syncCoordinator(); err != nil {
+				return err
+			}
+		}
+		c.mu.Lock()
+		err := c.site.Observe(items[i], c.emit)
+		c.mu.Unlock()
+		if err != nil {
+			if werr := c.finishWrites(); werr != nil {
+				return errors.Join(err, werr)
+			}
+			return err
+		}
+		if len(c.frame) > wire.MaxFrameSize-wire.MessageSize {
+			if err := c.writeFrame(); err != nil {
+				return err
+			}
+		}
+	}
+	return c.finishWrites()
+}
+
+// finishWrites sends the frame under construction and flushes.
+func (c *SiteClient) finishWrites() error {
+	if err := c.writeFrame(); err != nil {
+		return err
+	}
+	return c.flushCommit()
+}
+
+// Flush round-trips a ping so that every message this client sent has
+// been processed by the coordinator — and every broadcast the
+// coordinator issued up to that point has been applied locally — when
+// it returns.
+func (c *SiteClient) Flush() error {
+	return c.syncCoordinator()
+}
+
+// Sent returns the number of protocol messages this client has
+// successfully written to the connection.
 func (c *SiteClient) Sent() int64 { return c.sent.Load() }
+
+// FlowPings returns how many ping round-trips the bounded-staleness
+// window forced (excluding explicit Flush calls). It is bounded by
+// Sent()/W, the overhead that keeps the message bound scheduler-proof.
+func (c *SiteClient) FlowPings() int64 { return c.flowPings.Load() }
 
 // Site returns the underlying state machine (diagnostics; synchronize
 // externally if the client is still live).
 func (c *SiteClient) Site() *core.Site { return c.site }
 
-// Close tears down the connection.
+// Close tears down the connection. Call Flush first for a graceful
+// shutdown that guarantees delivery.
 func (c *SiteClient) Close() error {
 	err := c.conn.Close()
 	<-c.readerDone

@@ -14,7 +14,7 @@ import (
 func deadline() time.Time { return time.Now().Add(2 * time.Second) }
 
 // startServer spins up a coordinator server on a loopback listener.
-func startServer(t *testing.T, cfg core.Config, rng *xrand.RNG) (*CoordinatorServer, string) {
+func startServer(t testing.TB, cfg core.Config, rng *xrand.RNG) (*CoordinatorServer, string) {
 	t.Helper()
 	srv, err := NewCoordinatorServer(cfg, rng)
 	if err != nil {

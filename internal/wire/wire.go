@@ -23,8 +23,14 @@ import (
 //	offset 9  : item weight (8 bytes, IEEE-754)
 //	offset 17 : key / threshold (8 bytes, IEEE-754; kind-dependent)
 //	offset 25 : level (4 bytes, int32; kind-dependent)
+// A frame whose payload length is a positive multiple of MessageSize is
+// a batch frame: the concatenation of one or more encoded messages in
+// order. A single message is the degenerate batch of one, so readers
+// only need the batch path (see ForEachMessage).
 const (
 	payloadLen = 29
+	// MessageSize is the fixed encoded size of one protocol message.
+	MessageSize = payloadLen
 	// MaxFrameSize bounds incoming frames; anything larger is a protocol
 	// violation.
 	MaxFrameSize = 1 << 16
@@ -69,6 +75,34 @@ func ParseMessage(b []byte) (core.Message, error) {
 		m.Key = aux
 	}
 	return m, nil
+}
+
+// ForEachMessage decodes a batch payload — one or more concatenated
+// encoded messages — invoking fn for each in order. It fails without
+// calling fn unless the payload is a positive multiple of MessageSize;
+// a decode error mid-batch stops the iteration.
+func ForEachMessage(b []byte, fn func(core.Message)) error {
+	if len(b) == 0 || len(b)%payloadLen != 0 {
+		return fmt.Errorf("wire: batch payload length %d is not a positive multiple of %d", len(b), payloadLen)
+	}
+	for off := 0; off < len(b); off += payloadLen {
+		m, err := ParseMessage(b[off : off+payloadLen])
+		if err != nil {
+			return err
+		}
+		fn(m)
+	}
+	return nil
+}
+
+// AppendMessages appends the encoded batch of msgs to dst and returns
+// it. The caller is responsible for splitting batches so the payload
+// stays within MaxFrameSize (WriteFrame enforces the bound).
+func AppendMessages(dst []byte, msgs []core.Message) []byte {
+	for _, m := range msgs {
+		dst = AppendMessage(dst, m)
+	}
+	return dst
 }
 
 // WriteFrame writes one length-prefixed frame.

@@ -117,6 +117,59 @@ func TestTruncatedFrame(t *testing.T) {
 	}
 }
 
+func TestBatchRoundTrip(t *testing.T) {
+	msgs := []core.Message{
+		{Kind: core.MsgEarly, Item: stream.Item{ID: 1, Weight: 0.5}},
+		{Kind: core.MsgRegular, Item: stream.Item{ID: 2, Weight: 7}, Key: 3.5},
+		{Kind: core.MsgEpochUpdate, Threshold: 64},
+		{Kind: core.MsgLevelSaturated, Level: 3},
+	}
+	payload := AppendMessages(nil, msgs)
+	if len(payload) != len(msgs)*MessageSize {
+		t.Fatalf("batch payload %d bytes, want %d", len(payload), len(msgs)*MessageSize)
+	}
+	var got []core.Message
+	if err := ForEachMessage(payload, func(m core.Message) { got = append(got, m) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(msgs) {
+		t.Fatalf("decoded %d messages, want %d", len(got), len(msgs))
+	}
+	for i := range msgs {
+		if got[i] != msgs[i] {
+			t.Errorf("message %d: got %+v, want %+v", i, got[i], msgs[i])
+		}
+	}
+	// A single message is a valid batch of one.
+	one := AppendMessage(nil, msgs[0])
+	n := 0
+	if err := ForEachMessage(one, func(core.Message) { n++ }); err != nil || n != 1 {
+		t.Errorf("single-message batch: n=%d err=%v", n, err)
+	}
+}
+
+func TestBatchErrors(t *testing.T) {
+	if err := ForEachMessage(nil, func(core.Message) { t.Error("fn called on empty batch") }); err == nil {
+		t.Error("empty batch accepted")
+	}
+	if err := ForEachMessage(make([]byte, MessageSize+1), func(core.Message) { t.Error("fn called on ragged batch") }); err == nil {
+		t.Error("ragged batch length accepted")
+	}
+	// A decode error mid-batch stops the iteration with an error.
+	payload := AppendMessages(nil, []core.Message{
+		{Kind: core.MsgEarly, Item: stream.Item{ID: 1, Weight: 1}},
+		{Kind: core.MsgEarly, Item: stream.Item{ID: 2, Weight: 1}},
+	})
+	payload[MessageSize] = 99 // corrupt the second message's kind
+	n := 0
+	if err := ForEachMessage(payload, func(core.Message) { n++ }); err == nil {
+		t.Error("corrupt batch accepted")
+	}
+	if n != 1 {
+		t.Errorf("iteration processed %d messages before the corrupt one, want 1", n)
+	}
+}
+
 func TestWriteReadMessage(t *testing.T) {
 	var buf bytes.Buffer
 	want := core.Message{Kind: core.MsgRegular, Item: stream.Item{ID: 5, Weight: 2.5}, Key: 9.75}
