@@ -1,10 +1,12 @@
 // Command wrs-sim runs a single distributed weighted-SWOR simulation and
 // prints the maintained sample plus traffic statistics — a quick way to
-// watch the protocol behave under different workloads.
+// watch the protocol behave under different workloads and runtimes.
 //
 // Usage:
 //
 //	wrs-sim -k 16 -s 10 -n 100000 -workload zipf -seed 7
+//	wrs-sim -runtime goroutines    # goroutine-per-site cluster
+//	wrs-sim -runtime tcp           # real loopback TCP cluster
 package main
 
 import (
@@ -14,6 +16,7 @@ import (
 
 	"wrs/internal/core"
 	"wrs/internal/netsim"
+	rt "wrs/internal/runtime"
 	"wrs/internal/stream"
 	"wrs/internal/xrand"
 )
@@ -25,7 +28,7 @@ func main() {
 	workload := flag.String("workload", "uniform", "weights: unit, uniform, zipf, pareto, heavyhead")
 	partition := flag.String("partition", "roundrobin", "site assignment: roundrobin, random, contiguous, single")
 	seed := flag.Uint64("seed", 1, "random seed")
-	concurrent := flag.Bool("concurrent", false, "use the goroutine runtime instead of the sequential simulator")
+	runtimeName := flag.String("runtime", "sequential", "runtime: sequential, goroutines, tcp")
 	flag.Parse()
 
 	var wf stream.WeightFn
@@ -58,6 +61,18 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrs-sim: unknown partition %q\n", *partition)
 		os.Exit(2)
 	}
+	var factory rt.Factory
+	switch *runtimeName {
+	case "sequential":
+		factory = rt.Sequential()
+	case "goroutines":
+		factory = rt.Goroutines()
+	case "tcp":
+		factory = rt.TCP("")
+	default:
+		fmt.Fprintf(os.Stderr, "wrs-sim: unknown runtime %q\n", *runtimeName)
+		os.Exit(2)
+	}
 
 	cfg := core.Config{K: *k, S: *s}
 	if err := cfg.Validate(); err != nil {
@@ -70,54 +85,47 @@ func main() {
 	for i := 0; i < *k; i++ {
 		sites[i] = core.NewSite(i, cfg, master.Split())
 	}
+	run, err := factory(rt.Instance{Cfg: cfg, Coord: coord, Sites: sites})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wrs-sim:", err)
+		os.Exit(1)
+	}
 
 	g := stream.NewGenerator(*n, *k, wf, af)
 	genRNG := xrand.New(*seed ^ 0x9E3779B97F4A7C15)
-	var stats netsim.Stats
 	var totalW float64
-
-	if *concurrent {
-		cc := netsim.NewConcurrentCluster[core.Message](coord, sites)
-		cc.Start()
-		for {
-			u, ok := g.Next(genRNG)
-			if !ok {
-				break
-			}
-			totalW += u.Item.Weight
-			cc.Feed(u.Site, u.Item)
+	for {
+		u, ok := g.Next(genRNG)
+		if !ok {
+			break
 		}
-		var err error
-		stats, err = cc.Drain()
-		if err != nil {
+		totalW += u.Item.Weight
+		if err := run.Feed(u.Site, u.Item); err != nil {
 			fmt.Fprintln(os.Stderr, "wrs-sim:", err)
 			os.Exit(1)
 		}
-	} else {
-		cl := netsim.NewCluster[core.Message](coord, sites)
-		for {
-			u, ok := g.Next(genRNG)
-			if !ok {
-				break
-			}
-			totalW += u.Item.Weight
-			if err := cl.Feed(u.Site, u.Item); err != nil {
-				fmt.Fprintln(os.Stderr, "wrs-sim:", err)
-				os.Exit(1)
-			}
-		}
-		stats = cl.Stats
 	}
+	if err := run.Flush(); err != nil {
+		fmt.Fprintln(os.Stderr, "wrs-sim:", err)
+		os.Exit(1)
+	}
+	stats := run.Stats()
 
-	fmt.Printf("stream: n=%d  W=%.1f  k=%d  s=%d  workload=%s/%s\n",
-		*n, totalW, *k, *s, *workload, *partition)
+	fmt.Printf("stream: n=%d  W=%.1f  k=%d  s=%d  workload=%s/%s  runtime=%s\n",
+		*n, totalW, *k, *s, *workload, *partition, *runtimeName)
 	fmt.Printf("traffic: %d up + %d down = %d messages (%.4f per update)\n",
 		stats.Upstream, stats.Downstream, stats.Total(),
 		float64(stats.Total())/float64(*n))
-	fmt.Printf("coordinator: u=%.3g  threshold=%.3g  saturated levels=%v\n",
-		coord.U(), coord.CurrentThreshold(), coord.SaturatedLevels())
-	fmt.Println("sample (id, weight, key):")
-	for _, e := range coord.Query() {
-		fmt.Printf("  %8d  w=%-12.2f key=%.4g\n", e.Item.ID, e.Item.Weight, e.Key)
+	run.Do(func() {
+		fmt.Printf("coordinator: u=%.3g  threshold=%.3g  saturated levels=%v\n",
+			coord.U(), coord.CurrentThreshold(), coord.SaturatedLevels())
+		fmt.Println("sample (id, weight, key):")
+		for _, e := range coord.Query() {
+			fmt.Printf("  %8d  w=%-12.2f key=%.4g\n", e.Item.ID, e.Item.Weight, e.Key)
+		}
+	})
+	if err := run.Close(); err != nil {
+		fmt.Fprintln(os.Stderr, "wrs-sim:", err)
+		os.Exit(1)
 	}
 }

@@ -1,124 +1,188 @@
-// Command wrs-tcp demonstrates the protocol over real TCP: it starts a
-// coordinator server on loopback, connects k site clients, streams
-// weighted items through them concurrently, and prints the maintained
-// sample plus traffic counts.
+// Command wrs-tcp demonstrates the protocol over real TCP: it assembles
+// a transport.Cluster (coordinator server on loopback plus k site
+// client connections), streams weighted items through it concurrently,
+// and prints the application's answer plus traffic counts.
 //
-// Usage:
+// Every application runs over the same transport:
 //
-//	wrs-tcp -k 8 -s 10 -n 200000
+//	wrs-tcp -k 8 -s 10 -n 200000              # plain weighted SWOR
+//	wrs-tcp -app hh -eps 0.1 -delta 0.1       # residual heavy hitters
+//	wrs-tcp -app l1 -eps 0.25 -delta 0.3      # (1±eps) L1 tracking
 //
-// With -batch > 1 the sites feed through ObserveBatch, coalescing
-// protocol messages into multi-message frames (the high-throughput
-// path); -batch 1 sends one frame per message.
+// With -batch > 1 the sites feed through FeedBatch, coalescing protocol
+// messages into multi-message frames (the high-throughput path);
+// -batch 1 sends one frame per message.
 package main
 
 import (
 	"flag"
 	"fmt"
-	"net"
+	"math"
 	"os"
 	"sync"
 	"time"
 
 	"wrs/internal/core"
+	"wrs/internal/heavyhitter"
+	"wrs/internal/l1track"
+	"wrs/internal/netsim"
 	"wrs/internal/stream"
 	"wrs/internal/transport"
 	"wrs/internal/xrand"
 )
 
+func fatal(v ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"wrs-tcp:"}, v...)...)
+	os.Exit(1)
+}
+
 func main() {
 	k := flag.Int("k", 8, "number of sites")
-	s := flag.Int("s", 10, "sample size")
+	s := flag.Int("s", 10, "sample size (swor app)")
 	n := flag.Int("n", 200000, "total updates")
-	batch := flag.Int("batch", 256, "updates per ObserveBatch call (1 = unbatched)")
+	batch := flag.Int("batch", 256, "updates per FeedBatch call (1 = unbatched)")
 	seed := flag.Uint64("seed", 1, "random seed")
+	app := flag.String("app", "swor", "application: swor, hh, l1")
+	eps := flag.Float64("eps", 0.1, "accuracy parameter (hh, l1 apps)")
+	delta := flag.Float64("delta", 0.1, "failure probability (hh, l1 apps)")
 	flag.Parse()
 	if *batch < 1 {
 		*batch = 1
 	}
 
-	cfg := core.Config{K: *k, S: *s}
-	if err := cfg.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "wrs-tcp:", err)
-		os.Exit(2)
-	}
 	master := xrand.New(*seed)
 
-	srv, err := transport.NewCoordinatorServer(cfg, master.Split())
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "wrs-tcp:", err)
-		os.Exit(1)
-	}
-	ln, err := net.Listen("tcp", "127.0.0.1:0")
-	if err != nil {
-		fmt.Fprintln(os.Stderr, "wrs-tcp:", err)
-		os.Exit(1)
-	}
-	go srv.Serve(ln)
-	fmt.Printf("coordinator listening on %s\n", ln.Addr())
-
-	clients := make([]*transport.SiteClient, *k)
-	for i := 0; i < *k; i++ {
-		c, err := transport.DialSite(ln.Addr().String(), i, cfg, master.Split())
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "wrs-tcp: dial:", err)
-			os.Exit(1)
+	// Assemble the application instance: a coordinator-side protocol and
+	// k site state machines. The transport drives them all identically.
+	var (
+		coord   transport.Coordinator
+		sites   []netsim.Site[core.Message]
+		report  func(cluster *transport.Cluster, totalW float64)
+		coreCfg core.Config
+	)
+	switch *app {
+	case "swor":
+		coreCfg = core.Config{K: *k, S: *s}
+		if err := coreCfg.Validate(); err != nil {
+			fatal(err)
 		}
-		clients[i] = c
+		c := core.NewCoordinator(coreCfg, master.Split())
+		coord = c
+		for i := 0; i < *k; i++ {
+			sites = append(sites, core.NewSite(i, coreCfg, master.Split()))
+		}
+		report = func(cluster *transport.Cluster, _ float64) {
+			fmt.Println("\nsample (id, weight, key):")
+			for _, e := range cluster.Server().Query() {
+				fmt.Printf("  %8d  w=%-12.3f key=%.4g\n", e.Item.ID, e.Item.Weight, e.Key)
+			}
+		}
+	case "hh":
+		tr, err := heavyhitter.NewTracker(*k, heavyhitter.Params{Eps: *eps, Delta: *delta}, master)
+		if err != nil {
+			fatal(err)
+		}
+		coreCfg = tr.Coord.Config()
+		coord = tr.Coord
+		for _, st := range tr.Sites {
+			sites = append(sites, st)
+		}
+		report = func(cluster *transport.Cluster, _ float64) {
+			var items []stream.Item
+			cluster.Do(func() { items = tr.Query() })
+			fmt.Printf("\nresidual heavy-hitter candidates (top %d by weight, s=%d):\n",
+				len(items), coreCfg.S)
+			for i, it := range items {
+				if i >= 10 {
+					fmt.Printf("  ... and %d more\n", len(items)-10)
+					break
+				}
+				fmt.Printf("  %8d  w=%.3f\n", it.ID, it.Weight)
+			}
+		}
+	case "l1":
+		dc, dsites, err := l1track.NewDupTracker(*k, l1track.DupParams{Eps: *eps, Delta: *delta}, master)
+		if err != nil {
+			fatal(err)
+		}
+		coreCfg = dc.Core().Config()
+		coord = dc
+		for _, st := range dsites {
+			sites = append(sites, st)
+		}
+		report = func(cluster *transport.Cluster, totalW float64) {
+			var est float64
+			cluster.Do(func() { est = dc.Estimate() })
+			fmt.Printf("\nL1 estimate: %.1f  true: %.1f  relative error: %.2f%% (eps=%v, s=%d)\n",
+				est, totalW, 100*math.Abs(est-totalW)/totalW, *eps, coreCfg.S)
+		}
+	default:
+		fmt.Fprintf(os.Stderr, "wrs-tcp: unknown app %q\n", *app)
+		os.Exit(2)
 	}
-	fmt.Printf("%d sites connected\n", *k)
+
+	cluster, err := transport.NewCluster(coreCfg, coord, sites, "127.0.0.1:0")
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Printf("coordinator listening on %s, %d sites connected, app=%s\n", cluster.Addr(), *k, *app)
 
 	start := time.Now()
 	perSite := *n / *k
+	weights := make([]float64, *k) // per-site true totals (l1 report)
 	var wg sync.WaitGroup
-	for i, c := range clients {
+	errCh := make(chan error, *k)
+	for i := 0; i < *k; i++ {
 		wg.Add(1)
-		go func(site int, c *transport.SiteClient) {
+		go func(site int) {
 			defer wg.Done()
 			rng := xrand.New(*seed + uint64(site)*7919)
 			items := make([]stream.Item, 0, *batch)
 			for j := 0; j < perSite; j++ {
-				items = append(items, stream.Item{ID: uint64(site*perSite + j), Weight: rng.Pareto(1.2)})
+				w := rng.Pareto(1.2)
+				weights[site] += w
+				items = append(items, stream.Item{ID: uint64(site*perSite + j), Weight: w})
 				if len(items) == *batch || j == perSite-1 {
-					if err := c.ObserveBatch(items); err != nil {
-						fmt.Fprintf(os.Stderr, "wrs-tcp: site %d: %v\n", site, err)
+					if err := cluster.FeedBatch(site, items); err != nil {
+						errCh <- fmt.Errorf("site %d: %w", site, err)
 						return
 					}
 					items = items[:0]
 				}
 			}
-		}(i, c)
+		}(i)
 	}
 	wg.Wait()
-	for _, c := range clients {
-		if err := c.Flush(); err != nil {
-			fmt.Fprintln(os.Stderr, "wrs-tcp: flush:", err)
-			os.Exit(1)
-		}
+	select {
+	case err := <-errCh:
+		fatal(err)
+	default:
+	}
+	if err := cluster.Flush(); err != nil {
+		fatal(err)
 	}
 	elapsed := time.Since(start)
 
-	var sent, pings int64
-	for _, c := range clients {
-		sent += c.Sent()
-		pings += c.FlowPings()
+	var pings int64
+	var totalW float64
+	for i := 0; i < *k; i++ {
+		pings += cluster.Client(i).FlowPings()
+		totalW += weights[i]
 	}
+	stats := cluster.Stats()
 	total := *k * perSite
 	fmt.Printf("\nstreamed %d updates in %v (%.0f updates/sec)\n",
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
 	fmt.Printf("traffic: %d upstream messages (%.4f/update), %d broadcast frames, %d flow pings\n",
-		sent, float64(sent)/float64(total), srv.BroadcastsSent(), pings)
+		stats.Upstream, float64(stats.Upstream)/float64(total), stats.Downstream, pings)
+	srv := cluster.Server()
 	st := srv.Stats()
-	fmt.Printf("coordinator: %d early, %d regular, %d saturations, %d epoch advances\n",
-		st.EarlyMsgs, st.RegularMsgs, st.Saturations, st.EpochAdvances)
+	fmt.Printf("coordinator: %d early, %d regular, %d saturations, %d epoch advances, %d pre-filtered\n",
+		st.EarlyMsgs, st.RegularMsgs, st.Saturations, st.EpochAdvances, srv.PreFiltered())
 
-	fmt.Println("\nsample (id, weight, key):")
-	for _, e := range srv.Query() {
-		fmt.Printf("  %8d  w=%-12.3f key=%.4g\n", e.Item.ID, e.Item.Weight, e.Key)
-	}
+	report(cluster, totalW)
 
-	for _, c := range clients {
-		c.Close()
+	if err := cluster.Close(); err != nil {
+		fatal(err)
 	}
-	srv.Close()
 }

@@ -26,10 +26,23 @@
 //
 // DistributedSampler drives the protocol in-process with deterministic,
 // synchronous message delivery (the model the paper analyzes).
-// ConcurrentSampler runs one goroutine per site for live pipelines.
 // HeavyHitterTracker and L1Tracker expose the Section 4 and Section 5
 // constructions. Reservoir and WithReplacement are the centralized
 // single-stream samplers for comparison and local use.
+//
+// # Runtimes
+//
+// The protocol state machines are transport-agnostic; WithRuntime
+// selects what drives them, for every application:
+//
+//	wrs.NewDistributedSampler(k, s)                                    // Sequential(): deterministic simulator
+//	wrs.NewDistributedSampler(k, s, wrs.WithRuntime(wrs.Goroutines())) // goroutine-per-site cluster
+//	wrs.NewHeavyHitterTracker(k, eps, delta,
+//	    wrs.WithRuntime(wrs.TCP("127.0.0.1:0")))                       // real TCP connections
+//
+// On asynchronous runtimes, Flush is a delivery barrier and Close
+// shuts the runtime down; ConcurrentSampler remains as the Goroutines
+// configuration behind its historical drain-then-sample API.
 //
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of every quantitative claim in the paper.

@@ -76,6 +76,84 @@ func ExampleHeavyHitterTracker() {
 	// giant found: true
 }
 
+// WithRuntime swaps the delivery substrate without changing the
+// protocol: here the same sampler runs on the goroutine-per-site
+// runtime, with Flush as the delivery barrier.
+func ExampleWithRuntime() {
+	s, err := wrs.NewDistributedSampler(4, 8, wrs.WithSeed(2), wrs.WithRuntime(wrs.Goroutines()))
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+	for i := 0; i < 10000; i++ {
+		if err := s.Observe(i%4, wrs.Item{ID: uint64(i), Weight: 1 + float64(i%50)}); err != nil {
+			panic(err)
+		}
+	}
+	// Flush guarantees everything fed has reached the coordinator.
+	if err := s.Flush(); err != nil {
+		panic(err)
+	}
+	fmt.Println("sample size:", len(s.Sample()))
+	fmt.Println("sublinear traffic:", s.Stats().Upstream < 5000)
+	// Output:
+	// sample size: 8
+	// sublinear traffic: true
+}
+
+// TCP is the deployment-shaped runtime: a coordinator server on a real
+// listener and one flow-controlled connection per site, assembled
+// behind the same API.
+func ExampleTCP() {
+	s, err := wrs.NewDistributedSampler(2, 5, wrs.WithSeed(3), wrs.WithRuntime(wrs.TCP("127.0.0.1:0")))
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+	for i := 0; i < 2000; i++ {
+		if err := s.Observe(i%2, wrs.Item{ID: uint64(i), Weight: 1 + float64(i%9)}); err != nil {
+			panic(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		panic(err)
+	}
+	fmt.Println("sample size over TCP:", len(s.Sample()))
+	// Output:
+	// sample size over TCP: 5
+}
+
+// Every application runs over every runtime: heavy-hitter monitoring
+// over real TCP connections is one option away.
+func ExampleHeavyHitterTracker_tcp() {
+	h, err := wrs.NewHeavyHitterTracker(4, 0.2, 0.1, wrs.WithSeed(4), wrs.WithRuntime(wrs.TCP("")))
+	if err != nil {
+		panic(err)
+	}
+	defer h.Close()
+	// One giant plus a long unit tail, spread over the sites.
+	if err := h.Observe(0, wrs.Item{ID: 999999, Weight: 1e7}); err != nil {
+		panic(err)
+	}
+	for i := 0; i < 3000; i++ {
+		if err := h.Observe(i%4, wrs.Item{ID: uint64(i), Weight: 1}); err != nil {
+			panic(err)
+		}
+	}
+	if err := h.Flush(); err != nil {
+		panic(err)
+	}
+	found := false
+	for _, it := range h.Candidates() {
+		if it.ID == 999999 {
+			found = true
+		}
+	}
+	fmt.Println("giant found over TCP:", found)
+	// Output:
+	// giant found over TCP: true
+}
+
 // The sliding reservoir forgets items that leave the window.
 func ExampleSlidingReservoir() {
 	r, err := wrs.NewSlidingReservoir(2, 10, wrs.WithSeed(5))

@@ -1,6 +1,11 @@
 // Quickstart: maintain a weighted sample without replacement over a
 // stream partitioned across 8 sites, and inspect the message cost.
 //
+// The default runtime is the deterministic sequential simulator; add
+// wrs.WithRuntime(wrs.Goroutines()) or wrs.WithRuntime(wrs.TCP(addr))
+// to NewDistributedSampler to run the identical protocol on the
+// goroutine cluster or over real TCP connections.
+//
 // Run with: go run ./examples/quickstart
 package main
 

@@ -4,7 +4,10 @@
 // maintains a "typical queries" panel. This example contrasts sampling
 // without replacement against with replacement on a realistic Zipfian
 // query distribution with a viral outlier, and exercises the concurrent
-// (goroutine-per-site) runtime.
+// (goroutine-per-site) runtime — ConcurrentSampler is the
+// wrs.Goroutines() runtime behind the drain-then-sample API; swap in
+// wrs.NewDistributedSampler(..., wrs.WithRuntime(wrs.TCP(addr))) to run
+// the identical protocol over real connections.
 //
 // Run with: go run ./examples/searchqueries
 package main
@@ -56,7 +59,9 @@ func main() {
 			it = wrs.Item{ID: 1 + uint64(i), Weight: w}
 		}
 		total += it.Weight
-		concurrent.Feed(int(next()%frontends), it)
+		if err := concurrent.Feed(int(next()%frontends), it); err != nil {
+			log.Fatal(err)
+		}
 		if err := swr.Observe(it); err != nil {
 			log.Fatal(err)
 		}

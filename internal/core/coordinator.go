@@ -85,6 +85,21 @@ func (c *Coordinator) SetRecorder(rec *Recorder) { c.rec = rec }
 // monotone nondecreasing over the run.
 func (c *Coordinator) U() float64 { return c.u }
 
+// Core returns the coordinator itself. Wrapper coordinators (e.g. the
+// L1 tracker's DupCoordinator) implement the same method to expose the
+// inner sampler state machine, so runtimes can reach the sampler —
+// query, control-plane snapshot — through one interface regardless of
+// what application is layered on top.
+func (c *Coordinator) Core() *Coordinator { return c }
+
+// DropBelow returns the largest key B such that a MsgRegular with
+// Key <= B may be discarded without delivering it to HandleMessage:
+// such a key has at least s released dominators (u is monotone
+// nondecreasing), so HandleMessage would drop it on arrival anyway.
+// Transports use this to pre-filter messages outside their ingest
+// lock. 0 means nothing may be dropped.
+func (c *Coordinator) DropBelow() float64 { return c.u }
+
 // CurrentThreshold returns the last broadcast epoch threshold.
 func (c *Coordinator) CurrentThreshold() float64 { return c.curTh }
 

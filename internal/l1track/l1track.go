@@ -137,6 +137,18 @@ func (c *DupCoordinator) Estimate() float64 {
 // Core returns the wrapped sampler coordinator (diagnostics).
 func (c *DupCoordinator) Core() *core.Coordinator { return c.coord }
 
+// DropBelow reports the key bound below which a transport may discard
+// MsgRegular messages before they reach HandleMessage. While the exact
+// prefix accumulator is live (threshold still zero) every message
+// carries weight the estimate needs, so nothing may be dropped;
+// afterwards the inner sampler's bound applies unchanged.
+func (c *DupCoordinator) DropBelow() float64 {
+	if !c.estMode {
+		return 0
+	}
+	return c.coord.DropBelow()
+}
+
 // NewDupTracker builds the Theorem 6 construction over k sites.
 func NewDupTracker(k int, p DupParams, master *xrand.RNG) (*DupCoordinator, []*DupSite, error) {
 	if err := p.Validate(); err != nil {

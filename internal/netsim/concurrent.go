@@ -1,46 +1,72 @@
 package netsim
 
 import (
+	"fmt"
+	"runtime"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"wrs/internal/stream"
 )
 
 // ConcurrentCluster runs one goroutine per site plus one for the
-// coordinator, wired by FIFO channels (site -> coordinator) and unbounded
-// FIFO mailboxes (coordinator -> site). It models the paper's
-// communication assumptions — FIFO links, no loss — without the
-// synchrony: sites may act on stale thresholds, which is safe by design
-// (see DESIGN.md).
+// coordinator, wired by batched FIFO input queues (feeder -> site),
+// a FIFO channel (site -> coordinator) and unbounded FIFO mailboxes
+// (coordinator -> site). It models the paper's communication
+// assumptions — FIFO links, no loss — without the synchrony: sites may
+// act on stale thresholds, which is safe by design (see DESIGN.md).
+//
+// Feed and FeedBatch may be called from any goroutine until Drain;
+// afterwards they return an error. Flush is a non-terminal barrier:
+// it blocks until everything fed before the call has been observed by
+// the sites and every resulting message handled by the coordinator.
+// Do runs a function serialized with coordinator message processing,
+// so mid-run queries see a consistent coordinator state.
 type ConcurrentCluster[M Msg] struct {
 	coord Coordinator[M]
 	sites []Site[M]
 
-	inCh  []chan stream.Item
+	in    []*BatchQueue[stream.Item]
 	boxes []*Mailbox[M]
 	upCh  chan M
 
 	up, down, upWords, downWords atomic.Int64
 
+	fed       []atomic.Int64 // items accepted by Feed/FeedBatch, per site
+	processed []atomic.Int64 // items fully observed by the site goroutine
+	handled   atomic.Int64   // messages processed by the coordinator
+
+	coordMu sync.Mutex // serializes HandleMessage with Do
+
+	feedMu sync.RWMutex // guards closed against concurrent feeds
+	closed bool
+
+	errMu sync.Mutex
+	err   error
+
 	siteWG  sync.WaitGroup
 	coordWG sync.WaitGroup
-	errOnce sync.Once
-	err     error
 	started bool
+
+	drainMu    sync.Mutex
+	drained    bool
+	finalStats Stats
 }
 
 // NewConcurrentCluster assembles the runtime; call Start before feeding.
 func NewConcurrentCluster[M Msg](coord Coordinator[M], sites []Site[M]) *ConcurrentCluster[M] {
 	cc := &ConcurrentCluster[M]{
-		coord: coord,
-		sites: sites,
-		inCh:  make([]chan stream.Item, len(sites)),
-		boxes: make([]*Mailbox[M], len(sites)),
-		upCh:  make(chan M, 1024),
+		coord:     coord,
+		sites:     sites,
+		in:        make([]*BatchQueue[stream.Item], len(sites)),
+		boxes:     make([]*Mailbox[M], len(sites)),
+		upCh:      make(chan M, 1024),
+		fed:       make([]atomic.Int64, len(sites)),
+		processed: make([]atomic.Int64, len(sites)),
 	}
 	for i := range sites {
-		cc.inCh[i] = make(chan stream.Item, 256)
+		cc.in[i] = NewBatchQueue[stream.Item](256)
 		cc.boxes[i] = NewMailbox[M]()
 	}
 	return cc
@@ -65,7 +91,10 @@ func (cc *ConcurrentCluster[M]) Start() {
 			}
 		}
 		for m := range cc.upCh {
+			cc.coordMu.Lock()
 			cc.coord.HandleMessage(m, bcast)
+			cc.coordMu.Unlock()
+			cc.handled.Add(1)
 		}
 	}()
 
@@ -80,45 +109,159 @@ func (cc *ConcurrentCluster[M]) Start() {
 				cc.upWords.Add(int64(m.Words()))
 				cc.upCh <- m
 			}
-			for it := range cc.inCh[id] {
-				// Apply pending announcements first so thresholds are as
-				// fresh as the asynchrony allows.
-				for {
-					m, ok := box.TryGet()
-					if !ok {
-						break
-					}
-					site.HandleBroadcast(m)
+			var batch []stream.Item
+			for {
+				var ok bool
+				batch, ok = cc.in[id].GetAll(batch[:0])
+				if !ok {
+					return
 				}
-				if err := site.Observe(it, send); err != nil {
-					cc.errOnce.Do(func() { cc.err = err })
+				for _, it := range batch {
+					// Apply pending announcements first so thresholds are
+					// as fresh as the asynchrony allows.
+					for {
+						m, ok := box.TryGet()
+						if !ok {
+							break
+						}
+						site.HandleBroadcast(m)
+					}
+					if err := site.Observe(it, send); err != nil {
+						cc.setErr(err)
+					}
+					cc.processed[id].Add(1)
 				}
 			}
 		}(i)
 	}
 }
 
-// Feed enqueues one arrival for a site. It may block if the site's input
-// buffer is full (backpressure), never deadlocks.
-func (cc *ConcurrentCluster[M]) Feed(siteID int, it stream.Item) {
-	cc.inCh[siteID] <- it
+func (cc *ConcurrentCluster[M]) setErr(err error) {
+	cc.errMu.Lock()
+	if cc.err == nil {
+		cc.err = err
+	}
+	cc.errMu.Unlock()
 }
 
-// FeedBatch enqueues a slice of arrivals for a site in order — the
-// concurrent-runtime counterpart of transport.SiteClient.ObserveBatch.
-// Like Feed it may block on the site's input buffer (backpressure).
-func (cc *ConcurrentCluster[M]) FeedBatch(siteID int, items []stream.Item) {
-	for _, it := range items {
-		cc.Feed(siteID, it)
+// Err returns the first site error observed so far.
+func (cc *ConcurrentCluster[M]) Err() error {
+	cc.errMu.Lock()
+	defer cc.errMu.Unlock()
+	return cc.err
+}
+
+func (cc *ConcurrentCluster[M]) checkSite(siteID int) error {
+	if siteID < 0 || siteID >= len(cc.sites) {
+		return fmt.Errorf("netsim: site %d out of range [0,%d)", siteID, len(cc.sites))
+	}
+	return nil
+}
+
+// Feed enqueues one arrival for a site. It may block if the site's
+// input buffer is full (backpressure), never deadlocks. After Drain it
+// returns an error instead of panicking on the closed queue.
+func (cc *ConcurrentCluster[M]) Feed(siteID int, it stream.Item) error {
+	if err := cc.checkSite(siteID); err != nil {
+		return err
+	}
+	cc.feedMu.RLock()
+	defer cc.feedMu.RUnlock()
+	if cc.closed {
+		return fmt.Errorf("netsim: Feed on drained ConcurrentCluster")
+	}
+	cc.fed[siteID].Add(1)
+	cc.in[siteID].Put(it)
+	return nil
+}
+
+// FeedBatch enqueues a slice of arrivals for a site in order, as one
+// queue operation — the concurrent-runtime counterpart of
+// transport.SiteClient.ObserveBatch. Like Feed it may block on the
+// site's input buffer (backpressure). The items are copied; the caller
+// may reuse the slice immediately.
+func (cc *ConcurrentCluster[M]) FeedBatch(siteID int, items []stream.Item) error {
+	if err := cc.checkSite(siteID); err != nil {
+		return err
+	}
+	if len(items) == 0 {
+		return nil
+	}
+	cc.feedMu.RLock()
+	defer cc.feedMu.RUnlock()
+	if cc.closed {
+		return fmt.Errorf("netsim: FeedBatch on drained ConcurrentCluster")
+	}
+	cc.fed[siteID].Add(int64(len(items)))
+	cc.in[siteID].PutBatch(items)
+	return nil
+}
+
+// Do runs fn serialized with coordinator message processing, so fn can
+// read (or mutate) the coordinator state without racing HandleMessage.
+// It works both mid-run and after Drain.
+func (cc *ConcurrentCluster[M]) Do(fn func()) {
+	cc.coordMu.Lock()
+	defer cc.coordMu.Unlock()
+	fn()
+}
+
+// Flush is a non-terminal barrier: it returns once every item fed
+// before the call has been observed by its site and every message
+// those observations sent has been handled by the coordinator. The
+// cluster remains usable. Concurrent feeds during a Flush are allowed;
+// they may or may not be covered by the barrier.
+func (cc *ConcurrentCluster[M]) Flush() error {
+	fedSnap := make([]int64, len(cc.fed))
+	for i := range cc.fed {
+		fedSnap[i] = cc.fed[i].Load()
+	}
+	wait := func(done func() bool) {
+		for spin := 0; !done(); spin++ {
+			if spin < 100 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(100 * time.Microsecond)
+			}
+		}
+	}
+	for i := range fedSnap {
+		i := i
+		wait(func() bool { return cc.processed[i].Load() >= fedSnap[i] })
+	}
+	// Every send from the flushed items is already in upCh (sends happen
+	// inside Observe, before the processed counter advances).
+	sent := cc.up.Load()
+	wait(func() bool { return cc.handled.Load() >= sent })
+	return cc.Err()
+}
+
+// Stats returns a snapshot of the traffic statistics. Safe to call at
+// any time; counts may be mid-flight unless a Flush or Drain happened.
+func (cc *ConcurrentCluster[M]) Stats() Stats {
+	return Stats{
+		Upstream:   cc.up.Load(),
+		Downstream: cc.down.Load(),
+		UpWords:    cc.upWords.Load(),
+		DownWords:  cc.downWords.Load(),
 	}
 }
 
 // Drain closes the inputs, waits for all in-flight messages to be
 // processed by the coordinator, and returns the traffic statistics and
-// the first site error, if any. The cluster cannot be reused afterwards.
+// the first site error, if any. Feeding is rejected afterwards; Drain
+// is idempotent.
 func (cc *ConcurrentCluster[M]) Drain() (Stats, error) {
-	for _, ch := range cc.inCh {
-		close(ch)
+	cc.drainMu.Lock()
+	defer cc.drainMu.Unlock()
+	if cc.drained {
+		return cc.finalStats, cc.Err()
+	}
+	cc.feedMu.Lock()
+	cc.closed = true
+	cc.feedMu.Unlock()
+	for _, q := range cc.in {
+		q.Close()
 	}
 	cc.siteWG.Wait()
 	close(cc.upCh)
@@ -126,10 +269,7 @@ func (cc *ConcurrentCluster[M]) Drain() (Stats, error) {
 	for _, b := range cc.boxes {
 		b.Close()
 	}
-	return Stats{
-		Upstream:   cc.up.Load(),
-		Downstream: cc.down.Load(),
-		UpWords:    cc.upWords.Load(),
-		DownWords:  cc.downWords.Load(),
-	}, cc.err
+	cc.finalStats = cc.Stats()
+	cc.drained = true
+	return cc.finalStats, cc.Err()
 }

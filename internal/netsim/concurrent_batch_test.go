@@ -1,0 +1,230 @@
+package netsim
+
+import (
+	"testing"
+
+	"wrs/internal/stream"
+)
+
+func TestBatchQueueFIFOAndBatching(t *testing.T) {
+	q := NewBatchQueue[int](4)
+	q.Put(1)
+	q.PutBatch([]int{2, 3, 4, 5, 6}) // one operation, admitted whole
+	got, ok := q.GetAll(nil)
+	if !ok {
+		t.Fatal("GetAll on non-empty queue reported closed")
+	}
+	want := []int{1, 2, 3, 4, 5, 6}
+	if len(got) != len(want) {
+		t.Fatalf("GetAll returned %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("GetAll returned %v, want %v", got, want)
+		}
+	}
+	q.Close()
+	if _, ok := q.GetAll(nil); ok {
+		t.Error("GetAll on closed empty queue reported a value")
+	}
+}
+
+func TestBatchQueueBlocksWhenFull(t *testing.T) {
+	q := NewBatchQueue[int](2)
+	q.PutBatch([]int{1, 2})
+	done := make(chan struct{})
+	go func() {
+		q.Put(3) // must block until a GetAll makes room
+		close(done)
+	}()
+	select {
+	case <-done:
+		t.Fatal("Put on a full queue did not block")
+	default:
+	}
+	if got, _ := q.GetAll(nil); len(got) != 2 {
+		t.Fatalf("GetAll returned %d items, want 2", len(got))
+	}
+	<-done
+	if got, _ := q.GetAll(nil); len(got) != 1 || got[0] != 3 {
+		t.Fatalf("GetAll returned %v, want [3]", got)
+	}
+}
+
+func TestBatchQueueCloseDrains(t *testing.T) {
+	q := NewBatchQueue[int](8)
+	q.PutBatch([]int{7, 8})
+	q.Close()
+	got, ok := q.GetAll(nil)
+	if !ok || len(got) != 2 {
+		t.Fatalf("queued values lost on close: %v, ok=%v", got, ok)
+	}
+}
+
+func TestConcurrentFeedBatchDeliversInOrder(t *testing.T) {
+	coord := &countCoord{n: 25}
+	sites := make([]Site[testMsg], 4)
+	for i := range sites {
+		sites[i] = &echoSite{id: i}
+	}
+	cc := NewConcurrentCluster[testMsg](coord, sites)
+	cc.Start()
+	const n, chunk = 4000, 97
+	batch := make([]stream.Item, 0, chunk)
+	fed := 0
+	for fed < n {
+		site := (fed / chunk) % 4
+		batch = batch[:0]
+		for j := 0; j < chunk && fed < n; j++ {
+			batch = append(batch, stream.Item{ID: uint64(fed), Weight: 1})
+			fed++
+		}
+		if err := cc.FeedBatch(site, batch); err != nil {
+			t.Fatal(err)
+		}
+	}
+	stats, err := cc.Drain()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if coord.received != n {
+		t.Errorf("coordinator received %d, want %d", coord.received, n)
+	}
+	if coord.fifoErr {
+		t.Error("per-site FIFO violated by batched enqueue")
+	}
+	if stats.Upstream != n {
+		t.Errorf("upstream = %d, want %d", stats.Upstream, n)
+	}
+}
+
+func TestConcurrentFeedAfterDrainErrors(t *testing.T) {
+	coord := &countCoord{n: 100}
+	cc := NewConcurrentCluster[testMsg](coord, []Site[testMsg]{&echoSite{id: 0}})
+	cc.Start()
+	if err := cc.Feed(0, stream.Item{ID: 1, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := cc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// Used to panic on the closed input channel.
+	if err := cc.Feed(0, stream.Item{ID: 2, Weight: 1}); err == nil {
+		t.Error("Feed after Drain succeeded")
+	}
+	if err := cc.FeedBatch(0, []stream.Item{{ID: 3, Weight: 1}}); err == nil {
+		t.Error("FeedBatch after Drain succeeded")
+	}
+	// Drain stays idempotent.
+	if _, err := cc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConcurrentFeedSiteRange(t *testing.T) {
+	coord := &countCoord{n: 100}
+	cc := NewConcurrentCluster[testMsg](coord, []Site[testMsg]{&echoSite{id: 0}})
+	cc.Start()
+	defer cc.Drain()
+	if err := cc.Feed(1, stream.Item{ID: 1, Weight: 1}); err == nil {
+		t.Error("out-of-range site accepted")
+	}
+	if err := cc.FeedBatch(-1, []stream.Item{{ID: 1, Weight: 1}}); err == nil {
+		t.Error("negative site accepted")
+	}
+}
+
+func TestConcurrentFlushBarrier(t *testing.T) {
+	coord := &countCoord{n: 1 << 30} // never broadcasts
+	sites := make([]Site[testMsg], 3)
+	for i := range sites {
+		sites[i] = &echoSite{id: i}
+	}
+	cc := NewConcurrentCluster[testMsg](coord, sites)
+	cc.Start()
+	const rounds, perRound = 5, 700
+	total := 0
+	for r := 0; r < rounds; r++ {
+		for i := 0; i < perRound; i++ {
+			if err := cc.Feed(i%3, stream.Item{ID: uint64(total + i), Weight: 1}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		total += perRound
+		if err := cc.Flush(); err != nil {
+			t.Fatal(err)
+		}
+		got := 0
+		cc.Do(func() { got = coord.received })
+		if got != total {
+			t.Fatalf("after flush %d: coordinator received %d, want %d", r, got, total)
+		}
+	}
+	if _, err := cc.Drain(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// nullSite never sends, isolating queue overhead for the benchmarks.
+type nullSite struct{ seen int64 }
+
+func (s *nullSite) Observe(it stream.Item, send func(testMsg)) error {
+	s.seen++
+	return nil
+}
+func (s *nullSite) HandleBroadcast(testMsg) {}
+
+func benchCluster(k int) (*ConcurrentCluster[testMsg], []*nullSite) {
+	coord := &countCoord{n: 1 << 30}
+	raw := make([]*nullSite, k)
+	sites := make([]Site[testMsg], k)
+	for i := range sites {
+		raw[i] = &nullSite{}
+		sites[i] = raw[i]
+	}
+	cc := NewConcurrentCluster[testMsg](coord, sites)
+	cc.Start()
+	return cc, raw
+}
+
+// BenchmarkConcurrentFeed is the per-item enqueue path — the "before"
+// of the batched-FeedBatch change (FeedBatch used to be this loop).
+func BenchmarkConcurrentFeed(b *testing.B) {
+	cc, _ := benchCluster(4)
+	it := stream.Item{ID: 1, Weight: 1}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := cc.Feed(i%4, it); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	cc.Drain()
+}
+
+// BenchmarkConcurrentFeedBatch is the batched enqueue: one queue
+// operation per 256-item batch.
+func BenchmarkConcurrentFeedBatch(b *testing.B) {
+	cc, _ := benchCluster(4)
+	const chunk = 256
+	batch := make([]stream.Item, chunk)
+	for i := range batch {
+		batch[i] = stream.Item{ID: uint64(i), Weight: 1}
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	fed := 0
+	for i := 0; fed < b.N; i++ {
+		n := chunk
+		if b.N-fed < n {
+			n = b.N - fed
+		}
+		if err := cc.FeedBatch(i%4, batch[:n]); err != nil {
+			b.Fatal(err)
+		}
+		fed += n
+	}
+	b.StopTimer()
+	cc.Drain()
+}

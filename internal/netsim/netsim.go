@@ -1,14 +1,17 @@
-// Package netsim provides the two runtimes that drive the
-// transport-agnostic site/coordinator state machines:
+// Package netsim provides the two in-process runtimes that drive the
+// transport-agnostic site/coordinator state machines (package
+// internal/runtime wraps them, together with the TCP transport, behind
+// one Runtime interface):
 //
 //   - Cluster: a deterministic sequential simulator matching the
 //     synchronous model of Section 2.1 (a broadcast is delivered to every
 //     site before the next arrival), with exact message and word
 //     accounting. All message-complexity experiments run on it.
 //   - ConcurrentCluster (concurrent.go): a goroutine-per-site runtime
-//     with FIFO channels in both directions, demonstrating the protocol
-//     live and validating that correctness survives asynchrony (stale
-//     thresholds only cost extra messages; see DESIGN.md).
+//     with batched FIFO input queues and FIFO links in both directions,
+//     demonstrating the protocol live and validating that correctness
+//     survives asynchrony (stale thresholds only cost extra messages;
+//     see DESIGN.md).
 package netsim
 
 import (

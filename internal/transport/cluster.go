@@ -1,0 +1,151 @@
+package transport
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+
+	"wrs/internal/core"
+	"wrs/internal/netsim"
+	"wrs/internal/stream"
+)
+
+// Cluster is the deployment-shaped runtime for one protocol instance:
+// a CoordinatorServer listening on a real address and one SiteClient
+// per site state machine, each over its own TCP connection. It exposes
+// the same driving surface as the netsim clusters (Feed, FeedBatch,
+// Flush, Stats), so the applications — plain SWOR, heavy hitters, L1
+// tracking — run over real connections unchanged.
+//
+// Feed/FeedBatch for different sites may be called from different
+// goroutines (one feeder per site is the intended deployment shape);
+// calls for the same site must not be concurrent, matching SiteClient.
+type Cluster struct {
+	cfg     core.Config
+	srv     *CoordinatorServer
+	ln      net.Listener
+	clients []*SiteClient
+}
+
+// NewCluster starts a coordinator server for coord on addr
+// ("127.0.0.1:0" when empty) and connects one SiteClient per site
+// machine. On error everything already started is torn down.
+func NewCluster(cfg core.Config, coord Coordinator, sites []netsim.Site[core.Message], addr string) (*Cluster, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	if len(sites) != cfg.K {
+		return nil, fmt.Errorf("transport: %d site machines for k=%d", len(sites), cfg.K)
+	}
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	srv, err := NewCoordinatorServerFor(cfg, coord)
+	if err != nil {
+		return nil, err
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	go srv.Serve(ln)
+	c := &Cluster{cfg: cfg, srv: srv, ln: ln, clients: make([]*SiteClient, len(sites))}
+	for i, machine := range sites {
+		cl, err := DialSiteFor(ln.Addr().String(), machine, cfg)
+		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		c.clients[i] = cl
+	}
+	return c, nil
+}
+
+// Addr returns the coordinator's listen address.
+func (c *Cluster) Addr() string { return c.ln.Addr().String() }
+
+// Server returns the coordinator server (diagnostics and queries).
+func (c *Cluster) Server() *CoordinatorServer { return c.srv }
+
+// Client returns the site client for siteID (diagnostics).
+func (c *Cluster) Client(siteID int) *SiteClient { return c.clients[siteID] }
+
+func (c *Cluster) checkSite(siteID int) error {
+	if siteID < 0 || siteID >= len(c.clients) {
+		return fmt.Errorf("transport: site %d out of range [0,%d)", siteID, len(c.clients))
+	}
+	return nil
+}
+
+// Feed delivers one arrival to a site over its connection.
+func (c *Cluster) Feed(siteID int, it stream.Item) error {
+	if err := c.checkSite(siteID); err != nil {
+		return err
+	}
+	return c.clients[siteID].Observe(it)
+}
+
+// FeedBatch delivers a slice of arrivals to a site, coalesced into
+// multi-message frames (the high-throughput path).
+func (c *Cluster) FeedBatch(siteID int, items []stream.Item) error {
+	if err := c.checkSite(siteID); err != nil {
+		return err
+	}
+	return c.clients[siteID].ObserveBatch(items)
+}
+
+// Flush round-trips every connection: when it returns, the coordinator
+// has processed every message fed so far and each site has applied
+// every broadcast that processing triggered. The round-trips run
+// concurrently, so the cost is one RTT, not k.
+func (c *Cluster) Flush() error {
+	errs := make([]error, len(c.clients))
+	var wg sync.WaitGroup
+	for i, cl := range c.clients {
+		wg.Add(1)
+		go func(i int, cl *SiteClient) {
+			defer wg.Done()
+			errs[i] = cl.Flush()
+		}(i, cl)
+	}
+	wg.Wait()
+	return errors.Join(errs...)
+}
+
+// Do runs fn while holding the coordinator's ingest lock.
+func (c *Cluster) Do(fn func()) { c.srv.Do(fn) }
+
+// Stats returns cumulative protocol traffic in the paper's accounting:
+// upstream counts messages whose bytes reached a connection, downstream
+// counts per-site broadcast deliveries (snapshot frames included).
+// Ping/pong control frames are excluded; see SiteClient.FlowPings.
+func (c *Cluster) Stats() netsim.Stats {
+	var s netsim.Stats
+	for _, cl := range c.clients {
+		s.Upstream += cl.Sent()
+		s.UpWords += cl.SentWords()
+	}
+	s.Downstream = c.srv.BroadcastsSent()
+	s.DownWords = c.srv.BroadcastWords()
+	return s
+}
+
+// Close tears down every site connection and the server. It does not
+// flush; call Flush first for a graceful shutdown with delivery
+// guaranteed.
+func (c *Cluster) Close() error {
+	var errs []error
+	for _, cl := range c.clients {
+		if cl == nil {
+			continue
+		}
+		if err := cl.Close(); err != nil {
+			errs = append(errs, err)
+		}
+	}
+	if err := c.srv.Close(); err != nil {
+		errs = append(errs, err)
+	}
+	return errors.Join(errs...)
+}

@@ -216,6 +216,53 @@ func TestBroadcastDripDoesNotExtendWindow(t *testing.T) {
 	}
 }
 
+// TestStalePongDrainedBeforeSync pins the stale-pong hazard: if a sync
+// errors after writing its ping but before consuming the pong, the pong
+// can arrive later and sit in the buffer. A subsequent sync must not
+// return on that stale pong — it would report an earlier processing
+// horizon than its own ping proves, silently voiding the staleness
+// bound. syncCoordinator therefore drains buffered pongs before writing
+// a new ping.
+func TestStalePongDrainedBeforeSync(t *testing.T) {
+	cfg := core.Config{K: 1, S: 1}
+	cli, srv := net.Pipe()
+	fake := newFakeCoordinator(srv)
+	c, err := NewSiteClient(cli, 0, cfg, xrand.New(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	// Simulate the aftermath of an errored sync: a pong arrives with no
+	// one waiting and is buffered by the read loop.
+	fake.pong(t)
+	for start := time.Now(); len(c.pong) == 0; {
+		if time.Since(start) > 2*time.Second {
+			t.Fatal("stale pong never reached the client buffer")
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	flushDone := make(chan error, 1)
+	go func() { flushDone <- c.Flush() }()
+
+	// The coordinator sees the new ping and — like a real server whose
+	// FIFO outbox already held a broadcast — answers with the broadcast
+	// first, then the pong. A sync that returned on the stale pong would
+	// miss the broadcast.
+	if msgs, ping := fake.nextFrames(t, 1); !ping || msgs != 0 {
+		t.Fatalf("expected a ping, saw %d messages (ping=%v)", msgs, ping)
+	}
+	fake.broadcast(t, core.Message{Kind: core.MsgEpochUpdate, Threshold: 5})
+	fake.pong(t)
+	if err := <-flushDone; err != nil {
+		t.Fatal(err)
+	}
+	if got := c.Site().Threshold(); got != 5 {
+		t.Errorf("sync returned at a stale horizon: threshold %g, want 5", got)
+	}
+}
+
 // TestTCPSublinearUnderSingleCPU pins the regression this package
 // existed to fix: under GOMAXPROCS=1 the hot Observe loops starve the
 // reader/writer goroutines, so without flow control no broadcast is

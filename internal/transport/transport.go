@@ -22,6 +22,7 @@ import (
 	"bufio"
 	"errors"
 	"fmt"
+	"math"
 	"net"
 	"sync"
 	"sync/atomic"
@@ -39,31 +40,78 @@ var (
 	pongPayload = []byte{201}
 )
 
-// CoordinatorServer hosts the coordinator side of the protocol.
-type CoordinatorServer struct {
-	cfg core.Config
+// Coordinator is the coordinator-side protocol a server can host: the
+// plain sampler coordinator, or an application wrapper around it (the
+// L1 tracker's DupCoordinator). Core exposes the inner sampler state
+// machine for queries and the control-plane join snapshot.
+type Coordinator interface {
+	HandleMessage(m core.Message, bcast func(core.Message))
+	Core() *core.Coordinator
+}
 
-	mu    sync.Mutex // guards coord and conns
+// prefilterable is implemented by coordinators that publish a key bound
+// below which MsgRegular messages may be discarded before reaching
+// HandleMessage (see core.Coordinator.DropBelow). Coordinators that do
+// not implement it are never pre-filtered.
+type prefilterable interface {
+	DropBelow() float64
+}
+
+// CoordinatorServer hosts the coordinator side of the protocol.
+//
+// Ingest path: connection handlers decode incoming frames and
+// pre-filter below-threshold MsgRegular messages *outside* the global
+// mutex, against the drop bound the coordinator last published through
+// an atomic. The bound is monotone nondecreasing, so a stale read only
+// filters less, never wrongly: any key at or below a published bound
+// has s released dominators and would be dropped by HandleMessage on
+// arrival anyway. Only the surviving messages take the mutex, so
+// ingest of high-rate, mostly-filtered traffic scales with cores
+// instead of serializing on the lock (BenchmarkTCPParallelIngest).
+type CoordinatorServer struct {
+	cfg   core.Config
+	proto Coordinator
+
+	mu    sync.Mutex // guards coord/proto and conns
 	coord *core.Coordinator
 	conns map[net.Conn]*netsim.Mailbox[[]byte]
 
-	ln        net.Listener
-	wg        sync.WaitGroup
-	closed    atomic.Bool
-	processed atomic.Int64
-	bcasts    atomic.Int64
+	dropper   prefilterable // nil: never pre-filter
+	dropBits  atomic.Uint64 // Float64bits of the published drop bound
+	prefilter atomic.Int64  // messages dropped before the mutex
+	serial    atomic.Bool   // pre-refactor decode-under-lock path (benchmarks)
+
+	ln         net.Listener
+	wg         sync.WaitGroup
+	closed     atomic.Bool
+	processed  atomic.Int64
+	bcasts     atomic.Int64
+	bcastWords atomic.Int64
 }
 
-// NewCoordinatorServer builds a server for the given configuration.
+// NewCoordinatorServer builds a server hosting a fresh sampler
+// coordinator for the given configuration.
 func NewCoordinatorServer(cfg core.Config, rng *xrand.RNG) (*CoordinatorServer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	return &CoordinatorServer{
+	return NewCoordinatorServerFor(cfg, core.NewCoordinator(cfg, rng))
+}
+
+// NewCoordinatorServerFor builds a server hosting the given coordinator
+// protocol — the plain sampler, or an application wrapper around it.
+func NewCoordinatorServerFor(cfg core.Config, proto Coordinator) (*CoordinatorServer, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &CoordinatorServer{
 		cfg:   cfg,
-		coord: core.NewCoordinator(cfg, rng),
+		proto: proto,
+		coord: proto.Core(),
 		conns: make(map[net.Conn]*netsim.Mailbox[[]byte]),
-	}, nil
+	}
+	s.dropper, _ = proto.(prefilterable)
+	return s, nil
 }
 
 // Serve accepts site connections on ln until Close is called. It blocks;
@@ -111,7 +159,9 @@ func (s *CoordinatorServer) handleConn(conn net.Conn) {
 	// outbox carries a prefix-complete view.
 	if snap := s.joinSnapshotLocked(); len(snap) > 0 {
 		outbox.Put(snap)
-		s.bcasts.Add(1)
+		// The snapshot frame replays several broadcast messages; count
+		// each so Downstream and DownWords stay message-consistent.
+		s.bcasts.Add(int64(len(snap) / wire.MessageSize))
 	}
 	s.mu.Unlock()
 	// Close may have snapshotted the connection map before this
@@ -158,6 +208,7 @@ func (s *CoordinatorServer) handleConn(conn net.Conn) {
 
 	br := bufio.NewReaderSize(conn, 64*1024)
 	var buf []byte
+	var kept []core.Message // surviving messages of the current frame
 	for {
 		payload, err := wire.ReadFrame(br, buf)
 		if err != nil {
@@ -169,14 +220,47 @@ func (s *CoordinatorServer) handleConn(conn net.Conn) {
 			continue
 		}
 		// Batch frame: one or more concatenated protocol messages.
-		n := int64(0)
-		s.mu.Lock()
-		perr := wire.ForEachMessage(payload, func(m core.Message) {
-			s.coord.HandleMessage(m, s.broadcastLocked)
-			n++
-		})
-		s.mu.Unlock()
+		var n, dropped int64
+		var perr error
+		if s.serial.Load() {
+			// Pre-refactor ingest: decode and handle everything under
+			// the global mutex. Kept for ablation and as the benchmark
+			// baseline (BenchmarkTCPParallelIngest).
+			s.mu.Lock()
+			perr = wire.ForEachMessage(payload, func(m core.Message) {
+				s.proto.HandleMessage(m, s.broadcastLocked)
+				n++
+			})
+			s.publishDropBoundLocked()
+			s.mu.Unlock()
+		} else {
+			// Decode and pre-filter outside the lock; only survivors
+			// take it. A dropped message counts as processed — the
+			// coordinator would have dropped it on arrival too — so the
+			// Processed() == Σ Sent() flush invariant is unchanged.
+			drop := math.Float64frombits(s.dropBits.Load())
+			kept = kept[:0]
+			perr = wire.ForEachMessage(payload, func(m core.Message) {
+				n++
+				if m.Kind == core.MsgRegular && drop > 0 && m.Key <= drop {
+					dropped++
+					return
+				}
+				kept = append(kept, m)
+			})
+			if len(kept) > 0 {
+				s.mu.Lock()
+				for _, m := range kept {
+					s.proto.HandleMessage(m, s.broadcastLocked)
+				}
+				s.publishDropBoundLocked()
+				s.mu.Unlock()
+			}
+		}
 		s.processed.Add(n)
+		if dropped > 0 {
+			s.prefilter.Add(dropped)
+		}
 		if perr != nil {
 			break // protocol violation: drop the connection
 		}
@@ -190,16 +274,31 @@ func (s *CoordinatorServer) handleConn(conn net.Conn) {
 	conn.Close()
 }
 
+// publishDropBoundLocked stores the coordinator's current safe-to-drop
+// key bound in the atomic the connection handlers pre-filter against.
+// Caller holds s.mu. The bound is monotone nondecreasing, so handlers
+// reading a stale value only filter less.
+func (s *CoordinatorServer) publishDropBoundLocked() {
+	if s.dropper == nil {
+		return
+	}
+	s.dropBits.Store(math.Float64bits(s.dropper.DropBelow()))
+}
+
 // joinSnapshotLocked encodes the coordinator's current control-plane
 // state — saturated levels and the epoch threshold — as one batch
 // payload for a newly registered connection. Caller holds s.mu.
 func (s *CoordinatorServer) joinSnapshotLocked() []byte {
 	var snap []byte
 	for _, j := range s.coord.SaturatedLevels() {
-		snap = wire.AppendMessage(snap, core.Message{Kind: core.MsgLevelSaturated, Level: j})
+		m := core.Message{Kind: core.MsgLevelSaturated, Level: j}
+		snap = wire.AppendMessage(snap, m)
+		s.bcastWords.Add(int64(m.Words()))
 	}
 	if th := s.coord.CurrentThreshold(); th > 0 {
-		snap = wire.AppendMessage(snap, core.Message{Kind: core.MsgEpochUpdate, Threshold: th})
+		m := core.Message{Kind: core.MsgEpochUpdate, Threshold: th}
+		snap = wire.AppendMessage(snap, m)
+		s.bcastWords.Add(int64(m.Words()))
 	}
 	return snap
 }
@@ -208,9 +307,11 @@ func (s *CoordinatorServer) joinSnapshotLocked() []byte {
 // site. Caller holds s.mu.
 func (s *CoordinatorServer) broadcastLocked(m core.Message) {
 	payload := wire.AppendMessage(nil, m)
+	words := int64(m.Words())
 	for _, box := range s.conns {
 		box.Put(payload)
 		s.bcasts.Add(1)
+		s.bcastWords.Add(words)
 	}
 }
 
@@ -221,11 +322,35 @@ func (s *CoordinatorServer) Query() []core.SampleEntry {
 	return s.coord.Query()
 }
 
-// Processed returns the number of protocol messages handled so far.
+// Do runs fn while holding the server's ingest lock, so fn can read
+// coordinator (or wrapper) state without racing message processing.
+func (s *CoordinatorServer) Do(fn func()) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	fn()
+	s.publishDropBoundLocked()
+}
+
+// Processed returns the number of protocol messages handled so far,
+// including messages dropped by the pre-filter.
 func (s *CoordinatorServer) Processed() int64 { return s.processed.Load() }
 
-// BroadcastsSent returns the number of per-site broadcast frames sent.
+// PreFiltered returns how many MsgRegular messages the connection
+// handlers dropped before the ingest lock.
+func (s *CoordinatorServer) PreFiltered() int64 { return s.prefilter.Load() }
+
+// SetSerialIngest switches to the pre-refactor ingest path that decodes
+// and handles every message under the global mutex (no pre-filter).
+// For ablation and benchmarks only.
+func (s *CoordinatorServer) SetSerialIngest(on bool) { s.serial.Store(on) }
+
+// BroadcastsSent returns the number of per-site broadcast messages
+// sent (join-snapshot replays included, counted per message).
 func (s *CoordinatorServer) BroadcastsSent() int64 { return s.bcasts.Load() }
+
+// BroadcastWords returns the machine words of broadcast traffic sent,
+// counting each per-site delivery separately (paper accounting).
+func (s *CoordinatorServer) BroadcastWords() int64 { return s.bcastWords.Load() }
 
 // Stats returns the coordinator's protocol statistics.
 func (s *CoordinatorServer) Stats() core.CoordStats {
@@ -283,22 +408,27 @@ func (s *CoordinatorServer) Close() error {
 // the broadcast reader runs in the background and synchronizes with
 // them internally.
 type SiteClient struct {
-	mu   sync.Mutex // guards site state machine
-	site *core.Site
-	conn net.Conn
+	mu      sync.Mutex // guards the site state machine
+	machine netsim.Site[core.Message]
+	site    *core.Site // the machine when it is a plain sampler site, else nil
+	conn    net.Conn
 
-	wmu       sync.Mutex // guards bw and the staleness/accounting counters
-	bw        *bufio.Writer
-	unflushed int64 // messages written but not yet flushed (not in sent)
-	stale     int64 // messages sent since the last completed round-trip
-	window    int64 // bounded-staleness window W
+	wmu            sync.Mutex // guards bw and the staleness/accounting counters
+	bw             *bufio.Writer
+	unflushed      int64 // messages written but not yet flushed (not in sent)
+	unflushedWords int64
+	stale          int64 // messages sent since the last completed round-trip
+	window         int64 // bounded-staleness window W
 
 	sent      atomic.Int64
+	sentWords atomic.Int64
 	flowPings atomic.Int64
 
-	frame []byte           // outgoing batch frame under construction
-	emit  func(m core.Message)
-	one   [1]stream.Item // scratch so Observe can reuse the batch path
+	frame      []byte // outgoing batch frame under construction
+	frameWords int64
+	emitErr    error // first write error surfaced by a mid-observe frame split
+	emit       func(m core.Message)
+	one        [1]stream.Item // scratch so Observe can reuse the batch path
 
 	pendMu     sync.Mutex
 	pending    []core.Message
@@ -309,7 +439,7 @@ type SiteClient struct {
 	readerErr  error
 }
 
-// DialSite connects a site state machine to the coordinator at addr.
+// DialSite connects a plain sampler site to the coordinator at addr.
 func DialSite(addr string, id int, cfg core.Config, rng *xrand.RNG) (*SiteClient, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -321,22 +451,63 @@ func DialSite(addr string, id int, cfg core.Config, rng *xrand.RNG) (*SiteClient
 	return NewSiteClient(conn, id, cfg, rng)
 }
 
-// NewSiteClient runs the site protocol over an established connection
-// (DialSite with the dialing factored out — tests and custom transports
-// hand in pipes or pre-configured conns).
+// DialSiteFor connects an arbitrary site state machine — e.g. the L1
+// tracker's duplicating site — to the coordinator at addr.
+func DialSiteFor(addr string, machine netsim.Site[core.Message], cfg core.Config) (*SiteClient, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewSiteClientFor(conn, machine, cfg)
+}
+
+// NewSiteClient runs a plain sampler site over an established
+// connection (DialSite with the dialing factored out — tests and custom
+// transports hand in pipes or pre-configured conns).
 func NewSiteClient(conn net.Conn, id int, cfg core.Config, rng *xrand.RNG) (*SiteClient, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	return NewSiteClientFor(conn, core.NewSite(id, cfg, rng), cfg)
+}
+
+// NewSiteClientFor runs an arbitrary site state machine over an
+// established connection. The machine's messages are framed and
+// batched like a plain sampler site's; cfg supplies the staleness
+// window. The window is enforced between updates (a sync cannot be
+// interleaved into a running state-machine callback), so for a machine
+// that emits m messages per update the staleness bound is W + m - 1
+// rather than W — still a constant for any fixed configuration (the L1
+// duplicating site has m <= l).
+func NewSiteClientFor(conn net.Conn, machine netsim.Site[core.Message], cfg core.Config) (*SiteClient, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
 	c := &SiteClient{
-		site:       core.NewSite(id, cfg, rng),
+		machine:    machine,
 		conn:       conn,
 		bw:         bufio.NewWriterSize(conn, 32*1024),
 		window:     int64(cfg.StalenessWindow()),
 		pong:       make(chan struct{}, 4),
 		readerDone: make(chan struct{}),
 	}
-	c.emit = func(m core.Message) { c.frame = wire.AppendMessage(c.frame, m) }
+	c.site, _ = machine.(*core.Site)
+	// One state-machine callback can emit arbitrarily many messages (the
+	// L1 duplicating site sends up to l copies per update), so the frame
+	// under construction is shipped whenever the next message would
+	// overflow it; the write error, if any, surfaces after the callback.
+	c.emit = func(m core.Message) {
+		if len(c.frame)+wire.MessageSize > wire.MaxFrameSize {
+			if err := c.writeFrame(); err != nil && c.emitErr == nil {
+				c.emitErr = err
+			}
+		}
+		c.frame = wire.AppendMessage(c.frame, m)
+		c.frameWords += int64(m.Words())
+	}
 	go c.readLoop()
 	return c, nil
 }
@@ -411,7 +582,7 @@ func (c *SiteClient) drainPending() bool {
 	}
 	c.mu.Lock()
 	for _, m := range batch {
-		c.site.HandleBroadcast(m)
+		c.machine.HandleBroadcast(m)
 	}
 	c.mu.Unlock()
 	return true
@@ -437,10 +608,12 @@ func (c *SiteClient) writeFrame() error {
 	err := wire.WriteFrame(c.bw, c.frame)
 	if err == nil {
 		c.unflushed += n
+		c.unflushedWords += c.frameWords
 		c.stale += n
 	}
 	c.wmu.Unlock()
 	c.frame = c.frame[:0]
+	c.frameWords = 0
 	return err
 }
 
@@ -453,7 +626,9 @@ func (c *SiteClient) flushCommit() error {
 		return err
 	}
 	c.sent.Add(c.unflushed)
+	c.sentWords.Add(c.unflushedWords)
 	c.unflushed = 0
+	c.unflushedWords = 0
 	return nil
 }
 
@@ -464,6 +639,17 @@ func (c *SiteClient) flushCommit() error {
 // broadcast those messages triggered has been queued ahead of the pong
 // — so after the drain the site's view is fully current.
 func (c *SiteClient) syncCoordinator() error {
+	// Drain stale pongs first. If an earlier sync errored after writing
+	// its ping but before consuming the pong, that pong may still arrive
+	// and sit in the buffer; returning on it would report an earlier
+	// horizon than this ping's, silently voiding the staleness bound.
+	for drained := false; !drained; {
+		select {
+		case <-c.pong:
+		default:
+			drained = true
+		}
+	}
 	c.wmu.Lock()
 	err := wire.WriteFrame(c.bw, pingPayload)
 	if err == nil {
@@ -471,7 +657,9 @@ func (c *SiteClient) syncCoordinator() error {
 	}
 	if err == nil {
 		c.sent.Add(c.unflushed)
+		c.sentWords.Add(c.unflushedWords)
 		c.unflushed = 0
+		c.unflushedWords = 0
 	}
 	c.wmu.Unlock()
 	if err != nil {
@@ -514,8 +702,12 @@ func (c *SiteClient) ObserveBatch(items []stream.Item) error {
 			}
 		}
 		c.mu.Lock()
-		err := c.site.Observe(items[i], c.emit)
+		err := c.machine.Observe(items[i], c.emit)
 		c.mu.Unlock()
+		if err == nil && c.emitErr != nil {
+			err = c.emitErr
+		}
+		c.emitErr = nil
 		if err != nil {
 			if werr := c.finishWrites(); werr != nil {
 				return errors.Join(err, werr)
@@ -551,14 +743,23 @@ func (c *SiteClient) Flush() error {
 // successfully written to the connection.
 func (c *SiteClient) Sent() int64 { return c.sent.Load() }
 
+// SentWords returns the machine words of protocol traffic this client
+// has successfully written (paper accounting; control frames excluded).
+func (c *SiteClient) SentWords() int64 { return c.sentWords.Load() }
+
 // FlowPings returns how many ping round-trips the bounded-staleness
 // window forced (excluding explicit Flush calls). It is bounded by
 // Sent()/W, the overhead that keeps the message bound scheduler-proof.
 func (c *SiteClient) FlowPings() int64 { return c.flowPings.Load() }
 
-// Site returns the underlying state machine (diagnostics; synchronize
-// externally if the client is still live).
+// Site returns the underlying plain sampler site, or nil when the
+// client drives a custom machine (diagnostics; synchronize externally
+// if the client is still live).
 func (c *SiteClient) Site() *core.Site { return c.site }
+
+// Machine returns the site state machine the client drives
+// (diagnostics; synchronize externally if the client is still live).
+func (c *SiteClient) Machine() netsim.Site[core.Message] { return c.machine }
 
 // Close tears down the connection. Call Flush first for a graceful
 // shutdown that guarantees delivery.

@@ -8,6 +8,8 @@ import (
 	"wrs/internal/heavyhitter"
 	"wrs/internal/l1track"
 	"wrs/internal/netsim"
+	rt "wrs/internal/runtime"
+	"wrs/internal/stream"
 	"wrs/internal/xrand"
 )
 
@@ -28,9 +30,12 @@ func validateWeight(w float64) error {
 // (total weight after the top ceil(1/eps) items are removed). This is
 // strictly stronger than the usual eps-L1 guarantee and is exactly what
 // with-replacement sampling cannot provide on skewed streams.
+//
+// Like every application in this package it runs over any runtime:
+// WithRuntime(TCP(addr)) monitors heavy hitters over real connections.
 type HeavyHitterTracker struct {
 	tracker *heavyhitter.Tracker
-	cluster *netsim.Cluster[core.Message]
+	appRuntime
 }
 
 // NewHeavyHitterTracker creates a tracker over k sites with parameters
@@ -46,21 +51,28 @@ func NewHeavyHitterTracker(k int, eps, delta float64, opts ...Option) (*HeavyHit
 	for i, s := range tr.Sites {
 		sites[i] = s
 	}
-	return &HeavyHitterTracker{
-		tracker: tr,
-		cluster: netsim.NewCluster[core.Message](tr.Coord, sites),
-	}, nil
+	run, err := o.rt.build(rt.Instance{Cfg: tr.Coord.Config(), Coord: tr.Coord, Sites: sites})
+	if err != nil {
+		return nil, err
+	}
+	return &HeavyHitterTracker{tracker: tr, appRuntime: appRuntime{rt: run}}, nil
 }
 
 // Observe delivers one arrival to a site.
-func (h *HeavyHitterTracker) Observe(site int, it Item) error {
-	return h.cluster.Feed(site, it.internal())
+func (h *HeavyHitterTracker) Observe(site int, it Item) error { return h.observe(site, it) }
+
+// ObserveBatch delivers a slice of arrivals to a site through the
+// runtime's batched path.
+func (h *HeavyHitterTracker) ObserveBatch(site int, items []Item) error {
+	return h.observeBatch(site, items)
 }
 
 // Candidates returns at most ceil(2/eps) items, heaviest first; with
-// probability 1-delta every residual eps-heavy hitter is among them.
+// probability 1-delta every residual eps-heavy hitter is among them. On
+// asynchronous runtimes call Flush first for a fully-delivered view.
 func (h *HeavyHitterTracker) Candidates() []Item {
-	items := h.tracker.Query()
+	var items []stream.Item
+	h.rt.Do(func() { items = h.tracker.Query() })
 	out := make([]Item, len(items))
 	for i, it := range items {
 		out[i] = fromInternal(it)
@@ -68,16 +80,27 @@ func (h *HeavyHitterTracker) Candidates() []Item {
 	return out
 }
 
+// Flush is a barrier: when it returns, everything observed before the
+// call has reached the coordinator.
+func (h *HeavyHitterTracker) Flush() error { return h.flush() }
+
 // Stats returns cumulative network traffic.
-func (h *HeavyHitterTracker) Stats() Stats { return fromNetsim(h.cluster.Stats) }
+func (h *HeavyHitterTracker) Stats() Stats { return h.stats() }
+
+// Close shuts the runtime down; Candidates remains usable. Idempotent.
+func (h *HeavyHitterTracker) Close() error { return h.close() }
 
 // L1Tracker continuously maintains a (1±eps)-approximation of the total
 // weight across all sites (Section 5, Theorem 6): each update is
 // duplicated l = s/(2·eps) times into a weighted SWOR of size
 // s = Θ(log(1/delta)/eps²) and the s-th largest key calibrates the total.
+//
+// Like every application in this package it runs over any runtime:
+// WithRuntime(TCP(addr)) tracks the distributed total over real
+// connections.
 type L1Tracker struct {
-	coord   *l1track.DupCoordinator
-	cluster *netsim.Cluster[core.Message]
+	coord *l1track.DupCoordinator
+	appRuntime
 }
 
 // NewL1Tracker creates a tracker over k sites; eps in (0, 0.5), delta in
@@ -94,16 +117,34 @@ func NewL1Tracker(k int, eps, delta float64, opts ...Option) (*L1Tracker, error)
 	for i, s := range sites {
 		ns[i] = s
 	}
-	return &L1Tracker{coord: coord, cluster: netsim.NewCluster[core.Message](coord, ns)}, nil
+	run, err := o.rt.build(rt.Instance{Cfg: coord.Core().Config(), Coord: coord, Sites: ns})
+	if err != nil {
+		return nil, err
+	}
+	return &L1Tracker{coord: coord, appRuntime: appRuntime{rt: run}}, nil
 }
 
 // Observe delivers one arrival to a site.
-func (l *L1Tracker) Observe(site int, it Item) error {
-	return l.cluster.Feed(site, it.internal())
+func (l *L1Tracker) Observe(site int, it Item) error { return l.observe(site, it) }
+
+// ObserveBatch delivers a slice of arrivals to a site through the
+// runtime's batched path.
+func (l *L1Tracker) ObserveBatch(site int, items []Item) error { return l.observeBatch(site, items) }
+
+// Estimate returns the current (1±eps) estimate of the total weight. On
+// asynchronous runtimes call Flush first for a fully-delivered view.
+func (l *L1Tracker) Estimate() float64 {
+	var est float64
+	l.rt.Do(func() { est = l.coord.Estimate() })
+	return est
 }
 
-// Estimate returns the current (1±eps) estimate of the total weight.
-func (l *L1Tracker) Estimate() float64 { return l.coord.Estimate() }
+// Flush is a barrier: when it returns, everything observed before the
+// call has reached the coordinator.
+func (l *L1Tracker) Flush() error { return l.flush() }
 
 // Stats returns cumulative network traffic.
-func (l *L1Tracker) Stats() Stats { return fromNetsim(l.cluster.Stats) }
+func (l *L1Tracker) Stats() Stats { return l.stats() }
+
+// Close shuts the runtime down; Estimate remains usable. Idempotent.
+func (l *L1Tracker) Close() error { return l.close() }

@@ -2,9 +2,11 @@ package wrs
 
 import (
 	"fmt"
+	"sync"
 
 	"wrs/internal/core"
 	"wrs/internal/netsim"
+	rt "wrs/internal/runtime"
 	"wrs/internal/stream"
 	"wrs/internal/xrand"
 )
@@ -20,6 +22,14 @@ type Item struct {
 func (it Item) internal() stream.Item { return stream.Item{ID: it.ID, Weight: it.Weight} }
 
 func fromInternal(it stream.Item) Item { return Item{ID: it.ID, Weight: it.Weight} }
+
+func toInternal(items []Item) []stream.Item {
+	out := make([]stream.Item, len(items))
+	for i, it := range items {
+		out[i] = it.internal()
+	}
+	return out
+}
 
 // Sampled is a sampled item together with its precision-sampling key
 // (v = w/t, t ~ Exp(1)); larger keys rank higher.
@@ -44,11 +54,63 @@ func fromNetsim(s netsim.Stats) Stats {
 	return Stats{Upstream: s.Upstream, Downstream: s.Downstream, UpWords: s.UpWords, DownWords: s.DownWords}
 }
 
+// RuntimeSpec selects the runtime that drives a sampler or tracker: the
+// protocol state machines are transport-agnostic, so the same
+// application runs on the deterministic simulator, the goroutine
+// cluster, or real TCP connections. The zero value means Sequential.
+type RuntimeSpec struct {
+	name    string
+	factory rt.Factory
+}
+
+// String returns the runtime's name ("sequential" for the zero value).
+func (r RuntimeSpec) String() string {
+	if r.name == "" {
+		return "sequential"
+	}
+	return r.name
+}
+
+func (r RuntimeSpec) build(inst rt.Instance) (rt.Runtime, error) {
+	f := r.factory
+	if f == nil {
+		f = rt.Sequential()
+	}
+	return f(inst)
+}
+
+// Sequential is the default runtime: the deterministic synchronous
+// simulator analyzed in the paper — a broadcast reaches every site
+// before the next arrival, replayable under a fixed seed. Observe
+// delivers messages inline; use it from one goroutine.
+func Sequential() RuntimeSpec {
+	return RuntimeSpec{name: "sequential", factory: rt.Sequential()}
+}
+
+// Goroutines is the in-process asynchronous runtime: one goroutine per
+// site plus one for the coordinator, FIFO links both ways. Observe
+// enqueues and returns; invalid weights surface at Flush or Close.
+func Goroutines() RuntimeSpec {
+	return RuntimeSpec{name: "goroutines", factory: rt.Goroutines()}
+}
+
+// TCP is the deployment-shaped runtime: a coordinator server listening
+// on addr ("" or "127.0.0.1:0" for any free loopback port) and one
+// flow-controlled site client connection per site. Call Close when
+// done; call Flush before querying for a fully-delivered view.
+func TCP(addr string) RuntimeSpec {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	return RuntimeSpec{name: "tcp(" + addr + ")", factory: rt.TCP(addr)}
+}
+
 // Option configures a sampler or tracker.
 type Option func(*options)
 
 type options struct {
 	seed uint64
+	rt   RuntimeSpec
 }
 
 // WithSeed fixes the random seed, making every run replayable. Without
@@ -56,6 +118,14 @@ type options struct {
 // the environment; vary the seed for independent runs).
 func WithSeed(seed uint64) Option {
 	return func(o *options) { o.seed = seed }
+}
+
+// WithRuntime selects the runtime driving the protocol instance;
+// Sequential() is the default. Every application accepts every
+// runtime: a HeavyHitterTracker or L1Tracker over TCP(addr) runs the
+// full protocol over real connections.
+func WithRuntime(r RuntimeSpec) Option {
+	return func(o *options) { o.rt = r }
 }
 
 func buildOptions(opts []Option) options {
@@ -66,15 +136,58 @@ func buildOptions(opts []Option) options {
 	return o
 }
 
+// appRuntime is the runtime plumbing shared by the sampler and the
+// trackers: feeding, flushing, stats, and idempotent close.
+type appRuntime struct {
+	rt rt.Runtime
+
+	mu         sync.Mutex
+	closed     bool
+	finalStats Stats
+}
+
+func (a *appRuntime) observe(site int, it Item) error {
+	return a.rt.Feed(site, it.internal())
+}
+
+func (a *appRuntime) observeBatch(site int, items []Item) error {
+	return a.rt.FeedBatch(site, toInternal(items))
+}
+
+func (a *appRuntime) flush() error { return a.rt.Flush() }
+
+func (a *appRuntime) stats() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return a.finalStats
+	}
+	return fromNetsim(a.rt.Stats())
+}
+
+func (a *appRuntime) close() error {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if a.closed {
+		return nil
+	}
+	err := a.rt.Close()
+	a.finalStats = fromNetsim(a.rt.Stats())
+	a.closed = true
+	return err
+}
+
 // DistributedSampler maintains a weighted sample without replacement of
-// size s over k sites, using the paper's message-optimal protocol. This
-// driver delivers messages synchronously and deterministically (the model
-// analyzed in the paper); use ConcurrentSampler for a live goroutine
-// runtime, or the netsim building blocks for a custom transport.
+// size s over k sites, using the paper's message-optimal protocol. The
+// default Sequential runtime delivers messages synchronously and
+// deterministically (the model analyzed in the paper); WithRuntime
+// swaps in the goroutine cluster or a real TCP deployment without
+// changing the protocol. ConcurrentSampler is the Goroutines
+// configuration under its historical drain-then-sample API.
 type DistributedSampler struct {
-	cluster *netsim.Cluster[core.Message]
-	coord   *core.Coordinator
-	k       int
+	coord *core.Coordinator
+	k     int
+	appRuntime
 }
 
 // NewDistributedSampler creates a sampler over k sites with sample size s.
@@ -90,23 +203,33 @@ func NewDistributedSampler(k, s int, opts ...Option) (*DistributedSampler, error
 	for i := 0; i < k; i++ {
 		sites[i] = core.NewSite(i, cfg, master.Split())
 	}
-	return &DistributedSampler{
-		cluster: netsim.NewCluster[core.Message](coord, sites),
-		coord:   coord,
-		k:       k,
-	}, nil
+	run, err := o.rt.build(rt.Instance{Cfg: cfg, Coord: coord, Sites: sites})
+	if err != nil {
+		return nil, err
+	}
+	return &DistributedSampler{coord: coord, k: k, appRuntime: appRuntime{rt: run}}, nil
 }
 
-// Observe delivers one arrival to a site (0 <= site < k).
-func (d *DistributedSampler) Observe(site int, it Item) error {
-	return d.cluster.Feed(site, it.internal())
+// Observe delivers one arrival to a site (0 <= site < k). On
+// asynchronous runtimes delivery may be deferred; weight validation
+// errors then surface at Flush or Close instead.
+func (d *DistributedSampler) Observe(site int, it Item) error { return d.observe(site, it) }
+
+// ObserveBatch delivers a slice of arrivals to a site in order through
+// the runtime's batched path — one enqueue on the goroutine runtime,
+// coalesced multi-message frames over TCP.
+func (d *DistributedSampler) ObserveBatch(site int, items []Item) error {
+	return d.observeBatch(site, items)
 }
 
 // Sample returns the current weighted sample without replacement —
 // min(items observed, s) items, largest key first. It is valid at any
-// instant (Definition 3: the sampler never fails to maintain the sample).
+// instant (Definition 3: the sampler never fails to maintain the
+// sample); on asynchronous runtimes call Flush first for a
+// fully-delivered view.
 func (d *DistributedSampler) Sample() []Sampled {
-	q := d.coord.Query()
+	var q []core.SampleEntry
+	d.rt.Do(func() { q = d.coord.Query() })
 	out := make([]Sampled, len(q))
 	for i, e := range q {
 		out[i] = Sampled{Item: fromInternal(e.Item), Key: e.Key}
@@ -114,19 +237,29 @@ func (d *DistributedSampler) Sample() []Sampled {
 	return out
 }
 
+// Flush is a barrier: when it returns, everything observed before the
+// call has reached the coordinator. A no-op on the sequential runtime.
+func (d *DistributedSampler) Flush() error { return d.flush() }
+
 // Stats returns cumulative network traffic.
-func (d *DistributedSampler) Stats() Stats { return fromNetsim(d.cluster.Stats) }
+func (d *DistributedSampler) Stats() Stats { return d.stats() }
+
+// Close shuts the runtime down (goroutines joined, connections closed).
+// The sample remains queryable; further Observe calls error. Close is
+// idempotent and returns the first runtime error, if any.
+func (d *DistributedSampler) Close() error { return d.close() }
 
 // K returns the number of sites.
 func (d *DistributedSampler) K() int { return d.k }
 
-// ConcurrentSampler is the same protocol on a goroutine-per-site runtime
-// with FIFO links. Feed may be called from any goroutine; Drain must be
-// called exactly once, after which Sample is available.
+// ConcurrentSampler is the same protocol on the Goroutines runtime
+// under its historical API: Feed from any goroutine, then Drain exactly
+// once, after which Sample is available. New code can use
+// NewDistributedSampler with WithRuntime(Goroutines()) directly — this
+// type is a thin configuration of DistributedSampler, kept for the
+// drain-then-sample workflow.
 type ConcurrentSampler struct {
-	cc      *netsim.ConcurrentCluster[core.Message]
-	coord   *core.Coordinator
-	k       int
+	ds      *DistributedSampler
 	drained bool
 	stats   Stats
 	err     error
@@ -134,33 +267,25 @@ type ConcurrentSampler struct {
 
 // NewConcurrentSampler creates and starts a concurrent sampler.
 func NewConcurrentSampler(k, s int, opts ...Option) (*ConcurrentSampler, error) {
-	cfg := core.Config{K: k, S: s}
-	if err := cfg.Validate(); err != nil {
+	ds, err := NewDistributedSampler(k, s, append(append([]Option(nil), opts...), WithRuntime(Goroutines()))...)
+	if err != nil {
 		return nil, err
 	}
-	o := buildOptions(opts)
-	master := xrand.New(o.seed)
-	coord := core.NewCoordinator(cfg, master.Split())
-	sites := make([]netsim.Site[core.Message], k)
-	for i := 0; i < k; i++ {
-		sites[i] = core.NewSite(i, cfg, master.Split())
-	}
-	cc := netsim.NewConcurrentCluster[core.Message](coord, sites)
-	cc.Start()
-	return &ConcurrentSampler{cc: cc, coord: coord, k: k}, nil
+	return &ConcurrentSampler{ds: ds}, nil
 }
 
 // Feed enqueues one arrival for a site. Invalid weights surface as an
-// error from Drain.
-func (c *ConcurrentSampler) Feed(site int, it Item) {
-	c.cc.Feed(site, it.internal())
+// error from Drain; feeding after Drain returns an error immediately
+// (it used to panic).
+func (c *ConcurrentSampler) Feed(site int, it Item) error {
+	return c.ds.Observe(site, it)
 }
 
 // Drain waits for all in-flight work and returns traffic statistics.
 func (c *ConcurrentSampler) Drain() (Stats, error) {
 	if !c.drained {
-		s, err := c.cc.Drain()
-		c.stats, c.err = fromNetsim(s), err
+		c.err = c.ds.Close()
+		c.stats = c.ds.Stats()
 		c.drained = true
 	}
 	return c.stats, c.err
@@ -171,10 +296,5 @@ func (c *ConcurrentSampler) Sample() ([]Sampled, error) {
 	if !c.drained {
 		return nil, fmt.Errorf("wrs: Sample before Drain on ConcurrentSampler")
 	}
-	q := c.coord.Query()
-	out := make([]Sampled, len(q))
-	for i, e := range q {
-		out[i] = Sampled{Item: fromInternal(e.Item), Key: e.Key}
-	}
-	return out, nil
+	return c.ds.Sample(), nil
 }

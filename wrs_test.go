@@ -232,6 +232,197 @@ func TestL1TrackerFacade(t *testing.T) {
 	}
 }
 
+// TestSequentialMessageCountsPinned pins the sequential runtime's exact
+// traffic on a fixed stream and seed. The message-complexity
+// experiments (E1–E5) are only meaningful if the default runtime stays
+// byte-for-byte the synchronous model of the paper — a runtime-layer
+// change that alters delivery order or RNG splitting shows up here as a
+// count change.
+func TestSequentialMessageCountsPinned(t *testing.T) {
+	s, err := NewDistributedSampler(8, 16, WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50000; i++ {
+		if err := s.Observe(i%8, Item{ID: uint64(i), Weight: float64(1 + i%1000)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want := Stats{Upstream: 1291, Downstream: 136, UpWords: 3990, DownWords: 272}
+	if got := s.Stats(); got != want {
+		t.Errorf("sequential traffic changed: got %+v, want %+v", got, want)
+	}
+}
+
+func TestConcurrentSamplerFeedAfterDrain(t *testing.T) {
+	c, err := NewConcurrentSampler(2, 2, WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Feed(0, Item{ID: 1, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Drain(); err != nil {
+		t.Fatal(err)
+	}
+	// Used to panic on the closed input channel.
+	if err := c.Feed(0, Item{ID: 2, Weight: 1}); err == nil {
+		t.Error("Feed after Drain succeeded")
+	}
+}
+
+func TestDistributedSamplerGoroutinesRuntime(t *testing.T) {
+	s, err := NewDistributedSampler(4, 6, WithSeed(9), WithRuntime(Goroutines()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 5000; i++ {
+		if err := s.Observe(i%4, Item{ID: uint64(i), Weight: 1 + float64(i%13)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Flush is a mid-run barrier: the sample is fully delivered without
+	// shutting the runtime down.
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(s.Sample()); got != 6 {
+		t.Fatalf("sample size %d, want 6", got)
+	}
+	if s.Stats().Upstream == 0 {
+		t.Error("no upstream messages")
+	}
+	for i := 0; i < 100; i++ { // still feedable after Flush
+		if err := s.Observe(i%4, Item{ID: uint64(5000 + i), Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil { // idempotent
+		t.Fatal(err)
+	}
+	if err := s.Observe(0, Item{ID: 1, Weight: 1}); err == nil {
+		t.Error("Observe after Close succeeded")
+	}
+	if got := len(s.Sample()); got != 6 { // sample survives Close
+		t.Fatalf("sample size after Close %d, want 6", got)
+	}
+}
+
+func TestDistributedSamplerOverTCP(t *testing.T) {
+	s, err := NewDistributedSampler(2, 4, WithSeed(10), WithRuntime(TCP("")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+	// 3 giants plus a long unit tail: the giants' keys dominate almost
+	// surely, so they must be in the sample on any interleaving.
+	for i := 0; i < 3; i++ {
+		if err := s.Observe(i%2, Item{ID: uint64(1e6 + i), Weight: 1e9}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 2000; i++ {
+		if err := s.Observe(i%2, Item{ID: uint64(i), Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	smp := s.Sample()
+	if len(smp) != 4 {
+		t.Fatalf("sample size %d, want 4", len(smp))
+	}
+	found := map[uint64]bool{}
+	for _, e := range smp {
+		found[e.Item.ID] = true
+	}
+	for i := 0; i < 3; i++ {
+		if !found[uint64(1e6+i)] {
+			t.Errorf("giant %d missing from TCP sample", i)
+		}
+	}
+	st := s.Stats()
+	if st.Upstream == 0 || st.Upstream > 2003/2 {
+		t.Errorf("upstream messages %d: want sublinear and nonzero", st.Upstream)
+	}
+}
+
+// TestHeavyHitterTrackerOverTCP is the acceptance end-to-end: the
+// Section 4 application running over real connections via
+// WithRuntime(TCP(...)), with the residual-heavy-hitter recall intact.
+func TestHeavyHitterTrackerOverTCP(t *testing.T) {
+	h, err := NewHeavyHitterTracker(4, 0.1, 0.1, WithSeed(11), WithRuntime(TCP("127.0.0.1:0")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	// 5 giants + a long unit tail; every giant is a residual heavy
+	// hitter and must be among the candidates.
+	for i := 0; i < 5; i++ {
+		if err := h.Observe(i%4, Item{ID: uint64(1e6 + i), Weight: 1e7}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < 4000; i++ {
+		if err := h.Observe(i%4, Item{ID: uint64(i), Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := h.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	cand := h.Candidates()
+	if len(cand) == 0 || len(cand) > 20 {
+		t.Fatalf("candidate count %d", len(cand))
+	}
+	found := map[uint64]bool{}
+	for _, it := range cand {
+		found[it.ID] = true
+	}
+	for i := 0; i < 5; i++ {
+		if !found[uint64(1e6+i)] {
+			t.Errorf("giant %d missing from TCP candidates", i)
+		}
+	}
+	if h.Stats().Total() == 0 {
+		t.Error("no traffic recorded")
+	}
+}
+
+// TestL1TrackerOverTCP is the acceptance end-to-end: the Section 5
+// duplication tracker over real connections, estimate within the
+// Theorem 6 accuracy.
+func TestL1TrackerOverTCP(t *testing.T) {
+	const eps = 0.3
+	l, err := NewL1Tracker(4, eps, 0.3, WithSeed(12), WithRuntime(TCP("")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l.Close()
+	var W float64
+	for i := 0; i < 1500; i++ {
+		w := float64(1 + i%5)
+		W += w
+		if err := l.Observe(i%4, Item{ID: uint64(i), Weight: w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := l.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	est := l.Estimate()
+	if rel := math.Abs(est-W) / W; rel > 1.5*eps {
+		t.Errorf("TCP estimate %v vs true %v: relative error %v > %v", est, W, rel, 1.5*eps)
+	}
+	if l.Stats().Total() == 0 {
+		t.Error("no traffic recorded")
+	}
+}
+
 func TestStatsTotal(t *testing.T) {
 	s := Stats{Upstream: 3, Downstream: 4}
 	if s.Total() != 7 {
