@@ -1,0 +1,111 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"wrs/internal/transport"
+)
+
+// ingestRecord is one row of BENCH_ingest.json: the fields the ingest
+// perf trajectory is tracked by, stable across PRs.
+type ingestRecord struct {
+	Name       string  `json:"name"`
+	Workload   string  `json:"workload"` // "drop" or "live"
+	Mode       string  `json:"mode"`     // "prefilter", "serial", "snapshot", "lockedsort"
+	Shards     int     `json:"shards"`
+	Conns      int     `json:"conns"`
+	GOMAXPROCS int     `json:"gomaxprocs"`
+	Msgs       int64   `json:"msgs"`
+	NsPerMsg   float64 `json:"ns_per_msg"`
+	MmsgPerSec float64 `json:"mmsg_per_s"`
+	DroppedPct float64 `json:"dropped_pct"`
+	Queries    int64   `json:"queries,omitempty"`
+	Date       string  `json:"date"`
+}
+
+// runIngestMatrix runs the coordinator-ingest benchmark matrix — the
+// same harness the Go benchmarks wrap — and writes the rows as a JSON
+// array to path. The matrix:
+//
+//   - drop workload, shards=1: prefilter vs serial (the PR 2 axes);
+//   - live workload (never-filterable early messages), shards ∈
+//     {1, 2, 4, 8}: the shard-scaling axis — at GOMAXPROCS >= 8 with 8
+//     connections, shards=4 should be >= 2x shards=1 (on fewer cores
+//     the shards serialize and the column is flat);
+//   - live workload with a concurrent 100 Hz querier over s = 4096:
+//     snapshot (sort outside the locks) vs lockedsort (the
+//     pre-snapshot read path).
+func runIngestMatrix(path string, quick bool) error {
+	msgs := int64(4 << 20)
+	if quick {
+		msgs = 1 << 19
+	}
+	date := time.Now().UTC().Format("2006-01-02")
+	var records []ingestRecord
+	add := func(name, workload, mode string, res transport.IngestBenchResult) {
+		records = append(records, ingestRecord{
+			Name:       name,
+			Workload:   workload,
+			Mode:       mode,
+			Shards:     res.Opts.Shards,
+			Conns:      res.Opts.Conns,
+			GOMAXPROCS: res.GOMAXPROCS,
+			Msgs:       res.Msgs,
+			NsPerMsg:   res.NsPerMsg(),
+			MmsgPerSec: res.MmsgPerSec(),
+			DroppedPct: 100 * float64(res.Dropped) / float64(res.Msgs),
+			Queries:    res.Queries,
+			Date:       date,
+		})
+		fmt.Printf("%-36s %8.1f ns/msg  %7.2f Mmsg/s  (shards=%d procs=%d)\n",
+			name, res.NsPerMsg(), res.MmsgPerSec(), res.Opts.Shards, res.GOMAXPROCS)
+	}
+
+	for _, mode := range []struct {
+		name   string
+		serial bool
+	}{{"prefilter", false}, {"serial", true}} {
+		res, err := transport.RunIngestBench(transport.IngestBenchOpts{Msgs: msgs, Serial: mode.serial})
+		if err != nil {
+			return err
+		}
+		add("drop/"+mode.name, "drop", mode.name, res)
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		res, err := transport.RunIngestBench(transport.IngestBenchOpts{Msgs: msgs, Live: true, Shards: shards})
+		if err != nil {
+			return err
+		}
+		add(fmt.Sprintf("live/shards=%d", shards), "live", "prefilter", res)
+	}
+	for _, q := range []struct {
+		name   string
+		locked bool
+	}{{"snapshot", false}, {"lockedsort", true}} {
+		res, err := transport.RunIngestBench(transport.IngestBenchOpts{
+			Msgs: msgs, Live: true, SampleSize: 4096, QuerierHz: 100, LockedSort: q.locked,
+		})
+		if err != nil {
+			return err
+		}
+		add("querier/"+q.name+"/100Hz", "live", q.name, res)
+	}
+
+	if runtime.NumCPU() < 8 {
+		fmt.Printf("note: %d CPUs — the live shards axis needs >= 8 cores to show scaling\n", runtime.NumCPU())
+	}
+	data, err := json.MarshalIndent(records, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %d records to %s\n", len(records), path)
+	return nil
+}

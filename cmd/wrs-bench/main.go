@@ -1,5 +1,6 @@
 // Command wrs-bench runs the experiment suite that reproduces every
-// quantitative claim of the paper and prints the resulting tables.
+// quantitative claim of the paper and prints the resulting tables, and
+// records the coordinator-ingest performance trajectory.
 //
 // Usage:
 //
@@ -8,6 +9,14 @@
 //	wrs-bench -format md       # markdown (EXPERIMENTS.md is built this way)
 //	wrs-bench -quick           # reduced stream sizes / trial counts
 //	wrs-bench -list            # list experiment IDs and titles
+//
+//	wrs-bench -ingest -out BENCH_ingest.json
+//	    # run the coordinator-ingest benchmark matrix (the same harness
+//	    # as BenchmarkTCPParallelIngest and BenchmarkTCPIngestWithQuerier:
+//	    # prefilter vs serial, the live-workload shards axis, and the
+//	    # 100 Hz-querier pair) and write the results as JSON — ns/op,
+//	    # msgs, shards, GOMAXPROCS. The file is committed, so the perf
+//	    # trajectory across PRs lives in its git history.
 package main
 
 import (
@@ -25,7 +34,17 @@ func main() {
 	format := flag.String("format", "text", "output format: text, md, csv")
 	quick := flag.Bool("quick", false, "reduced sizes for fast runs")
 	list := flag.Bool("list", false, "list available experiments")
+	ingest := flag.Bool("ingest", false, "run the coordinator-ingest benchmark matrix instead of the paper experiments")
+	out := flag.String("out", "BENCH_ingest.json", "output path for -ingest results")
 	flag.Parse()
+
+	if *ingest {
+		if err := runIngestMatrix(*out, *quick); err != nil {
+			fmt.Fprintln(os.Stderr, "wrs-bench:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *list {
 		for _, e := range bench.All() {

@@ -7,6 +7,7 @@
 //	wrs-sim -k 16 -s 10 -n 100000 -workload zipf -seed 7
 //	wrs-sim -runtime goroutines    # goroutine-per-site cluster
 //	wrs-sim -runtime tcp           # real loopback TCP cluster
+//	wrs-sim -shards 4              # 4-way sharded protocol fabric
 package main
 
 import (
@@ -15,6 +16,7 @@ import (
 	"os"
 
 	"wrs/internal/core"
+	"wrs/internal/fabric"
 	"wrs/internal/netsim"
 	rt "wrs/internal/runtime"
 	"wrs/internal/stream"
@@ -29,6 +31,7 @@ func main() {
 	partition := flag.String("partition", "roundrobin", "site assignment: roundrobin, random, contiguous, single")
 	seed := flag.Uint64("seed", 1, "random seed")
 	runtimeName := flag.String("runtime", "sequential", "runtime: sequential, goroutines, tcp")
+	shards := flag.Int("shards", 1, "protocol shards (parallel coordinator instances, exact merged query)")
 	flag.Parse()
 
 	var wf stream.WeightFn
@@ -79,13 +82,37 @@ func main() {
 		fmt.Fprintln(os.Stderr, "wrs-sim:", err)
 		os.Exit(2)
 	}
-	master := xrand.New(*seed)
-	coord := core.NewCoordinator(cfg, master.Split())
-	sites := make([]netsim.Site[core.Message], *k)
-	for i := 0; i < *k; i++ {
-		sites[i] = core.NewSite(i, cfg, master.Split())
+	if err := fabric.Validate(*shards); err != nil {
+		fmt.Fprintln(os.Stderr, "wrs-sim:", err)
+		os.Exit(2)
 	}
-	run, err := factory(rt.Instance{Cfg: cfg, Coord: coord, Sites: sites})
+	master := xrand.New(*seed)
+	insts := make([]rt.Instance, *shards)
+	coords := make([]*core.Coordinator, *shards)
+	for p := range insts {
+		coord := core.NewCoordinator(cfg, master.Split())
+		sites := make([]netsim.Site[core.Message], *k)
+		for i := 0; i < *k; i++ {
+			sites[i] = core.NewSite(i, cfg, master.Split())
+		}
+		insts[p] = rt.Instance{Cfg: cfg, Coord: coord, Sites: sites}
+		coords[p] = coord
+	}
+	var run rt.ShardedRuntime
+	var err error
+	switch {
+	case *shards == 1:
+		var single rt.Runtime
+		single, err = factory(insts[0])
+		if err == nil {
+			run = rt.Single(single)
+		}
+	case *runtimeName == "tcp":
+		// One server hosting every shard, one connection per site.
+		run, err = rt.TCPSharded("")(insts)
+	default:
+		run, err = rt.NewFabric(insts, factory)
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "wrs-sim:", err)
 		os.Exit(1)
@@ -111,19 +138,26 @@ func main() {
 	}
 	stats := run.Stats()
 
-	fmt.Printf("stream: n=%d  W=%.1f  k=%d  s=%d  workload=%s/%s  runtime=%s\n",
-		*n, totalW, *k, *s, *workload, *partition, *runtimeName)
+	fmt.Printf("stream: n=%d  W=%.1f  k=%d  s=%d  shards=%d  workload=%s/%s  runtime=%s\n",
+		*n, totalW, *k, *s, *shards, *workload, *partition, *runtimeName)
 	fmt.Printf("traffic: %d up + %d down = %d messages (%.4f per update)\n",
 		stats.Upstream, stats.Downstream, stats.Total(),
 		float64(stats.Total())/float64(*n))
-	run.Do(func() {
-		fmt.Printf("coordinator: u=%.3g  threshold=%.3g  saturated levels=%v\n",
-			coord.U(), coord.CurrentThreshold(), coord.SaturatedLevels())
-		fmt.Println("sample (id, weight, key):")
-		for _, e := range coord.Query() {
-			fmt.Printf("  %8d  w=%-12.2f key=%.4g\n", e.Item.ID, e.Item.Weight, e.Key)
-		}
-	})
+	// Per-shard state is snapshotted under each shard's own lock; the
+	// exact top-s merge and sort run outside every lock.
+	var entries []core.SampleEntry
+	for p, coord := range coords {
+		coord := coord
+		run.DoShard(p, func() {
+			fmt.Printf("shard %d: u=%.3g  threshold=%.3g  saturated levels=%v\n",
+				p, coord.U(), coord.CurrentThreshold(), coord.SaturatedLevels())
+			entries = coord.Snapshot(entries)
+		})
+	}
+	fmt.Println("sample (id, weight, key):")
+	for _, e := range fabric.Merge(entries, *s) {
+		fmt.Printf("  %8d  w=%-12.2f key=%.4g\n", e.Item.ID, e.Item.Weight, e.Key)
+	}
 	if err := run.Close(); err != nil {
 		fmt.Fprintln(os.Stderr, "wrs-sim:", err)
 		os.Exit(1)

@@ -1,5 +1,5 @@
 // Command wrs-tcp demonstrates the protocol over real TCP: it assembles
-// a transport.Cluster (coordinator server on loopback plus k site
+// a transport cluster (coordinator server on loopback plus k site
 // client connections), streams weighted items through it concurrently,
 // and prints the application's answer plus traffic counts.
 //
@@ -8,10 +8,14 @@
 //	wrs-tcp -k 8 -s 10 -n 200000              # plain weighted SWOR
 //	wrs-tcp -app hh -eps 0.1 -delta 0.1       # residual heavy hitters
 //	wrs-tcp -app l1 -eps 0.25 -delta 0.3      # (1±eps) L1 tracking
+//	wrs-tcp -shards 4                         # 4-way sharded fabric
 //
-// With -batch > 1 the sites feed through FeedBatch, coalescing protocol
-// messages into multi-message frames (the high-throughput path);
-// -batch 1 sends one frame per message.
+// With -shards > 1 the one server hosts P protocol shards behind
+// per-shard ingest locks and each of the k connections multiplexes all
+// shards with shard-tagged frames; queries merge per-shard state
+// exactly. With -batch > 1 the sites feed through FeedBatch, coalescing
+// protocol messages into multi-message frames (the high-throughput
+// path); -batch 1 sends one frame per message.
 package main
 
 import (
@@ -23,6 +27,7 @@ import (
 	"time"
 
 	"wrs/internal/core"
+	"wrs/internal/fabric"
 	"wrs/internal/heavyhitter"
 	"wrs/internal/l1track"
 	"wrs/internal/netsim"
@@ -45,20 +50,26 @@ func main() {
 	app := flag.String("app", "swor", "application: swor, hh, l1")
 	eps := flag.Float64("eps", 0.1, "accuracy parameter (hh, l1 apps)")
 	delta := flag.Float64("delta", 0.1, "failure probability (hh, l1 apps)")
+	shards := flag.Int("shards", 1, "protocol shards (parallel coordinator locks, exact merged query)")
 	flag.Parse()
 	if *batch < 1 {
 		*batch = 1
 	}
+	if err := fabric.Validate(*shards); err != nil {
+		fatal(err)
+	}
 
 	master := xrand.New(*seed)
 
-	// Assemble the application instance: a coordinator-side protocol and
-	// k site state machines. The transport drives them all identically.
+	// Assemble the application fabric: per shard, a coordinator-side
+	// protocol and k site state machines. The transport drives them all
+	// identically; queries merge per-shard state outside the ingest
+	// locks.
 	var (
-		coord   transport.Coordinator
-		sites   []netsim.Site[core.Message]
-		report  func(cluster *transport.Cluster, totalW float64)
-		coreCfg core.Config
+		protos   []transport.Coordinator
+		machines [][]netsim.Site[core.Message]
+		report   func(cluster *transport.Cluster, totalW float64)
+		coreCfg  core.Config
 	)
 	switch *app {
 	case "swor":
@@ -66,10 +77,13 @@ func main() {
 		if err := coreCfg.Validate(); err != nil {
 			fatal(err)
 		}
-		c := core.NewCoordinator(coreCfg, master.Split())
-		coord = c
-		for i := 0; i < *k; i++ {
-			sites = append(sites, core.NewSite(i, coreCfg, master.Split()))
+		for p := 0; p < *shards; p++ {
+			protos = append(protos, core.NewCoordinator(coreCfg, master.Split()))
+			sites := make([]netsim.Site[core.Message], *k)
+			for i := 0; i < *k; i++ {
+				sites[i] = core.NewSite(i, coreCfg, master.Split())
+			}
+			machines = append(machines, sites)
 		}
 		report = func(cluster *transport.Cluster, _ float64) {
 			fmt.Println("\nsample (id, weight, key):")
@@ -78,18 +92,28 @@ func main() {
 			}
 		}
 	case "hh":
-		tr, err := heavyhitter.NewTracker(*k, heavyhitter.Params{Eps: *eps, Delta: *delta}, master)
-		if err != nil {
-			fatal(err)
-		}
-		coreCfg = tr.Coord.Config()
-		coord = tr.Coord
-		for _, st := range tr.Sites {
-			sites = append(sites, st)
+		var trackers []*heavyhitter.Tracker
+		for p := 0; p < *shards; p++ {
+			tr, err := heavyhitter.NewTracker(*k, heavyhitter.Params{Eps: *eps, Delta: *delta}, master)
+			if err != nil {
+				fatal(err)
+			}
+			coreCfg = tr.Coord.Config()
+			protos = append(protos, tr.Coord)
+			sites := make([]netsim.Site[core.Message], *k)
+			for i, st := range tr.Sites {
+				sites[i] = st
+			}
+			machines = append(machines, sites)
+			trackers = append(trackers, tr)
 		}
 		report = func(cluster *transport.Cluster, _ float64) {
-			var items []stream.Item
-			cluster.Do(func() { items = tr.Query() })
+			var entries []core.SampleEntry
+			for p, tr := range trackers {
+				coord := tr.Coord
+				cluster.DoShard(p, func() { entries = coord.Snapshot(entries) })
+			}
+			items := heavyhitter.CandidatesFrom(entries, trackers[0].Params())
 			fmt.Printf("\nresidual heavy-hitter candidates (top %d by weight, s=%d):\n",
 				len(items), coreCfg.S)
 			for i, it := range items {
@@ -101,18 +125,30 @@ func main() {
 			}
 		}
 	case "l1":
-		dc, dsites, err := l1track.NewDupTracker(*k, l1track.DupParams{Eps: *eps, Delta: *delta}, master)
-		if err != nil {
-			fatal(err)
-		}
-		coreCfg = dc.Core().Config()
-		coord = dc
-		for _, st := range dsites {
-			sites = append(sites, st)
+		var coords []*l1track.DupCoordinator
+		// Each shard is provisioned at delta/P so the union bound over
+		// the summed per-partition estimators preserves 1-delta overall
+		// (matching wrs.NewL1Tracker).
+		for p := 0; p < *shards; p++ {
+			dc, dsites, err := l1track.NewDupTracker(*k, l1track.DupParams{Eps: *eps, Delta: *delta / float64(*shards)}, master)
+			if err != nil {
+				fatal(err)
+			}
+			coreCfg = dc.Core().Config()
+			protos = append(protos, dc)
+			sites := make([]netsim.Site[core.Message], *k)
+			for i, st := range dsites {
+				sites[i] = st
+			}
+			machines = append(machines, sites)
+			coords = append(coords, dc)
 		}
 		report = func(cluster *transport.Cluster, totalW float64) {
 			var est float64
-			cluster.Do(func() { est = dc.Estimate() })
+			for p, dc := range coords {
+				dc := dc
+				cluster.DoShard(p, func() { est += dc.Estimate() })
+			}
 			fmt.Printf("\nL1 estimate: %.1f  true: %.1f  relative error: %.2f%% (eps=%v, s=%d)\n",
 				est, totalW, 100*math.Abs(est-totalW)/totalW, *eps, coreCfg.S)
 		}
@@ -121,11 +157,12 @@ func main() {
 		os.Exit(2)
 	}
 
-	cluster, err := transport.NewCluster(coreCfg, coord, sites, "127.0.0.1:0")
+	cluster, err := transport.NewShardedCluster(coreCfg, protos, machines, "127.0.0.1:0")
 	if err != nil {
 		fatal(err)
 	}
-	fmt.Printf("coordinator listening on %s, %d sites connected, app=%s\n", cluster.Addr(), *k, *app)
+	fmt.Printf("coordinator listening on %s, %d sites connected, app=%s, shards=%d\n",
+		cluster.Addr(), *k, *app, *shards)
 
 	start := time.Now()
 	perSite := *n / *k

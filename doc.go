@@ -44,6 +44,16 @@
 // shuts the runtime down; ConcurrentSampler remains as the Goroutines
 // configuration behind its historical drain-then-sample API.
 //
+// # Sharding
+//
+// WithShards(P) partitions the protocol into a fabric of P full
+// instances routed by a deterministic hash of the item ID, each shard
+// with its own coordinator behind its own ingest lock — coordinator
+// throughput scales with cores while queries stay exact (precision
+// sampling makes per-shard samples exactly mergeable). Over TCP the
+// shards share one server and one connection per site. The trade:
+// roughly 1.8x messages per doubling of P (DESIGN.md §9).
+//
 // See DESIGN.md for the system inventory and EXPERIMENTS.md for the
 // reproduction of every quantitative claim in the paper.
 package wrs

@@ -123,6 +123,34 @@ func ExampleTCP() {
 	// sample size over TCP: 5
 }
 
+// WithShards partitions the protocol across P parallel coordinator
+// shards — here over real TCP connections: one server hosts all four
+// shard coordinators behind per-shard ingest locks, each of the two
+// site connections multiplexes every shard with shard-tagged frames,
+// and Sample merges the per-shard samples exactly (the top-s of the
+// union is the top-s of the per-shard top-s sets).
+func ExampleWithShards() {
+	s, err := wrs.NewDistributedSampler(2, 5,
+		wrs.WithSeed(6), wrs.WithRuntime(wrs.TCP("127.0.0.1:0")), wrs.WithShards(4))
+	if err != nil {
+		panic(err)
+	}
+	defer s.Close()
+	for i := 0; i < 2000; i++ {
+		if err := s.Observe(i%2, wrs.Item{ID: uint64(i), Weight: 1 + float64(i%9)}); err != nil {
+			panic(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		panic(err)
+	}
+	fmt.Println("shards:", s.Shards())
+	fmt.Println("merged sample size:", len(s.Sample()))
+	// Output:
+	// shards: 4
+	// merged sample size: 5
+}
+
 // Every application runs over every runtime: heavy-hitter monitoring
 // over real TCP connections is one option away.
 func ExampleHeavyHitterTracker_tcp() {

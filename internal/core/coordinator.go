@@ -202,22 +202,38 @@ func (c *Coordinator) maybeAdvanceEpoch(bcast func(Message)) {
 	}
 }
 
+// Snapshot appends every sample candidate — released items of S and
+// withheld pool items, unsorted — to dst and returns it. It is the
+// cheap read path for concurrent runtimes: O(s) copies, no sorting, so
+// the time a caller must hold the coordinator's ingest lock is minimal.
+// Sort and truncate outside the lock with TopSample.
+func (c *Coordinator) Snapshot(dst []SampleEntry) []SampleEntry {
+	for _, e := range c.smp.Items() {
+		dst = append(dst, SampleEntry{Key: e.Key, Item: e.Val})
+	}
+	for _, e := range c.pool.Items() {
+		dst = append(dst, SampleEntry{Key: e.Key, Item: e.Val.item})
+	}
+	return dst
+}
+
+// TopSample sorts entries by descending key in place and truncates to
+// s — the finishing step for Snapshot results, also used to merge
+// per-shard snapshots exactly (the global top-s of a union is contained
+// in the union of per-shard top-s sets).
+func TopSample(entries []SampleEntry, s int) []SampleEntry {
+	sort.Slice(entries, func(i, j int) bool { return entries[i].Key > entries[j].Key })
+	if len(entries) > s {
+		entries = entries[:s]
+	}
+	return entries
+}
+
 // Query returns the current weighted sample without replacement: the
 // items with the top min(t, s) keys among S and all withheld items,
 // largest key first.
 func (c *Coordinator) Query() []SampleEntry {
-	out := make([]SampleEntry, 0, c.smp.Len()+c.pool.Len())
-	for _, e := range c.smp.Items() {
-		out = append(out, SampleEntry{Key: e.Key, Item: e.Val})
-	}
-	for _, e := range c.pool.Items() {
-		out = append(out, SampleEntry{Key: e.Key, Item: e.Val.item})
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key > out[j].Key })
-	if len(out) > c.cfg.S {
-		out = out[:c.cfg.S]
-	}
-	return out
+	return TopSample(c.Snapshot(make([]SampleEntry, 0, c.smp.Len()+c.pool.Len())), c.cfg.S)
 }
 
 // SthKey returns the s-th largest key over all items held (released and

@@ -80,13 +80,24 @@ func (t *Tracker) Params() Params { return t.params }
 // items of the SWOR sample, heaviest first. With probability 1-delta it
 // contains every residual eps-heavy hitter.
 func (t *Tracker) Query() []stream.Item {
-	entries := t.Coord.Query()
+	return CandidatesFrom(t.Coord.Query(), t.params)
+}
+
+// CandidatesFrom extracts the candidate set from raw sample-candidate
+// entries: keep the SampleSize() largest keys (the weighted SWOR —
+// exact even when entries concatenates snapshots of several protocol
+// shards, since the top-s of a union is the top-s of the per-shard
+// top-s sets), then rank by weight and truncate to OutputSize(). It is
+// the lock-free half of a query: snapshot coordinators under their
+// ingest locks, call this outside them.
+func CandidatesFrom(entries []core.SampleEntry, p Params) []stream.Item {
+	entries = core.TopSample(entries, p.SampleSize())
 	items := make([]stream.Item, len(entries))
 	for i, e := range entries {
 		items[i] = e.Item
 	}
 	sort.Slice(items, func(i, j int) bool { return items[i].Weight > items[j].Weight })
-	if n := t.params.OutputSize(); len(items) > n {
+	if n := p.OutputSize(); len(items) > n {
 		items = items[:n]
 	}
 	return items

@@ -11,18 +11,22 @@ import (
 	"wrs/internal/stream"
 )
 
-// Cluster is the deployment-shaped runtime for one protocol instance:
-// a CoordinatorServer listening on a real address and one SiteClient
-// per site state machine, each over its own TCP connection. It exposes
-// the same driving surface as the netsim clusters (Feed, FeedBatch,
-// Flush, Stats), so the applications — plain SWOR, heavy hitters, L1
-// tracking — run over real connections unchanged.
+// Cluster is the deployment-shaped runtime for one protocol instance —
+// or for a fabric of P shard instances: a CoordinatorServer hosting all
+// shards on a real address and one SiteClient per site, each over its
+// own TCP connection carrying every shard's traffic (shard-tagged
+// frames; connection count stays k, not P×k). It exposes the same
+// driving surface as the netsim clusters (Feed, FeedBatch, Flush,
+// Stats) plus per-shard access (Shards, DoShard), so the applications —
+// plain SWOR, heavy hitters, L1 tracking — run over real connections
+// unchanged, sharded or not.
 //
 // Feed/FeedBatch for different sites may be called from different
 // goroutines (one feeder per site is the intended deployment shape);
 // calls for the same site must not be concurrent, matching SiteClient.
 type Cluster struct {
 	cfg     core.Config
+	shards  int
 	srv     *CoordinatorServer
 	ln      net.Listener
 	clients []*SiteClient
@@ -32,16 +36,30 @@ type Cluster struct {
 // ("127.0.0.1:0" when empty) and connects one SiteClient per site
 // machine. On error everything already started is torn down.
 func NewCluster(cfg core.Config, coord Coordinator, sites []netsim.Site[core.Message], addr string) (*Cluster, error) {
+	return NewShardedCluster(cfg, []Coordinator{coord}, [][]netsim.Site[core.Message]{sites}, addr)
+}
+
+// NewShardedCluster starts one coordinator server hosting len(protos)
+// protocol shards and connects one multiplexing SiteClient per site.
+// machines is indexed [shard][site]: machines[p][i] is site i's state
+// machine for shard p. On error everything already started is torn
+// down.
+func NewShardedCluster(cfg core.Config, protos []Coordinator, machines [][]netsim.Site[core.Message], addr string) (*Cluster, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	if len(sites) != cfg.K {
-		return nil, fmt.Errorf("transport: %d site machines for k=%d", len(sites), cfg.K)
+	if len(machines) != len(protos) {
+		return nil, fmt.Errorf("transport: %d shard site slices for %d shard coordinators", len(machines), len(protos))
+	}
+	for p := range machines {
+		if len(machines[p]) != cfg.K {
+			return nil, fmt.Errorf("transport: shard %d has %d site machines for k=%d", p, len(machines[p]), cfg.K)
+		}
 	}
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
-	srv, err := NewCoordinatorServerFor(cfg, coord)
+	srv, err := NewShardedCoordinatorServer(cfg, protos)
 	if err != nil {
 		return nil, err
 	}
@@ -50,10 +68,20 @@ func NewCluster(cfg core.Config, coord Coordinator, sites []netsim.Site[core.Mes
 		return nil, err
 	}
 	go srv.Serve(ln)
-	c := &Cluster{cfg: cfg, srv: srv, ln: ln, clients: make([]*SiteClient, len(sites))}
-	for i, machine := range sites {
-		cl, err := DialSiteFor(ln.Addr().String(), machine, cfg)
+	c := &Cluster{cfg: cfg, shards: len(protos), srv: srv, ln: ln, clients: make([]*SiteClient, cfg.K)}
+	for i := 0; i < cfg.K; i++ {
+		perSite := make([]netsim.Site[core.Message], len(protos))
+		for p := range protos {
+			perSite[p] = machines[p][i]
+		}
+		conn, err := net.Dial("tcp", ln.Addr().String())
 		if err != nil {
+			c.Close()
+			return nil, err
+		}
+		cl, err := NewShardedSiteClient(conn, perSite, cfg)
+		if err != nil {
+			conn.Close()
 			c.Close()
 			return nil, err
 		}
@@ -71,6 +99,9 @@ func (c *Cluster) Server() *CoordinatorServer { return c.srv }
 // Client returns the site client for siteID (diagnostics).
 func (c *Cluster) Client(siteID int) *SiteClient { return c.clients[siteID] }
 
+// Shards returns the number of protocol shards the cluster runs.
+func (c *Cluster) Shards() int { return c.shards }
+
 func (c *Cluster) checkSite(siteID int) error {
 	if siteID < 0 || siteID >= len(c.clients) {
 		return fmt.Errorf("transport: site %d out of range [0,%d)", siteID, len(c.clients))
@@ -78,7 +109,8 @@ func (c *Cluster) checkSite(siteID int) error {
 	return nil
 }
 
-// Feed delivers one arrival to a site over its connection.
+// Feed delivers one arrival to a site over its connection; the site
+// client routes it to the item's shard (fabric.ShardOf).
 func (c *Cluster) Feed(siteID int, it stream.Item) error {
 	if err := c.checkSite(siteID); err != nil {
 		return err
@@ -87,7 +119,7 @@ func (c *Cluster) Feed(siteID int, it stream.Item) error {
 }
 
 // FeedBatch delivers a slice of arrivals to a site, coalesced into
-// multi-message frames (the high-throughput path).
+// per-shard multi-message frames (the high-throughput path).
 func (c *Cluster) FeedBatch(siteID int, items []stream.Item) error {
 	if err := c.checkSite(siteID); err != nil {
 		return err
@@ -96,9 +128,10 @@ func (c *Cluster) FeedBatch(siteID int, items []stream.Item) error {
 }
 
 // Flush round-trips every connection: when it returns, the coordinator
-// has processed every message fed so far and each site has applied
-// every broadcast that processing triggered. The round-trips run
-// concurrently, so the cost is one RTT, not k.
+// has processed every message fed so far — all shards share each
+// connection's FIFO — and each site has applied every broadcast that
+// processing triggered. The round-trips run concurrently, so the cost
+// is one RTT, not k.
 func (c *Cluster) Flush() error {
 	errs := make([]error, len(c.clients))
 	var wg sync.WaitGroup
@@ -113,16 +146,24 @@ func (c *Cluster) Flush() error {
 	return errors.Join(errs...)
 }
 
-// Do runs fn while holding the coordinator's ingest lock.
+// Do runs fn while holding every shard's ingest lock.
 func (c *Cluster) Do(fn func()) { c.srv.Do(fn) }
+
+// DoShard runs fn while holding only shard p's ingest lock, leaving
+// the other shards' ingest unstalled.
+func (c *Cluster) DoShard(p int, fn func()) { c.srv.DoShard(p, fn) }
 
 // Stats returns cumulative protocol traffic in the paper's accounting:
 // upstream counts messages whose bytes reached a connection, downstream
 // counts per-site broadcast deliveries (snapshot frames included).
-// Ping/pong control frames are excluded; see SiteClient.FlowPings.
+// Ping/pong control frames and shard tags are excluded; see
+// SiteClient.FlowPings.
 func (c *Cluster) Stats() netsim.Stats {
 	var s netsim.Stats
 	for _, cl := range c.clients {
+		if cl == nil {
+			continue
+		}
 		s.Upstream += cl.Sent()
 		s.UpWords += cl.SentWords()
 	}

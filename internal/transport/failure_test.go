@@ -47,9 +47,9 @@ func TestSiteCrashDoesNotCorruptOthers(t *testing.T) {
 	// Give the server a moment to reap the connection.
 	deadlineAt := time.Now().Add(2 * time.Second)
 	for time.Now().Before(deadlineAt) {
-		srv.mu.Lock()
+		srv.connsMu.Lock()
 		n := len(srv.conns)
-		srv.mu.Unlock()
+		srv.connsMu.Unlock()
 		if n == 2 {
 			break
 		}

@@ -363,10 +363,12 @@ func TestLateJoinerReceivesSnapshot(t *testing.T) {
 	if err := first.Flush(); err != nil {
 		t.Fatal(err)
 	}
-	srv.mu.Lock()
-	th := srv.coord.CurrentThreshold()
-	sat := len(srv.coord.SaturatedLevels())
-	srv.mu.Unlock()
+	var th float64
+	var sat int
+	srv.DoShard(0, func() {
+		th = srv.Coord(0).CurrentThreshold()
+		sat = len(srv.Coord(0).SaturatedLevels())
+	})
 	if th == 0 || sat == 0 {
 		t.Fatalf("warmup did not advance the control plane: threshold=%g, %d saturated levels", th, sat)
 	}
@@ -398,9 +400,7 @@ func TestTCPObserveBatchExactness(t *testing.T) {
 	master := xrand.New(7)
 	srv, addr := startServer(t, cfg, master.Split())
 	defer srv.Close()
-	srv.mu.Lock()
-	srv.coord.SetRecorder(rec)
-	srv.mu.Unlock()
+	srv.DoShard(0, func() { srv.Coord(0).SetRecorder(rec) })
 
 	clients := make([]*SiteClient, cfg.K)
 	for i := range clients {

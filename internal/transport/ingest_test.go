@@ -1,11 +1,8 @@
 package transport
 
 import (
-	"bufio"
 	"fmt"
-	"net"
 	"runtime"
-	"sync"
 	"testing"
 
 	"wrs/internal/core"
@@ -14,53 +11,20 @@ import (
 	"wrs/internal/xrand"
 )
 
-// rawConn is a wire-level connection that feeds pre-encoded frames,
+// dialRaw opens a wire-level connection that feeds pre-encoded frames,
 // bypassing SiteClient — it models a site with a maximally stale
 // threshold blasting keys the coordinator will drop, the workload the
-// atomic pre-filter exists for.
-type rawConn struct {
-	conn net.Conn
-	bw   *bufio.Writer
-	br   *bufio.Reader
-}
-
-func dialRaw(tb testing.TB, addr string) *rawConn {
+// atomic pre-filter exists for. The connection is the ingest-bench
+// harness's benchConn, so the tests and the recorded benchmarks drive
+// the exact same client.
+func dialRaw(tb testing.TB, addr string) *benchConn {
 	tb.Helper()
-	conn, err := net.Dial("tcp", addr)
+	bc, err := dialBench(addr)
 	if err != nil {
 		tb.Fatal(err)
 	}
-	return &rawConn{conn: conn, bw: bufio.NewWriterSize(conn, 64*1024), br: bufio.NewReaderSize(conn, 64*1024)}
+	return bc
 }
-
-func (r *rawConn) send(payload []byte) error {
-	return wire.WriteFrame(r.bw, payload)
-}
-
-// sync round-trips a ping, skipping any broadcast frames (e.g. the join
-// snapshot) queued ahead of the pong. When it returns, the server has
-// processed everything this connection sent.
-func (r *rawConn) sync() error {
-	if err := wire.WriteFrame(r.bw, pingPayload); err != nil {
-		return err
-	}
-	if err := r.bw.Flush(); err != nil {
-		return err
-	}
-	var buf []byte
-	for {
-		payload, err := wire.ReadFrame(r.br, buf)
-		if err != nil {
-			return err
-		}
-		buf = payload
-		if len(payload) == 1 && payload[0] == pongPayload[0] {
-			return nil
-		}
-	}
-}
-
-func (r *rawConn) close() { r.conn.Close() }
 
 // warmCoordinator drives u (and the published drop bound) to ~keyScale
 // by sending s regular messages with huge keys through a throwaway
@@ -179,14 +143,26 @@ func TestSerialIngestMatchesPrefilter(t *testing.T) {
 }
 
 // BenchmarkTCPParallelIngest measures coordinator ingest throughput
-// with k=8 concurrent site connections blasting below-threshold keys —
-// the high-rate steady state where sites outrun the control plane by up
-// to the staleness window. The "prefilter" mode is the current ingest
-// path (decode + drop outside the lock); "serial" is the pre-refactor
-// path that decodes and handles everything under the global mutex, so
-// its throughput stays flat as GOMAXPROCS grows while prefilter scales
-// with cores. Reported metrics: Mmsg/s (headline) and dropped/msg (the
-// measured pre-filter/coordinator drop rate, ~1.0 in this workload).
+// with 8 concurrent site connections, via the exported harness that
+// cmd/wrs-bench also runs (BENCH_ingest.json).
+//
+// Two workloads:
+//
+//   - drop: below-threshold regular keys — the high-rate steady state
+//     where sites outrun the control plane by up to the staleness
+//     window. "prefilter" is the current ingest path (decode + drop
+//     outside the lock); "serial" is the PR 2 baseline that decodes
+//     and handles everything under the shard mutex, so its throughput
+//     stays flat as GOMAXPROCS grows while prefilter scales with cores.
+//   - live: early messages that can never be pre-filtered — every one
+//     is handled under its shard's lock, so throughput is bounded by
+//     lock-serialized handling. The shards axis multiplies the locks:
+//     at GOMAXPROCS >= 8 with 8 connections, shards=4 must beat
+//     shards=1 by >= 2x (the PR 3 acceptance; needs >= 8 cores to
+//     show).
+//
+// Reported metrics: Mmsg/s (headline) and dropped/msg (the measured
+// drop rate — ~1.0 for the drop workload, 0 for live).
 func BenchmarkTCPParallelIngest(b *testing.B) {
 	for _, mode := range []struct {
 		name   string
@@ -197,68 +173,89 @@ func BenchmarkTCPParallelIngest(b *testing.B) {
 				continue
 			}
 			b.Run(fmt.Sprintf("%s/procs=%d", mode.name, procs), func(b *testing.B) {
-				benchParallelIngest(b, mode.serial, procs)
+				benchIngest(b, IngestBenchOpts{Serial: mode.serial}, procs)
+			})
+		}
+	}
+	for _, shards := range []int{1, 2, 4, 8} {
+		for _, procs := range []int{1, 8} {
+			if procs > runtime.NumCPU() {
+				continue
+			}
+			b.Run(fmt.Sprintf("live/shards=%d/procs=%d", shards, procs), func(b *testing.B) {
+				benchIngest(b, IngestBenchOpts{Live: true, Shards: shards}, procs)
 			})
 		}
 	}
 }
 
-func benchParallelIngest(b *testing.B, serial bool, procs int) {
+func benchIngest(b *testing.B, o IngestBenchOpts, procs int) {
 	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(procs))
-	const k = 8
-	const frameMsgs = 2048
-	cfg := core.Config{K: k, S: 8}
-	master := xrand.New(1)
-	srv, addr := startServer(b, cfg, master.Split())
-	defer srv.Close()
-	srv.SetSerialIngest(serial)
-	warmCoordinator(b, addr, cfg.S, 1e12)
-
-	conns := make([]*rawConn, k)
-	for i := range conns {
-		conns[i] = dialRaw(b, addr)
-		defer conns[i].close()
+	o.Msgs = int64(b.N)
+	b.ResetTimer()
+	res, err := RunIngestBench(o)
+	b.StopTimer()
+	if err != nil {
+		b.Fatal(err)
 	}
-	var frame []byte
-	for i := 0; i < frameMsgs; i++ {
-		frame = wire.AppendMessage(frame, core.Message{
-			Kind: core.MsgRegular,
-			Item: stream.Item{ID: uint64(i), Weight: 1},
-			Key:  1 + float64(i%97),
+	b.ReportMetric(res.MmsgPerSec(), "Mmsg/s")
+	b.ReportMetric(float64(res.Dropped)/float64(res.Msgs), "dropped/msg")
+}
+
+// BenchmarkTCPIngestWithQuerier measures ingest throughput with a
+// concurrent 100 Hz querier over a large sample (s = 4096): the
+// "lockedsort" mode is the pre-satellite read path that runs the full
+// sort+copy inside the ingest locks (stalling TCP ingest for its
+// duration), "snapshot" is the current path — an O(s) copy under each
+// shard lock with the sort outside. The delta is the query stall the
+// non-blocking read path removes.
+func BenchmarkTCPIngestWithQuerier(b *testing.B) {
+	for _, mode := range []struct {
+		name   string
+		locked bool
+	}{{"snapshot", false}, {"lockedsort", true}} {
+		b.Run(mode.name+"/100Hz", func(b *testing.B) {
+			o := IngestBenchOpts{
+				Live:       true,
+				SampleSize: 4096,
+				QuerierHz:  100,
+				LockedSort: mode.locked,
+				Msgs:       int64(b.N),
+			}
+			b.ResetTimer()
+			res, err := RunIngestBench(o)
+			b.StopTimer()
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ReportMetric(res.MmsgPerSec(), "Mmsg/s")
+			b.ReportMetric(float64(res.Queries), "queries")
 		})
 	}
-	framesPerConn := (b.N/k + frameMsgs - 1) / frameMsgs
-	if framesPerConn < 1 {
-		framesPerConn = 1
-	}
-	total := int64(framesPerConn) * frameMsgs * k
+}
 
-	b.ResetTimer()
-	var wg sync.WaitGroup
-	errs := make(chan error, k)
-	for _, rc := range conns {
-		wg.Add(1)
-		go func(rc *rawConn) {
-			defer wg.Done()
-			for f := 0; f < framesPerConn; f++ {
-				if err := rc.send(frame); err != nil {
-					errs <- err
-					return
-				}
-			}
-			// Barrier: the server has consumed everything when the pong
-			// returns, so the measurement covers full ingest.
-			errs <- rc.sync()
-		}(rc)
+// TestIngestBenchHarness pins the harness itself (it is production
+// code: cmd/wrs-bench records its output): both workloads run, count
+// exactly, and drop what they claim.
+func TestIngestBenchHarness(t *testing.T) {
+	drop, err := RunIngestBench(IngestBenchOpts{Conns: 2, Msgs: 8192, FrameMsgs: 512})
+	if err != nil {
+		t.Fatal(err)
 	}
-	wg.Wait()
-	b.StopTimer()
-	for i := 0; i < k; i++ {
-		if err := <-errs; err != nil {
-			b.Fatal(err)
-		}
+	if drop.Msgs != 8192 {
+		t.Errorf("drop workload ingested %d, want 8192", drop.Msgs)
 	}
-	dropped := srv.PreFiltered() + srv.Stats().DroppedRegular
-	b.ReportMetric(float64(total)/b.Elapsed().Seconds()/1e6, "Mmsg/s")
-	b.ReportMetric(float64(dropped)/float64(total), "dropped/msg")
+	if drop.Dropped != drop.Msgs {
+		t.Errorf("drop workload dropped %d of %d", drop.Dropped, drop.Msgs)
+	}
+	live, err := RunIngestBench(IngestBenchOpts{Conns: 2, Msgs: 8192, FrameMsgs: 512, Shards: 4, Live: true, QuerierHz: 200})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Msgs != 8192 {
+		t.Errorf("live workload ingested %d, want 8192", live.Msgs)
+	}
+	if live.Dropped != 0 {
+		t.Errorf("live workload dropped %d messages", live.Dropped)
+	}
 }

@@ -1,0 +1,310 @@
+package transport
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"runtime"
+	"sync"
+	"time"
+
+	"wrs/internal/core"
+	"wrs/internal/stream"
+	"wrs/internal/wire"
+	"wrs/internal/xrand"
+)
+
+// IngestBenchOpts configures one coordinator-ingest measurement: a
+// sharded server blasted by raw wire-level connections, the workload
+// the per-shard locks and the atomic pre-filter exist for. It is
+// exported (not test-only) so cmd/wrs-bench can run the same
+// measurement and record it in BENCH_ingest.json — the perf trajectory
+// of the ingest path across PRs.
+type IngestBenchOpts struct {
+	Shards     int   // protocol shards hosted by the one server (default 1)
+	Conns      int   // concurrent raw site connections (default 8)
+	Msgs       int64 // total messages to ingest, split across conns (default 1e6)
+	FrameMsgs  int   // messages per frame (default 2048)
+	SampleSize int   // per-shard sample size s (default 8)
+	Serial     bool  // decode-under-lock baseline (no pre-filter)
+
+	// Live selects the workload. False: every message is a MsgRegular
+	// below the warmed drop bound — the pre-filter regime, ~100%
+	// dropped outside the locks (the PR 2 benchmark). True: every
+	// message is a MsgEarly, which can never be pre-filtered — each one
+	// generates a key and updates the shard's sample under that shard's
+	// lock, so throughput is bounded by lock-serialized handling and
+	// scales with the number of shard locks.
+	Live bool
+
+	// QuerierHz > 0 runs a concurrent querier at that rate for the
+	// duration of the ingest. LockedSort selects the pre-satellite read
+	// path (sort the full sample inside the ingest locks via Do);
+	// otherwise the snapshot path (O(s) copy per shard lock, sort
+	// outside) is used. Measures how much a query stalls ingest.
+	QuerierHz  int
+	LockedSort bool
+}
+
+func (o *IngestBenchOpts) fill() {
+	if o.Shards == 0 {
+		o.Shards = 1
+	}
+	if o.Conns == 0 {
+		o.Conns = 8
+	}
+	if o.Msgs == 0 {
+		o.Msgs = 1 << 20
+	}
+	if o.FrameMsgs == 0 {
+		o.FrameMsgs = 2048
+	}
+	if o.SampleSize == 0 {
+		o.SampleSize = 8
+	}
+}
+
+// IngestBenchResult is one measurement.
+type IngestBenchResult struct {
+	Opts       IngestBenchOpts
+	Msgs       int64         // messages actually ingested
+	Elapsed    time.Duration // wall time, feed start to full-ingest barrier
+	Dropped    int64         // pre-filter + coordinator drops
+	Queries    int64         // concurrent queries completed
+	GOMAXPROCS int
+}
+
+// NsPerMsg returns the headline metric.
+func (r IngestBenchResult) NsPerMsg() float64 {
+	return float64(r.Elapsed.Nanoseconds()) / float64(r.Msgs)
+}
+
+// MmsgPerSec returns throughput in millions of messages per second.
+func (r IngestBenchResult) MmsgPerSec() float64 {
+	return float64(r.Msgs) / r.Elapsed.Seconds() / 1e6
+}
+
+// benchConn is a raw wire-level connection used by the harness: it
+// bypasses SiteClient so the measurement isolates server-side ingest.
+type benchConn struct {
+	conn net.Conn
+	bw   *bufio.Writer
+	br   *bufio.Reader
+}
+
+func dialBench(addr string) (*benchConn, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return &benchConn{conn: conn, bw: bufio.NewWriterSize(conn, 64*1024), br: bufio.NewReaderSize(conn, 64*1024)}, nil
+}
+
+// send writes one frame into the buffered writer (flushed by sync, or
+// explicitly via bw.Flush).
+func (b *benchConn) send(payload []byte) error {
+	return wire.WriteFrame(b.bw, payload)
+}
+
+// sync round-trips a ping, skipping broadcast frames queued ahead of
+// the pong; when it returns the server has processed everything this
+// connection sent.
+func (b *benchConn) sync() error {
+	if err := wire.WriteFrame(b.bw, pingPayload); err != nil {
+		return err
+	}
+	if err := b.bw.Flush(); err != nil {
+		return err
+	}
+	var buf []byte
+	for {
+		payload, err := wire.ReadFrame(b.br, buf)
+		if err != nil {
+			return err
+		}
+		buf = payload
+		if len(payload) == 1 && payload[0] == pongPayload[0] {
+			return nil
+		}
+	}
+}
+
+func (b *benchConn) close() { b.conn.Close() }
+
+// RunIngestBench measures coordinator ingest throughput for one
+// configuration. GOMAXPROCS is whatever the caller set.
+func RunIngestBench(o IngestBenchOpts) (IngestBenchResult, error) {
+	o.fill()
+	cfg := core.Config{K: o.Conns, S: o.SampleSize}
+	if o.Live {
+		// Isolate lock-serialized handling: no epoch broadcasts (the
+		// writer queues would otherwise fill with downstream traffic the
+		// raw connections never read mid-run).
+		cfg.DisableEpochs = true
+	}
+	master := xrand.New(1)
+	protos := make([]Coordinator, o.Shards)
+	for p := range protos {
+		protos[p] = core.NewCoordinator(cfg, master.Split())
+	}
+	srv, err := NewShardedCoordinatorServer(cfg, protos)
+	if err != nil {
+		return IngestBenchResult{}, err
+	}
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		return IngestBenchResult{}, err
+	}
+	go srv.Serve(ln)
+	defer srv.Close()
+	addr := ln.Addr().String()
+	srv.SetSerialIngest(o.Serial)
+
+	tagged := o.Shards > 1
+	if !o.Live {
+		// Warm every shard's drop bound to ~1e12 so the regular-message
+		// workload below is entirely pre-filterable.
+		warm, err := dialBench(addr)
+		if err != nil {
+			return IngestBenchResult{}, err
+		}
+		for p := 0; p < o.Shards; p++ {
+			var payload []byte
+			if tagged {
+				payload = wire.AppendShardHeader(payload, p)
+			}
+			for i := 0; i < o.SampleSize; i++ {
+				payload = wire.AppendMessage(payload, core.Message{
+					Kind: core.MsgRegular,
+					Item: stream.Item{ID: uint64(i), Weight: 1},
+					Key:  1e12 + float64(i),
+				})
+			}
+			if err := wire.WriteFrame(warm.bw, payload); err != nil {
+				warm.close()
+				return IngestBenchResult{}, err
+			}
+		}
+		if err := warm.sync(); err != nil {
+			warm.close()
+			return IngestBenchResult{}, err
+		}
+		warm.close()
+	}
+	warmed := srv.Processed()
+
+	// Pre-encode one frame per shard; connections cycle through the
+	// shards frame by frame, so every shard sees Msgs/Shards messages.
+	frames := make([][]byte, o.Shards)
+	for p := range frames {
+		var payload []byte
+		if tagged {
+			payload = wire.AppendShardHeader(payload, p)
+		}
+		for i := 0; i < o.FrameMsgs; i++ {
+			m := core.Message{Item: stream.Item{ID: uint64(i), Weight: 1}}
+			if o.Live {
+				m.Kind = core.MsgEarly
+			} else {
+				m.Kind = core.MsgRegular
+				m.Key = 1 + float64(i%97)
+			}
+			payload = wire.AppendMessage(payload, m)
+		}
+		frames[p] = payload
+	}
+
+	conns := make([]*benchConn, o.Conns)
+	for i := range conns {
+		if conns[i], err = dialBench(addr); err != nil {
+			for _, c := range conns[:i] {
+				c.close()
+			}
+			return IngestBenchResult{}, err
+		}
+	}
+	defer func() {
+		for _, c := range conns {
+			c.close()
+		}
+	}()
+
+	framesPerConn := int(o.Msgs/int64(o.Conns)) / o.FrameMsgs
+	if framesPerConn < 1 {
+		framesPerConn = 1
+	}
+	total := int64(framesPerConn) * int64(o.FrameMsgs) * int64(o.Conns)
+
+	var queries int64
+	querierDone := make(chan struct{})
+	var querierStopped sync.WaitGroup
+	if o.QuerierHz > 0 {
+		querierStopped.Add(1)
+		go func() {
+			defer querierStopped.Done()
+			tick := time.NewTicker(time.Second / time.Duration(o.QuerierHz))
+			defer tick.Stop()
+			for {
+				select {
+				case <-querierDone:
+					return
+				case <-tick.C:
+					if o.LockedSort {
+						// Pre-satellite read path: the full sort+copy runs
+						// inside the ingest locks.
+						srv.Do(func() {
+							for p := 0; p < o.Shards; p++ {
+								srv.Coord(p).Query()
+							}
+						})
+					} else {
+						srv.Query()
+					}
+					queries++
+				}
+			}
+		}()
+	}
+
+	start := time.Now()
+	var wg sync.WaitGroup
+	errs := make(chan error, o.Conns)
+	for ci, bc := range conns {
+		wg.Add(1)
+		go func(ci int, bc *benchConn) {
+			defer wg.Done()
+			for f := 0; f < framesPerConn; f++ {
+				if err := wire.WriteFrame(bc.bw, frames[(ci+f)%o.Shards]); err != nil {
+					errs <- err
+					return
+				}
+			}
+			// Barrier: the server has consumed everything this connection
+			// sent when the pong returns, so the measurement covers full
+			// ingest, not just socket writes.
+			errs <- bc.sync()
+		}(ci, bc)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	if o.QuerierHz > 0 {
+		close(querierDone)
+		querierStopped.Wait()
+	}
+	for i := 0; i < o.Conns; i++ {
+		if err := <-errs; err != nil {
+			return IngestBenchResult{}, err
+		}
+	}
+	if got := srv.Processed() - warmed; got != total {
+		return IngestBenchResult{}, fmt.Errorf("transport: ingest bench processed %d of %d messages", got, total)
+	}
+	return IngestBenchResult{
+		Opts:       o,
+		Msgs:       total,
+		Elapsed:    elapsed,
+		Dropped:    srv.PreFiltered() + srv.Stats().DroppedRegular,
+		Queries:    queries,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+	}, nil
+}

@@ -16,6 +16,14 @@
 // view of the control plane. The round-trip costs 2 messages per W
 // sent, so the Theorem 3 message bound survives any scheduler or
 // network timing.
+//
+// Sharding: a server can host P independent protocol shards (see
+// package fabric and DESIGN.md §9), each with its own coordinator state
+// machine and its own ingest mutex. One connection per site carries all
+// shards — upstream and downstream frames are shard-tagged (package
+// wire) — so the connection count stays k, not P×k, while coordinator
+// ingest parallelizes across P locks. With P = 1 the wire traffic is
+// byte-identical to the pre-sharding transport (no tags).
 package transport
 
 import (
@@ -28,6 +36,7 @@ import (
 	"sync/atomic"
 
 	"wrs/internal/core"
+	"wrs/internal/fabric"
 	"wrs/internal/netsim"
 	"wrs/internal/stream"
 	"wrs/internal/wire"
@@ -57,31 +66,46 @@ type prefilterable interface {
 	DropBelow() float64
 }
 
-// CoordinatorServer hosts the coordinator side of the protocol.
+// shardState is one hosted protocol shard: its state machine, the
+// mutex serializing its ingest, and the atomically-published drop
+// bound its pre-filtering runs against.
+type shardState struct {
+	mu       sync.Mutex
+	proto    Coordinator
+	coord    *core.Coordinator
+	dropper  prefilterable // nil: never pre-filter
+	dropBits atomic.Uint64 // Float64bits of the published drop bound
+}
+
+// CoordinatorServer hosts the coordinator side of one or more protocol
+// shards.
 //
 // Ingest path: connection handlers decode incoming frames and
-// pre-filter below-threshold MsgRegular messages *outside* the global
-// mutex, against the drop bound the coordinator last published through
-// an atomic. The bound is monotone nondecreasing, so a stale read only
-// filters less, never wrongly: any key at or below a published bound
-// has s released dominators and would be dropped by HandleMessage on
-// arrival anyway. Only the surviving messages take the mutex, so
-// ingest of high-rate, mostly-filtered traffic scales with cores
-// instead of serializing on the lock (BenchmarkTCPParallelIngest).
+// pre-filter below-threshold MsgRegular messages *outside* the shard
+// mutex, against the drop bound the shard's coordinator last published
+// through an atomic. The bound is monotone nondecreasing, so a stale
+// read only filters less, never wrongly: any key at or below a
+// published bound has s released dominators and would be dropped by
+// HandleMessage on arrival anyway. Only the surviving messages take the
+// shard's mutex, so ingest of high-rate traffic scales with cores
+// instead of serializing on one lock — across connections via the
+// pre-filter, and across shards via the per-shard mutexes
+// (BenchmarkTCPParallelIngest).
+//
+// Lock order: a shard mutex may be held while taking connsMu (the
+// broadcast fan-out path); connsMu is never held while taking a shard
+// mutex.
 type CoordinatorServer struct {
-	cfg   core.Config
-	proto Coordinator
+	cfg    core.Config
+	shards []*shardState
 
-	mu    sync.Mutex // guards coord/proto and conns
-	coord *core.Coordinator
-	conns map[net.Conn]*netsim.Mailbox[[]byte]
+	connsMu sync.Mutex // guards conns and ln
+	conns   map[net.Conn]*netsim.Mailbox[[]byte]
+	ln      net.Listener
 
-	dropper   prefilterable // nil: never pre-filter
-	dropBits  atomic.Uint64 // Float64bits of the published drop bound
-	prefilter atomic.Int64  // messages dropped before the mutex
-	serial    atomic.Bool   // pre-refactor decode-under-lock path (benchmarks)
+	prefilter atomic.Int64 // messages dropped before a shard mutex
+	serial    atomic.Bool  // pre-refactor decode-under-lock path (benchmarks)
 
-	ln         net.Listener
 	wg         sync.WaitGroup
 	closed     atomic.Bool
 	processed  atomic.Int64
@@ -89,8 +113,8 @@ type CoordinatorServer struct {
 	bcastWords atomic.Int64
 }
 
-// NewCoordinatorServer builds a server hosting a fresh sampler
-// coordinator for the given configuration.
+// NewCoordinatorServer builds a server hosting a fresh single-shard
+// sampler coordinator for the given configuration.
 func NewCoordinatorServer(cfg core.Config, rng *xrand.RNG) (*CoordinatorServer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
@@ -98,28 +122,49 @@ func NewCoordinatorServer(cfg core.Config, rng *xrand.RNG) (*CoordinatorServer, 
 	return NewCoordinatorServerFor(cfg, core.NewCoordinator(cfg, rng))
 }
 
-// NewCoordinatorServerFor builds a server hosting the given coordinator
-// protocol — the plain sampler, or an application wrapper around it.
+// NewCoordinatorServerFor builds a single-shard server hosting the
+// given coordinator protocol — the plain sampler, or an application
+// wrapper around it.
 func NewCoordinatorServerFor(cfg core.Config, proto Coordinator) (*CoordinatorServer, error) {
+	return NewShardedCoordinatorServer(cfg, []Coordinator{proto})
+}
+
+// NewShardedCoordinatorServer builds a server hosting one protocol
+// shard per element of protos, each with its own ingest mutex. Every
+// shard must share cfg (the shards are instances of the same protocol
+// over a partition of the stream).
+func NewShardedCoordinatorServer(cfg core.Config, protos []Coordinator) (*CoordinatorServer, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	s := &CoordinatorServer{
-		cfg:   cfg,
-		proto: proto,
-		coord: proto.Core(),
-		conns: make(map[net.Conn]*netsim.Mailbox[[]byte]),
+	if err := fabric.Validate(len(protos)); err != nil {
+		return nil, err
 	}
-	s.dropper, _ = proto.(prefilterable)
+	s := &CoordinatorServer{
+		cfg:    cfg,
+		shards: make([]*shardState, len(protos)),
+		conns:  make(map[net.Conn]*netsim.Mailbox[[]byte]),
+	}
+	for p, proto := range protos {
+		sh := &shardState{proto: proto, coord: proto.Core()}
+		sh.dropper, _ = proto.(prefilterable)
+		s.shards[p] = sh
+	}
 	return s, nil
 }
+
+// Shards returns the number of hosted protocol shards.
+func (s *CoordinatorServer) Shards() int { return len(s.shards) }
+
+// sharded reports whether frames must carry shard tags.
+func (s *CoordinatorServer) sharded() bool { return len(s.shards) > 1 }
 
 // Serve accepts site connections on ln until Close is called. It blocks;
 // run it in a goroutine.
 func (s *CoordinatorServer) Serve(ln net.Listener) error {
-	s.mu.Lock()
+	s.connsMu.Lock()
 	s.ln = ln
-	s.mu.Unlock()
+	s.connsMu.Unlock()
 	for {
 		conn, err := ln.Accept()
 		if err != nil {
@@ -132,14 +177,14 @@ func (s *CoordinatorServer) Serve(ln net.Listener) error {
 		// section Close uses, so either Close sees this handler's
 		// registration or this loop sees the closed flag — and wg.Add is
 		// always ordered before wg.Wait.
-		s.mu.Lock()
+		s.connsMu.Lock()
 		if s.closed.Load() {
-			s.mu.Unlock()
+			s.connsMu.Unlock()
 			conn.Close()
 			continue
 		}
 		s.wg.Add(1)
-		s.mu.Unlock()
+		s.connsMu.Unlock()
 		go s.handleConn(conn)
 	}
 }
@@ -147,32 +192,46 @@ func (s *CoordinatorServer) Serve(ln net.Listener) error {
 func (s *CoordinatorServer) handleConn(conn net.Conn) {
 	defer s.wg.Done()
 	outbox := netsim.NewMailbox[[]byte]()
-	s.mu.Lock()
+	s.connsMu.Lock()
 	s.conns[conn] = outbox
+	s.connsMu.Unlock()
 	// Catch-up snapshot: a client starts observing as soon as the TCP
 	// handshake completes, which can be long before this registration —
 	// every broadcast issued in between would otherwise be lost to this
 	// connection forever (broadcasts are not replayed), leaving the
 	// site filtering with threshold 0 and unsaturated levels for the
-	// whole run: the O(n) regression. Replaying the control-plane state
-	// here, under the same lock broadcastLocked takes, guarantees the
-	// outbox carries a prefix-complete view.
-	if snap := s.joinSnapshotLocked(); len(snap) > 0 {
-		outbox.Put(snap)
-		// The snapshot frame replays several broadcast messages; count
-		// each so Downstream and DownWords stay message-consistent.
-		s.bcasts.Add(int64(len(snap) / wire.MessageSize))
+	// whole run: the O(n) regression. The snapshot is taken per shard
+	// under that shard's ingest mutex, *after* the registration above: a
+	// broadcast racing the snapshot is then delivered through the outbox
+	// too, possibly ahead of the snapshot that already reflects it —
+	// harmless, because broadcasts are monotone (saturation flags only
+	// set, thresholds only rise), so replay and reordering never move a
+	// site's view backwards.
+	for p := range s.shards {
+		sh := s.shards[p]
+		sh.mu.Lock()
+		snap := s.joinSnapshot(p)
+		sh.mu.Unlock()
+		if len(snap) > 0 {
+			outbox.Put(snap)
+			// The snapshot frame replays several broadcast messages; count
+			// each so Downstream and DownWords stay message-consistent.
+			body := len(snap)
+			if s.sharded() {
+				body -= wire.ShardHeaderSize
+			}
+			s.bcasts.Add(int64(body / wire.MessageSize))
+		}
 	}
-	s.mu.Unlock()
 	// Close may have snapshotted the connection map before this
 	// registration; re-checking after registering guarantees that every
 	// interleaving either lets Close see the connection or lets this
 	// goroutine see the closed flag — otherwise Close's wg.Wait() could
 	// hang on a connection nobody tears down.
 	if s.closed.Load() {
-		s.mu.Lock()
+		s.connsMu.Lock()
 		delete(s.conns, conn)
-		s.mu.Unlock()
+		s.connsMu.Unlock()
 		outbox.Close()
 		conn.Close()
 		return
@@ -219,28 +278,48 @@ func (s *CoordinatorServer) handleConn(conn net.Conn) {
 			outbox.Put(append([]byte(nil), pongPayload...))
 			continue
 		}
-		// Batch frame: one or more concatenated protocol messages.
-		var n, dropped int64
+		// Resolve the target shard: a shard-tagged frame names it, a
+		// plain batch frame is shard 0 — but only on an unsharded
+		// server. On a sharded one an untagged frame means the client
+		// does not know the shard layout; defaulting it to shard 0
+		// would silently sample the same ID domain in two shards and
+		// corrupt the exact merge, so it is rejected like a bad index.
+		// Every violation drops the connection, never a panic.
+		shard, msgs := 0, payload
 		var perr error
+		if wire.IsShardFrame(payload) {
+			shard, msgs, perr = wire.ParseShardFrame(payload)
+			if perr == nil && shard >= len(s.shards) {
+				perr = fmt.Errorf("transport: frame for shard %d, server hosts %d", shard, len(s.shards))
+			}
+		} else if s.sharded() {
+			perr = fmt.Errorf("transport: untagged batch frame on a %d-shard server", len(s.shards))
+		}
+		if perr != nil {
+			break
+		}
+		sh := s.shards[shard]
+		var n, dropped int64
 		if s.serial.Load() {
 			// Pre-refactor ingest: decode and handle everything under
-			// the global mutex. Kept for ablation and as the benchmark
+			// the shard mutex. Kept for ablation and as the benchmark
 			// baseline (BenchmarkTCPParallelIngest).
-			s.mu.Lock()
-			perr = wire.ForEachMessage(payload, func(m core.Message) {
-				s.proto.HandleMessage(m, s.broadcastLocked)
+			bcast := s.broadcaster(shard)
+			sh.mu.Lock()
+			perr = wire.ForEachMessage(msgs, func(m core.Message) {
+				sh.proto.HandleMessage(m, bcast)
 				n++
 			})
-			s.publishDropBoundLocked()
-			s.mu.Unlock()
+			s.publishDropBound(sh)
+			sh.mu.Unlock()
 		} else {
 			// Decode and pre-filter outside the lock; only survivors
 			// take it. A dropped message counts as processed — the
 			// coordinator would have dropped it on arrival too — so the
 			// Processed() == Σ Sent() flush invariant is unchanged.
-			drop := math.Float64frombits(s.dropBits.Load())
+			drop := math.Float64frombits(sh.dropBits.Load())
 			kept = kept[:0]
-			perr = wire.ForEachMessage(payload, func(m core.Message) {
+			perr = wire.ForEachMessage(msgs, func(m core.Message) {
 				n++
 				if m.Kind == core.MsgRegular && drop > 0 && m.Key <= drop {
 					dropped++
@@ -249,12 +328,13 @@ func (s *CoordinatorServer) handleConn(conn net.Conn) {
 				kept = append(kept, m)
 			})
 			if len(kept) > 0 {
-				s.mu.Lock()
+				bcast := s.broadcaster(shard)
+				sh.mu.Lock()
 				for _, m := range kept {
-					s.proto.HandleMessage(m, s.broadcastLocked)
+					sh.proto.HandleMessage(m, bcast)
 				}
-				s.publishDropBoundLocked()
-				s.mu.Unlock()
+				s.publishDropBound(sh)
+				sh.mu.Unlock()
 			}
 		}
 		s.processed.Add(n)
@@ -266,69 +346,112 @@ func (s *CoordinatorServer) handleConn(conn net.Conn) {
 		}
 	}
 
-	s.mu.Lock()
+	s.connsMu.Lock()
 	delete(s.conns, conn)
-	s.mu.Unlock()
+	s.connsMu.Unlock()
 	outbox.Close()
 	<-writerDone
 	conn.Close()
 }
 
-// publishDropBoundLocked stores the coordinator's current safe-to-drop
+// publishDropBound stores the shard coordinator's current safe-to-drop
 // key bound in the atomic the connection handlers pre-filter against.
-// Caller holds s.mu. The bound is monotone nondecreasing, so handlers
-// reading a stale value only filter less.
-func (s *CoordinatorServer) publishDropBoundLocked() {
-	if s.dropper == nil {
+// Caller holds the shard mutex. The bound is monotone nondecreasing, so
+// handlers reading a stale value only filter less.
+func (s *CoordinatorServer) publishDropBound(sh *shardState) {
+	if sh.dropper == nil {
 		return
 	}
-	s.dropBits.Store(math.Float64bits(s.dropper.DropBelow()))
+	sh.dropBits.Store(math.Float64bits(sh.dropper.DropBelow()))
 }
 
-// joinSnapshotLocked encodes the coordinator's current control-plane
+// joinSnapshot encodes a shard coordinator's current control-plane
 // state — saturated levels and the epoch threshold — as one batch
-// payload for a newly registered connection. Caller holds s.mu.
-func (s *CoordinatorServer) joinSnapshotLocked() []byte {
+// payload (shard-tagged on a sharded server) for a newly registered
+// connection. Caller holds the shard mutex.
+func (s *CoordinatorServer) joinSnapshot(p int) []byte {
+	sh := s.shards[p]
 	var snap []byte
-	for _, j := range s.coord.SaturatedLevels() {
-		m := core.Message{Kind: core.MsgLevelSaturated, Level: j}
+	appendMsg := func(m core.Message) {
+		if len(snap) == 0 && s.sharded() {
+			snap = wire.AppendShardHeader(snap, p)
+		}
 		snap = wire.AppendMessage(snap, m)
 		s.bcastWords.Add(int64(m.Words()))
 	}
-	if th := s.coord.CurrentThreshold(); th > 0 {
-		m := core.Message{Kind: core.MsgEpochUpdate, Threshold: th}
-		snap = wire.AppendMessage(snap, m)
-		s.bcastWords.Add(int64(m.Words()))
+	for _, j := range sh.coord.SaturatedLevels() {
+		appendMsg(core.Message{Kind: core.MsgLevelSaturated, Level: j})
+	}
+	if th := sh.coord.CurrentThreshold(); th > 0 {
+		appendMsg(core.Message{Kind: core.MsgEpochUpdate, Threshold: th})
 	}
 	return snap
 }
 
-// broadcastLocked fans a coordinator announcement to every connected
-// site. Caller holds s.mu.
-func (s *CoordinatorServer) broadcastLocked(m core.Message) {
-	payload := wire.AppendMessage(nil, m)
-	words := int64(m.Words())
-	for _, box := range s.conns {
-		box.Put(payload)
-		s.bcasts.Add(1)
-		s.bcastWords.Add(words)
+// broadcaster returns the bcast callback for shard p: it fans a
+// coordinator announcement to every connected site, shard-tagged on a
+// sharded server. Called while holding the shard mutex; takes connsMu
+// for the fan-out (the one sanctioned shard-mutex → connsMu edge).
+func (s *CoordinatorServer) broadcaster(p int) func(core.Message) {
+	return func(m core.Message) {
+		var payload []byte
+		if s.sharded() {
+			payload = wire.AppendShardHeader(payload, p)
+		}
+		payload = wire.AppendMessage(payload, m)
+		words := int64(m.Words())
+		s.connsMu.Lock()
+		for _, box := range s.conns {
+			box.Put(payload)
+			s.bcasts.Add(1)
+			s.bcastWords.Add(words)
+		}
+		s.connsMu.Unlock()
 	}
 }
 
-// Query returns the current weighted sample (safe for concurrent use).
+// Query returns the current weighted sample merged across all shards
+// (safe for concurrent use). Each shard is snapshotted under its own
+// ingest mutex — an O(s) copy — and the sort runs outside every lock,
+// so a query never stalls ingest for the sort (DESIGN.md §9).
 func (s *CoordinatorServer) Query() []core.SampleEntry {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.coord.Query()
+	entries := make([]core.SampleEntry, 0, 2*s.cfg.S*len(s.shards))
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+		entries = sh.coord.Snapshot(entries)
+		sh.mu.Unlock()
+	}
+	return core.TopSample(entries, s.cfg.S)
 }
 
-// Do runs fn while holding the server's ingest lock, so fn can read
-// coordinator (or wrapper) state without racing message processing.
-func (s *CoordinatorServer) Do(fn func()) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// Coord returns shard p's inner sampler coordinator. Synchronize reads
+// with DoShard.
+func (s *CoordinatorServer) Coord(p int) *core.Coordinator { return s.shards[p].coord }
+
+// DoShard runs fn while holding shard p's ingest mutex, so fn can read
+// that shard's coordinator (or wrapper) state without racing message
+// processing.
+func (s *CoordinatorServer) DoShard(p int, fn func()) {
+	sh := s.shards[p]
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
 	fn()
-	s.publishDropBoundLocked()
+	s.publishDropBound(sh)
+}
+
+// Do runs fn while holding every shard's ingest mutex (ascending, so
+// concurrent Do calls cannot deadlock), giving fn a simultaneous view
+// of all shards. Prefer DoShard for per-shard reads — Do stalls ingest
+// on every shard for the duration of fn.
+func (s *CoordinatorServer) Do(fn func()) {
+	for _, sh := range s.shards {
+		sh.mu.Lock()
+	}
+	fn()
+	for i := len(s.shards) - 1; i >= 0; i-- {
+		s.publishDropBound(s.shards[i])
+		s.shards[i].mu.Unlock()
+	}
 }
 
 // Processed returns the number of protocol messages handled so far,
@@ -336,12 +459,12 @@ func (s *CoordinatorServer) Do(fn func()) {
 func (s *CoordinatorServer) Processed() int64 { return s.processed.Load() }
 
 // PreFiltered returns how many MsgRegular messages the connection
-// handlers dropped before the ingest lock.
+// handlers dropped before taking a shard mutex.
 func (s *CoordinatorServer) PreFiltered() int64 { return s.prefilter.Load() }
 
 // SetSerialIngest switches to the pre-refactor ingest path that decodes
-// and handles every message under the global mutex (no pre-filter).
-// For ablation and benchmarks only.
+// and handles every message under the target shard's mutex (no
+// pre-filter). For ablation and benchmarks only.
 func (s *CoordinatorServer) SetSerialIngest(on bool) { s.serial.Store(on) }
 
 // BroadcastsSent returns the number of per-site broadcast messages
@@ -352,23 +475,28 @@ func (s *CoordinatorServer) BroadcastsSent() int64 { return s.bcasts.Load() }
 // counting each per-site delivery separately (paper accounting).
 func (s *CoordinatorServer) BroadcastWords() int64 { return s.bcastWords.Load() }
 
-// Stats returns the coordinator's protocol statistics.
+// Stats returns the coordinator's protocol statistics, merged across
+// shards (counts are additive over independent instances).
 func (s *CoordinatorServer) Stats() core.CoordStats {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	return s.coord.Stats
+	sts := make([]core.CoordStats, len(s.shards))
+	for p, sh := range s.shards {
+		sh.mu.Lock()
+		sts[p] = sh.coord.Stats
+		sh.mu.Unlock()
+	}
+	return fabric.MergeCoordStats(sts)
 }
 
 // Close stops accepting and tears down all connections.
 func (s *CoordinatorServer) Close() error {
-	s.mu.Lock()
+	s.connsMu.Lock()
 	s.closed.Store(true)
 	ln := s.ln
 	conns := make([]net.Conn, 0, len(s.conns))
 	for c := range s.conns {
 		conns = append(conns, c)
 	}
-	s.mu.Unlock()
+	s.connsMu.Unlock()
 	var err error
 	if ln != nil {
 		err = ln.Close()
@@ -380,17 +508,28 @@ func (s *CoordinatorServer) Close() error {
 	return err
 }
 
-// SiteClient is the site side of the protocol over one connection.
+// shardMsg is a decoded downstream announcement tagged with its shard.
+type shardMsg struct {
+	shard int
+	m     core.Message
+}
+
+// SiteClient is the site side of the protocol over one connection. On a
+// sharded deployment one client drives all P of its site's shard state
+// machines, routing each arrival by item ID (fabric.ShardOf) and
+// multiplexing every shard's traffic over the single connection with
+// shard-tagged frames.
 //
-// Data plane: Observe/ObserveBatch encode messages into multi-message
-// frames through a buffered writer, flushing once per call — the
-// 2-syscalls-per-29-byte-message hot path becomes one syscall per call
-// (per ~2000 messages in the batch path). Sent() counts only messages
-// whose bytes reached the connection: a failed write or flush never
-// inflates the count past what the coordinator can process.
+// Data plane: Observe/ObserveBatch encode messages into per-shard
+// multi-message frames through a buffered writer, flushing once per
+// call — the 2-syscalls-per-29-byte-message hot path becomes one
+// syscall per call (per ~2000 messages in the batch path). Sent()
+// counts only messages whose bytes reached the connection: a failed
+// write or flush never inflates the count past what the coordinator can
+// process.
 //
 // Control plane: the background readLoop parses incoming frames into a
-// pending-broadcast queue without touching the site state machine, and
+// pending-broadcast queue without touching the site state machines, and
 // Observe drains that queue before filtering each item — a broadcast is
 // applied at the first Observe after it arrives, never blocked behind a
 // network write or a busy data path.
@@ -398,9 +537,10 @@ func (s *CoordinatorServer) Close() error {
 // Flow control: the client round-trips a ping every W-th upstream
 // message (W = the staleness window); per-connection FIFO guarantees
 // that when the pong arrives, the coordinator has processed everything
-// this client sent and every broadcast that processing triggered has
-// been applied locally. This caps how far a site can outrun the
-// control plane at W messages on any scheduler or network — socket
+// this client sent — on every shard; the shards share the FIFO — and
+// every broadcast that processing triggered has been applied locally.
+// This caps how far a site can outrun the control plane at W messages
+// total across its shards on any scheduler or network — socket
 // buffering included — at a cost of exactly 2 extra messages per W
 // sent (see DESIGN.md).
 //
@@ -408,10 +548,11 @@ func (s *CoordinatorServer) Close() error {
 // the broadcast reader runs in the background and synchronizes with
 // them internally.
 type SiteClient struct {
-	mu      sync.Mutex // guards the site state machine
-	machine netsim.Site[core.Message]
-	site    *core.Site // the machine when it is a plain sampler site, else nil
-	conn    net.Conn
+	mu       sync.Mutex // guards the site state machines
+	machines []netsim.Site[core.Message]
+	site     *core.Site // machines[0] when it is a plain sampler site, else nil
+	conn     net.Conn
+	tagged   bool // len(machines) > 1: frames carry shard tags
 
 	wmu            sync.Mutex // guards bw and the staleness/accounting counters
 	bw             *bufio.Writer
@@ -424,14 +565,16 @@ type SiteClient struct {
 	sentWords atomic.Int64
 	flowPings atomic.Int64
 
-	frame      []byte // outgoing batch frame under construction
-	frameWords int64
+	frames     [][]byte // per-shard outgoing batch frames under construction
+	frameWords []int64
+	framedMsgs int   // messages across all frames under construction
+	curShard   int   // shard the in-flight Observe emits into
 	emitErr    error // first write error surfaced by a mid-observe frame split
 	emit       func(m core.Message)
 	one        [1]stream.Item // scratch so Observe can reuse the batch path
 
 	pendMu     sync.Mutex
-	pending    []core.Message
+	pending    []shardMsg
 	hasPending atomic.Bool
 
 	pong       chan struct{}
@@ -483,30 +626,53 @@ func NewSiteClient(conn net.Conn, id int, cfg core.Config, rng *xrand.RNG) (*Sit
 // rather than W — still a constant for any fixed configuration (the L1
 // duplicating site has m <= l).
 func NewSiteClientFor(conn net.Conn, machine netsim.Site[core.Message], cfg core.Config) (*SiteClient, error) {
+	return NewShardedSiteClient(conn, []netsim.Site[core.Message]{machine}, cfg)
+}
+
+// NewShardedSiteClient runs one site's P shard state machines over a
+// single established connection, one machine per protocol shard hosted
+// by the server. Arrivals are routed across machines by item ID
+// (fabric.ShardOf) and all traffic is multiplexed over the connection
+// with shard-tagged frames; with one machine the frames are untagged
+// and the client behaves exactly like the unsharded transport.
+func NewShardedSiteClient(conn net.Conn, machines []netsim.Site[core.Message], cfg core.Config) (*SiteClient, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
+	if err := fabric.Validate(len(machines)); err != nil {
+		return nil, err
+	}
 	c := &SiteClient{
-		machine:    machine,
+		machines:   machines,
 		conn:       conn,
+		tagged:     len(machines) > 1,
 		bw:         bufio.NewWriterSize(conn, 32*1024),
 		window:     int64(cfg.StalenessWindow()),
+		frames:     make([][]byte, len(machines)),
+		frameWords: make([]int64, len(machines)),
 		pong:       make(chan struct{}, 4),
 		readerDone: make(chan struct{}),
 	}
-	c.site, _ = machine.(*core.Site)
+	if len(machines) == 1 {
+		c.site, _ = machines[0].(*core.Site)
+	}
 	// One state-machine callback can emit arbitrarily many messages (the
 	// L1 duplicating site sends up to l copies per update), so the frame
 	// under construction is shipped whenever the next message would
 	// overflow it; the write error, if any, surfaces after the callback.
 	c.emit = func(m core.Message) {
-		if len(c.frame)+wire.MessageSize > wire.MaxFrameSize {
-			if err := c.writeFrame(); err != nil && c.emitErr == nil {
+		p := c.curShard
+		if len(c.frames[p])+wire.MessageSize > wire.MaxFrameSize {
+			if err := c.writeFrame(p); err != nil && c.emitErr == nil {
 				c.emitErr = err
 			}
 		}
-		c.frame = wire.AppendMessage(c.frame, m)
-		c.frameWords += int64(m.Words())
+		if len(c.frames[p]) == 0 && c.tagged {
+			c.frames[p] = wire.AppendShardHeader(c.frames[p], p)
+		}
+		c.frames[p] = wire.AppendMessage(c.frames[p], m)
+		c.frameWords[p] += int64(m.Words())
+		c.framedMsgs++
 	}
 	go c.readLoop()
 	return c, nil
@@ -545,21 +711,41 @@ func (c *SiteClient) readLoop() {
 			}
 			continue
 		}
-		var msgs []core.Message
-		if err := wire.ForEachMessage(payload, func(m core.Message) {
-			msgs = append(msgs, m)
+		// Mirror of the server's dispatch: tagged frames name their
+		// shard, untagged ones are only valid on an unsharded client —
+		// a sharded client receiving untagged broadcasts is talking to
+		// a server with a different shard layout, and applying them to
+		// shard 0 would leave the other machines filtering at threshold
+		// 0 forever (the per-shard O(n) regression).
+		shard, msgs := 0, payload
+		var perr error
+		if wire.IsShardFrame(payload) {
+			shard, msgs, perr = wire.ParseShardFrame(payload)
+			if perr == nil && shard >= len(c.machines) {
+				perr = fmt.Errorf("transport: broadcast for shard %d, client drives %d", shard, len(c.machines))
+			}
+		} else if c.tagged {
+			perr = fmt.Errorf("transport: untagged broadcast frame on a %d-shard client", len(c.machines))
+		}
+		if perr != nil {
+			c.readerErr = perr
+			return
+		}
+		var batch []shardMsg
+		if err := wire.ForEachMessage(msgs, func(m core.Message) {
+			batch = append(batch, shardMsg{shard: shard, m: m})
 		}); err != nil {
 			c.readerErr = err
 			return
 		}
 		c.pendMu.Lock()
-		c.pending = append(c.pending, msgs...)
+		c.pending = append(c.pending, batch...)
 		c.hasPending.Store(true)
 		c.pendMu.Unlock()
 	}
 }
 
-// drainPending applies every queued broadcast to the site state
+// drainPending applies every queued broadcast to its shard's site state
 // machine. The fast path is one atomic load.
 //
 // Deliberately NOT a staleness reset: a just-applied broadcast can be
@@ -581,8 +767,8 @@ func (c *SiteClient) drainPending() bool {
 		return false
 	}
 	c.mu.Lock()
-	for _, m := range batch {
-		c.machine.HandleBroadcast(m)
+	for _, sm := range batch {
+		c.machines[sm.shard].HandleBroadcast(sm.m)
 	}
 	c.mu.Unlock()
 	return true
@@ -590,31 +776,47 @@ func (c *SiteClient) drainPending() bool {
 
 // needSync reports whether sending the currently framed messages would
 // exceed the staleness window.
-func (c *SiteClient) needSync(framed int) bool {
+func (c *SiteClient) needSync() bool {
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
-	return c.stale+int64(framed) >= c.window
+	return c.stale+int64(c.framedMsgs) >= c.window
 }
 
-// writeFrame sends the batch frame under construction. Messages count
-// toward stale immediately but reach Sent() only after a successful
-// flush; a write error drops the frame without inflating the counters.
-func (c *SiteClient) writeFrame() error {
-	if len(c.frame) == 0 {
+// writeFrame sends shard p's batch frame under construction. Messages
+// count toward stale immediately but reach Sent() only after a
+// successful flush; a write error drops the frame without inflating the
+// counters.
+func (c *SiteClient) writeFrame(p int) error {
+	if len(c.frames[p]) == 0 {
 		return nil
 	}
-	n := int64(len(c.frame) / wire.MessageSize)
+	body := len(c.frames[p])
+	if c.tagged {
+		body -= wire.ShardHeaderSize
+	}
+	n := int64(body / wire.MessageSize)
 	c.wmu.Lock()
-	err := wire.WriteFrame(c.bw, c.frame)
+	err := wire.WriteFrame(c.bw, c.frames[p])
 	if err == nil {
 		c.unflushed += n
-		c.unflushedWords += c.frameWords
+		c.unflushedWords += c.frameWords[p]
 		c.stale += n
 	}
 	c.wmu.Unlock()
-	c.frame = c.frame[:0]
-	c.frameWords = 0
+	c.frames[p] = c.frames[p][:0]
+	c.frameWords[p] = 0
+	c.framedMsgs -= int(n)
 	return err
+}
+
+// writeAllFrames sends every shard's frame under construction.
+func (c *SiteClient) writeAllFrames() error {
+	for p := range c.frames {
+		if err := c.writeFrame(p); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // flushCommit flushes the buffered writer and, on success, commits the
@@ -635,9 +837,10 @@ func (c *SiteClient) flushCommit() error {
 // syncCoordinator flushes everything written, round-trips a ping, and
 // applies the broadcasts that arrived before the pong. Per-connection
 // FIFO at both ends guarantees that when the pong is received, the
-// coordinator has processed every message this client sent and every
-// broadcast those messages triggered has been queued ahead of the pong
-// — so after the drain the site's view is fully current.
+// coordinator has processed every message this client sent — every
+// shard's, since they share the connection — and every broadcast those
+// messages triggered has been queued ahead of the pong — so after the
+// drain the site's view is fully current.
 func (c *SiteClient) syncCoordinator() error {
 	// Drain stale pongs first. If an earlier sync errored after writing
 	// its ping but before consuming the pong, that pong may still arrive
@@ -685,15 +888,16 @@ func (c *SiteClient) Observe(it stream.Item) error {
 }
 
 // ObserveBatch processes a slice of local arrivals, coalescing the
-// resulting messages into multi-message frames with a single flush at
-// the end — the hot path for high-throughput feeds. Pending broadcasts
-// are still drained before each item and the staleness window is still
-// enforced, so batching trades no control-plane freshness.
+// resulting messages into per-shard multi-message frames with a single
+// flush at the end — the hot path for high-throughput feeds. Pending
+// broadcasts are still drained before each item and the staleness
+// window is still enforced, so batching trades no control-plane
+// freshness.
 func (c *SiteClient) ObserveBatch(items []stream.Item) error {
 	for i := range items {
 		c.drainPending()
-		if c.needSync(len(c.frame) / wire.MessageSize) {
-			if err := c.writeFrame(); err != nil {
+		if c.needSync() {
+			if err := c.writeAllFrames(); err != nil {
 				return err
 			}
 			c.flowPings.Add(1)
@@ -701,8 +905,13 @@ func (c *SiteClient) ObserveBatch(items []stream.Item) error {
 				return err
 			}
 		}
+		p := 0
+		if c.tagged {
+			p = fabric.ShardOf(items[i].ID, len(c.machines))
+		}
+		c.curShard = p
 		c.mu.Lock()
-		err := c.machine.Observe(items[i], c.emit)
+		err := c.machines[p].Observe(items[i], c.emit)
 		c.mu.Unlock()
 		if err == nil && c.emitErr != nil {
 			err = c.emitErr
@@ -714,8 +923,8 @@ func (c *SiteClient) ObserveBatch(items []stream.Item) error {
 			}
 			return err
 		}
-		if len(c.frame) > wire.MaxFrameSize-wire.MessageSize {
-			if err := c.writeFrame(); err != nil {
+		if len(c.frames[p]) > wire.MaxFrameSize-wire.MessageSize {
+			if err := c.writeFrame(p); err != nil {
 				return err
 			}
 		}
@@ -723,9 +932,9 @@ func (c *SiteClient) ObserveBatch(items []stream.Item) error {
 	return c.finishWrites()
 }
 
-// finishWrites sends the frame under construction and flushes.
+// finishWrites sends every frame under construction and flushes.
 func (c *SiteClient) finishWrites() error {
-	if err := c.writeFrame(); err != nil {
+	if err := c.writeAllFrames(); err != nil {
 		return err
 	}
 	return c.flushCommit()
@@ -744,7 +953,8 @@ func (c *SiteClient) Flush() error {
 func (c *SiteClient) Sent() int64 { return c.sent.Load() }
 
 // SentWords returns the machine words of protocol traffic this client
-// has successfully written (paper accounting; control frames excluded).
+// has successfully written (paper accounting; control frames and shard
+// tags excluded).
 func (c *SiteClient) SentWords() int64 { return c.sentWords.Load() }
 
 // FlowPings returns how many ping round-trips the bounded-staleness
@@ -753,13 +963,18 @@ func (c *SiteClient) SentWords() int64 { return c.sentWords.Load() }
 func (c *SiteClient) FlowPings() int64 { return c.flowPings.Load() }
 
 // Site returns the underlying plain sampler site, or nil when the
-// client drives a custom machine (diagnostics; synchronize externally
-// if the client is still live).
+// client drives a custom machine or multiple shard machines
+// (diagnostics; synchronize externally if the client is still live).
 func (c *SiteClient) Site() *core.Site { return c.site }
 
-// Machine returns the site state machine the client drives
+// Machine returns the first (shard 0) site state machine the client
+// drives (diagnostics; synchronize externally if the client is still
+// live).
+func (c *SiteClient) Machine() netsim.Site[core.Message] { return c.machines[0] }
+
+// Machines returns every shard state machine the client drives
 // (diagnostics; synchronize externally if the client is still live).
-func (c *SiteClient) Machine() netsim.Site[core.Message] { return c.machine }
+func (c *SiteClient) Machines() []netsim.Site[core.Message] { return c.machines }
 
 // Close tears down the connection. Call Flush first for a graceful
 // shutdown that guarantees delivery.

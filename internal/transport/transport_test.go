@@ -41,9 +41,7 @@ func TestTCPEndToEndExactness(t *testing.T) {
 	srv, addr := startServer(t, cfg, coordRNG)
 	defer srv.Close()
 	// The server-side coordinator must record early-item keys too.
-	srv.mu.Lock()
-	srv.coord.SetRecorder(rec)
-	srv.mu.Unlock()
+	srv.DoShard(0, func() { srv.Coord(0).SetRecorder(rec) })
 
 	clients := make([]*SiteClient, cfg.K)
 	for i := 0; i < cfg.K; i++ {

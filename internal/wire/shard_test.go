@@ -1,0 +1,120 @@
+package wire
+
+import (
+	"bytes"
+	"testing"
+
+	"wrs/internal/core"
+	"wrs/internal/stream"
+)
+
+func shardFrame(shard int, msgs ...core.Message) []byte {
+	payload := AppendShardHeader(nil, shard)
+	return AppendMessages(payload, msgs)
+}
+
+func TestShardFrameRoundTrip(t *testing.T) {
+	msgs := []core.Message{
+		{Kind: core.MsgRegular, Item: stream.Item{ID: 7, Weight: 2.5}, Key: 9.25},
+		{Kind: core.MsgEarly, Item: stream.Item{ID: 8, Weight: 1e9}},
+	}
+	for _, shard := range []int{0, 1, 41, MaxShard} {
+		payload := shardFrame(shard, msgs...)
+		if !IsShardFrame(payload) {
+			t.Fatalf("shard %d: IsShardFrame false", shard)
+		}
+		got, body, err := ParseShardFrame(payload)
+		if err != nil {
+			t.Fatalf("shard %d: %v", shard, err)
+		}
+		if got != shard {
+			t.Errorf("parsed shard %d, want %d", got, shard)
+		}
+		var decoded []core.Message
+		if err := ForEachMessage(body, func(m core.Message) { decoded = append(decoded, m) }); err != nil {
+			t.Fatal(err)
+		}
+		if len(decoded) != len(msgs) {
+			t.Fatalf("decoded %d messages, want %d", len(decoded), len(msgs))
+		}
+		for i := range msgs {
+			if decoded[i] != msgs[i] {
+				t.Errorf("message %d: got %+v, want %+v", i, decoded[i], msgs[i])
+			}
+		}
+	}
+}
+
+// TestShardFrameUnambiguous pins the dispatch rule: a plain batch frame
+// is never mistaken for a shard frame (message kinds are 0..3, the
+// marker is neither), and control frames are too short.
+func TestShardFrameUnambiguous(t *testing.T) {
+	plain := AppendMessage(nil, core.Message{Kind: core.MsgEpochUpdate, Threshold: 4})
+	if IsShardFrame(plain) {
+		t.Error("plain batch frame classified as shard frame")
+	}
+	if IsShardFrame([]byte{200}) || IsShardFrame([]byte{201}) {
+		t.Error("control frame classified as shard frame")
+	}
+	if _, _, err := ParseShardFrame(plain); err == nil {
+		t.Error("plain batch frame parsed as shard frame")
+	}
+}
+
+func TestParseShardFrameMalformed(t *testing.T) {
+	valid := shardFrame(3, core.Message{Kind: core.MsgEarly, Item: stream.Item{ID: 1, Weight: 1}})
+	cases := map[string][]byte{
+		"empty":             {},
+		"marker only":       {ShardMarker},
+		"truncated header":  {ShardMarker, 0x01},
+		"header no msgs":    {ShardMarker, 0x01, 0x00},
+		"misaligned msgs":   append(append([]byte{}, valid...), 0xAB),
+		"truncated message": valid[:len(valid)-1],
+	}
+	for name, payload := range cases {
+		if _, _, err := ParseShardFrame(payload); err == nil {
+			t.Errorf("%s: malformed shard frame accepted", name)
+		}
+	}
+}
+
+func TestAppendShardHeaderPanicsOutOfRange(t *testing.T) {
+	for _, shard := range []int{-1, MaxShard + 1} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("shard %d: no panic", shard)
+				}
+			}()
+			AppendShardHeader(nil, shard)
+		}()
+	}
+}
+
+// FuzzParseShardFrame ensures shard-frame parsing errors — never
+// panics — on arbitrary payloads, and that every accepted payload
+// round-trips canonically through re-encoding.
+func FuzzParseShardFrame(f *testing.F) {
+	f.Add(shardFrame(0, core.Message{Kind: core.MsgEarly, Item: stream.Item{ID: 1, Weight: 2}}))
+	f.Add(shardFrame(65535, core.Message{Kind: core.MsgRegular, Item: stream.Item{ID: 9, Weight: 1}, Key: 3}))
+	f.Add([]byte{ShardMarker})
+	f.Add([]byte{ShardMarker, 0xFF, 0xFF})
+	f.Add(bytes.Repeat([]byte{ShardMarker}, ShardHeaderSize+MessageSize))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		shard, body, err := ParseShardFrame(data)
+		if err != nil {
+			return
+		}
+		if shard < 0 || shard > MaxShard {
+			t.Fatalf("accepted shard index %d out of range", shard)
+		}
+		if len(body) == 0 || len(body)%MessageSize != 0 {
+			t.Fatalf("accepted misaligned message section of %d bytes", len(body))
+		}
+		re := AppendShardHeader(nil, shard)
+		re = append(re, body...)
+		if !bytes.Equal(re, data) {
+			t.Fatalf("shard frame not canonical: % x vs % x", re, data)
+		}
+	})
+}

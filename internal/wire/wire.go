@@ -23,10 +23,18 @@ import (
 //	offset 9  : item weight (8 bytes, IEEE-754)
 //	offset 17 : key / threshold (8 bytes, IEEE-754; kind-dependent)
 //	offset 25 : level (4 bytes, int32; kind-dependent)
+//
 // A frame whose payload length is a positive multiple of MessageSize is
 // a batch frame: the concatenation of one or more encoded messages in
 // order. A single message is the degenerate batch of one, so readers
 // only need the batch path (see ForEachMessage).
+//
+// A shard-tagged batch frame prefixes the batch with a 3-byte header —
+// the marker byte ShardMarker followed by a little-endian uint16 shard
+// index — so one connection can multiplex P protocol shards without
+// P×k connections. The marker is unambiguous: a plain batch frame
+// starts with a message kind (0..3), control frames are 1 byte, and
+// ShardMarker is neither.
 const (
 	payloadLen = 29
 	// MessageSize is the fixed encoded size of one protocol message.
@@ -34,6 +42,13 @@ const (
 	// MaxFrameSize bounds incoming frames; anything larger is a protocol
 	// violation.
 	MaxFrameSize = 1 << 16
+
+	// ShardMarker is the first byte of a shard-tagged batch frame.
+	ShardMarker = 0xF5
+	// ShardHeaderSize is the length of the shard tag prefix.
+	ShardHeaderSize = 3
+	// MaxShard is the largest encodable shard index.
+	MaxShard = 1<<16 - 1
 )
 
 // AppendMessage appends the encoded message to dst and returns it.
@@ -103,6 +118,38 @@ func AppendMessages(dst []byte, msgs []core.Message) []byte {
 		dst = AppendMessage(dst, m)
 	}
 	return dst
+}
+
+// AppendShardHeader appends the 3-byte shard tag that turns the batch
+// messages appended after it into a shard-tagged frame payload.
+func AppendShardHeader(dst []byte, shard int) []byte {
+	if shard < 0 || shard > MaxShard {
+		panic(fmt.Sprintf("wire: shard index %d out of range [0,%d]", shard, MaxShard))
+	}
+	var hdr [ShardHeaderSize]byte
+	hdr[0] = ShardMarker
+	binary.LittleEndian.PutUint16(hdr[1:], uint16(shard))
+	return append(dst, hdr[:]...)
+}
+
+// IsShardFrame reports whether a frame payload carries a shard tag.
+func IsShardFrame(payload []byte) bool {
+	return len(payload) >= ShardHeaderSize && payload[0] == ShardMarker
+}
+
+// ParseShardFrame splits a shard-tagged payload into its shard index
+// and the batch-message bytes (decode those with ForEachMessage). It
+// errors — never panics — on anything malformed: missing marker,
+// truncated header, or an empty or misaligned message section.
+func ParseShardFrame(payload []byte) (shard int, msgs []byte, err error) {
+	if len(payload) < ShardHeaderSize || payload[0] != ShardMarker {
+		return 0, nil, fmt.Errorf("wire: not a shard-tagged frame (len %d)", len(payload))
+	}
+	msgs = payload[ShardHeaderSize:]
+	if len(msgs) == 0 || len(msgs)%payloadLen != 0 {
+		return 0, nil, fmt.Errorf("wire: shard frame message section of %d bytes is not a positive multiple of %d", len(msgs), payloadLen)
+	}
+	return int(binary.LittleEndian.Uint16(payload[1:])), msgs, nil
 }
 
 // WriteFrame writes one length-prefixed frame.

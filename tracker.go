@@ -5,11 +5,11 @@ import (
 	"math"
 
 	"wrs/internal/core"
+	"wrs/internal/fabric"
 	"wrs/internal/heavyhitter"
 	"wrs/internal/l1track"
 	"wrs/internal/netsim"
 	rt "wrs/internal/runtime"
-	"wrs/internal/stream"
 	"wrs/internal/xrand"
 )
 
@@ -31,10 +31,13 @@ func validateWeight(w float64) error {
 // strictly stronger than the usual eps-L1 guarantee and is exactly what
 // with-replacement sampling cannot provide on skewed streams.
 //
-// Like every application in this package it runs over any runtime:
-// WithRuntime(TCP(addr)) monitors heavy hitters over real connections.
+// Like every application in this package it runs over any runtime and
+// any shard count: WithRuntime(TCP(addr)) monitors heavy hitters over
+// real connections, WithShards(p) partitions the sample across p
+// parallel coordinator shards (per-shard samples merge exactly by key,
+// so the residual guarantee is unchanged).
 type HeavyHitterTracker struct {
-	tracker *heavyhitter.Tracker
+	shards []*heavyhitter.Tracker
 	appRuntime
 }
 
@@ -43,19 +46,29 @@ type HeavyHitterTracker struct {
 // ceil(6·ln(1/(eps·delta))/eps) (Theorem 4).
 func NewHeavyHitterTracker(k int, eps, delta float64, opts ...Option) (*HeavyHitterTracker, error) {
 	o := buildOptions(opts)
-	tr, err := heavyhitter.NewTracker(k, heavyhitter.Params{Eps: eps, Delta: delta}, xrand.New(o.seed))
+	if err := fabric.Validate(o.shards); err != nil {
+		return nil, err
+	}
+	master := xrand.New(o.seed)
+	insts := make([]rt.Instance, o.shards)
+	trackers := make([]*heavyhitter.Tracker, o.shards)
+	for p := range insts {
+		tr, err := heavyhitter.NewTracker(k, heavyhitter.Params{Eps: eps, Delta: delta}, master)
+		if err != nil {
+			return nil, err
+		}
+		sites := make([]netsim.Site[core.Message], k)
+		for i, s := range tr.Sites {
+			sites[i] = s
+		}
+		insts[p] = rt.Instance{Cfg: tr.Coord.Config(), Coord: tr.Coord, Sites: sites}
+		trackers[p] = tr
+	}
+	run, err := o.rt.buildSharded(insts)
 	if err != nil {
 		return nil, err
 	}
-	sites := make([]netsim.Site[core.Message], k)
-	for i, s := range tr.Sites {
-		sites[i] = s
-	}
-	run, err := o.rt.build(rt.Instance{Cfg: tr.Coord.Config(), Coord: tr.Coord, Sites: sites})
-	if err != nil {
-		return nil, err
-	}
-	return &HeavyHitterTracker{tracker: tr, appRuntime: appRuntime{rt: run}}, nil
+	return &HeavyHitterTracker{shards: trackers, appRuntime: appRuntime{rt: run}}, nil
 }
 
 // Observe delivers one arrival to a site.
@@ -70,15 +83,24 @@ func (h *HeavyHitterTracker) ObserveBatch(site int, items []Item) error {
 // Candidates returns at most ceil(2/eps) items, heaviest first; with
 // probability 1-delta every residual eps-heavy hitter is among them. On
 // asynchronous runtimes call Flush first for a fully-delivered view.
+// Each shard is snapshotted under its own ingest lock; the exact top-s
+// key merge and the weight ranking run outside every lock.
 func (h *HeavyHitterTracker) Candidates() []Item {
-	var items []stream.Item
-	h.rt.Do(func() { items = h.tracker.Query() })
+	var entries []core.SampleEntry
+	for p, tr := range h.shards {
+		coord := tr.Coord
+		h.rt.DoShard(p, func() { entries = coord.Snapshot(entries) })
+	}
+	items := heavyhitter.CandidatesFrom(entries, h.shards[0].Params())
 	out := make([]Item, len(items))
 	for i, it := range items {
 		out[i] = fromInternal(it)
 	}
 	return out
 }
+
+// Shards returns the number of protocol shards (1 unless WithShards).
+func (h *HeavyHitterTracker) Shards() int { return len(h.shards) }
 
 // Flush is a barrier: when it returns, everything observed before the
 // call has reached the coordinator.
@@ -95,33 +117,48 @@ func (h *HeavyHitterTracker) Close() error { return h.close() }
 // duplicated l = s/(2·eps) times into a weighted SWOR of size
 // s = Θ(log(1/delta)/eps²) and the s-th largest key calibrates the total.
 //
-// Like every application in this package it runs over any runtime:
-// WithRuntime(TCP(addr)) tracks the distributed total over real
-// connections.
+// Like every application in this package it runs over any runtime and
+// any shard count: WithRuntime(TCP(addr)) tracks the distributed total
+// over real connections, WithShards(p) splits the stream across p
+// parallel shards whose per-partition estimates add exactly to the
+// global total.
 type L1Tracker struct {
-	coord *l1track.DupCoordinator
+	shards []*l1track.DupCoordinator
 	appRuntime
 }
 
 // NewL1Tracker creates a tracker over k sites; eps in (0, 0.5), delta in
 // (0,1). delta is the failure probability at any one fixed time step
 // (union-bound over eps^-1·log(W) steps for an always-correct guarantee,
-// per Corollary 3).
+// per Corollary 3). With WithShards(p) each shard is provisioned at
+// delta/p, so the union bound over the p summed per-partition
+// estimators preserves the overall 1-delta guarantee (per-shard sample
+// size grows only logarithmically in p).
 func NewL1Tracker(k int, eps, delta float64, opts ...Option) (*L1Tracker, error) {
 	o := buildOptions(opts)
-	coord, sites, err := l1track.NewDupTracker(k, l1track.DupParams{Eps: eps, Delta: delta}, xrand.New(o.seed))
+	if err := fabric.Validate(o.shards); err != nil {
+		return nil, err
+	}
+	master := xrand.New(o.seed)
+	insts := make([]rt.Instance, o.shards)
+	coords := make([]*l1track.DupCoordinator, o.shards)
+	for p := range insts {
+		coord, sites, err := l1track.NewDupTracker(k, l1track.DupParams{Eps: eps, Delta: delta / float64(o.shards)}, master)
+		if err != nil {
+			return nil, err
+		}
+		ns := make([]netsim.Site[core.Message], k)
+		for i, s := range sites {
+			ns[i] = s
+		}
+		insts[p] = rt.Instance{Cfg: coord.Core().Config(), Coord: coord, Sites: ns}
+		coords[p] = coord
+	}
+	run, err := o.rt.buildSharded(insts)
 	if err != nil {
 		return nil, err
 	}
-	ns := make([]netsim.Site[core.Message], k)
-	for i, s := range sites {
-		ns[i] = s
-	}
-	run, err := o.rt.build(rt.Instance{Cfg: coord.Core().Config(), Coord: coord, Sites: ns})
-	if err != nil {
-		return nil, err
-	}
-	return &L1Tracker{coord: coord, appRuntime: appRuntime{rt: run}}, nil
+	return &L1Tracker{shards: coords, appRuntime: appRuntime{rt: run}}, nil
 }
 
 // Observe delivers one arrival to a site.
@@ -133,11 +170,20 @@ func (l *L1Tracker) ObserveBatch(site int, items []Item) error { return l.observ
 
 // Estimate returns the current (1±eps) estimate of the total weight. On
 // asynchronous runtimes call Flush first for a fully-delivered view.
+// Shard estimates cover disjoint partitions of the stream, so their
+// sum estimates the global L1 (exactly, while every shard is still in
+// its exact prefix).
 func (l *L1Tracker) Estimate() float64 {
 	var est float64
-	l.rt.Do(func() { est = l.coord.Estimate() })
+	for p, coord := range l.shards {
+		coord := coord
+		l.rt.DoShard(p, func() { est += coord.Estimate() })
+	}
 	return est
 }
+
+// Shards returns the number of protocol shards (1 unless WithShards).
+func (l *L1Tracker) Shards() int { return len(l.shards) }
 
 // Flush is a barrier: when it returns, everything observed before the
 // call has reached the coordinator.

@@ -5,6 +5,7 @@ import (
 	"sync"
 
 	"wrs/internal/core"
+	"wrs/internal/fabric"
 	"wrs/internal/netsim"
 	rt "wrs/internal/runtime"
 	"wrs/internal/stream"
@@ -61,6 +62,7 @@ func fromNetsim(s netsim.Stats) Stats {
 type RuntimeSpec struct {
 	name    string
 	factory rt.Factory
+	sharded rt.ShardedFactory // optional shard-native builder (TCP)
 }
 
 // String returns the runtime's name ("sequential" for the zero value).
@@ -71,12 +73,35 @@ func (r RuntimeSpec) String() string {
 	return r.name
 }
 
-func (r RuntimeSpec) build(inst rt.Instance) (rt.Runtime, error) {
-	f := r.factory
-	if f == nil {
-		f = rt.Sequential()
+func (r RuntimeSpec) factoryOrDefault() rt.Factory {
+	if r.factory == nil {
+		return rt.Sequential()
 	}
-	return f(inst)
+	return r.factory
+}
+
+func (r RuntimeSpec) build(inst rt.Instance) (rt.Runtime, error) {
+	return r.factoryOrDefault()(inst)
+}
+
+// buildSharded assembles the runtime for P shard instances. With one
+// instance it is exactly the pre-fabric single-runtime path (so
+// WithShards(1) stays bit-identical); with more it uses the runtime's
+// shard-native builder when there is one (TCP: one server, k
+// multiplexed connections) and the generic per-instance fabric
+// composition otherwise.
+func (r RuntimeSpec) buildSharded(insts []rt.Instance) (rt.ShardedRuntime, error) {
+	if len(insts) == 1 {
+		run, err := r.build(insts[0])
+		if err != nil {
+			return nil, err
+		}
+		return rt.Single(run), nil
+	}
+	if r.sharded != nil {
+		return r.sharded(insts)
+	}
+	return rt.NewFabric(insts, r.factoryOrDefault())
 }
 
 // Sequential is the default runtime: the deterministic synchronous
@@ -102,15 +127,16 @@ func TCP(addr string) RuntimeSpec {
 	if addr == "" {
 		addr = "127.0.0.1:0"
 	}
-	return RuntimeSpec{name: "tcp(" + addr + ")", factory: rt.TCP(addr)}
+	return RuntimeSpec{name: "tcp(" + addr + ")", factory: rt.TCP(addr), sharded: rt.TCPSharded(addr)}
 }
 
 // Option configures a sampler or tracker.
 type Option func(*options)
 
 type options struct {
-	seed uint64
-	rt   RuntimeSpec
+	seed   uint64
+	rt     RuntimeSpec
+	shards int
 }
 
 // WithSeed fixes the random seed, making every run replayable. Without
@@ -128,8 +154,27 @@ func WithRuntime(r RuntimeSpec) Option {
 	return func(o *options) { o.rt = r }
 }
 
+// WithShards partitions the protocol across p independent shards — a
+// fabric of p full (Coordinator, k Sites) instances, each item routed
+// to one shard by a deterministic, seed-stable hash of its ID. Each
+// shard runs its own coordinator state machine behind its own ingest
+// lock, so coordinator throughput scales with cores while the query
+// stays exact: precision-sampling keys make per-shard samples exactly
+// mergeable (the global top-s is the top-s of the union of per-shard
+// top-s sets). Over TCP the shards share one server and one connection
+// per site (shard-tagged frames — no p×k connection blow-up).
+//
+// The default (and p = 1) is the single-instance protocol, bit-identical
+// to the pre-sharding library. Sharding trades messages for
+// parallelism: p shards each filter against their own top-s, so
+// upstream traffic grows roughly p-fold in the log n term — see
+// DESIGN.md §9 for measurements.
+func WithShards(p int) Option {
+	return func(o *options) { o.shards = p }
+}
+
 func buildOptions(opts []Option) options {
-	o := options{seed: 0x9E3779B97F4A7C15}
+	o := options{seed: 0x9E3779B97F4A7C15, shards: 1}
 	for _, fn := range opts {
 		fn(&o)
 	}
@@ -139,7 +184,7 @@ func buildOptions(opts []Option) options {
 // appRuntime is the runtime plumbing shared by the sampler and the
 // trackers: feeding, flushing, stats, and idempotent close.
 type appRuntime struct {
-	rt rt.Runtime
+	rt rt.ShardedRuntime
 
 	mu         sync.Mutex
 	closed     bool
@@ -166,27 +211,37 @@ func (a *appRuntime) stats() Stats {
 }
 
 func (a *appRuntime) close() error {
+	_, err := a.closeAndStats()
+	return err
+}
+
+// closeAndStats closes the runtime and returns the final statistics
+// from the same critical section — one locked path, so a caller
+// draining the runtime can never observe stats from a different moment
+// than the close it performed (ConcurrentSampler.Drain relies on this).
+func (a *appRuntime) closeAndStats() (Stats, error) {
 	a.mu.Lock()
 	defer a.mu.Unlock()
 	if a.closed {
-		return nil
+		return a.finalStats, nil
 	}
 	err := a.rt.Close()
 	a.finalStats = fromNetsim(a.rt.Stats())
 	a.closed = true
-	return err
+	return a.finalStats, err
 }
 
 // DistributedSampler maintains a weighted sample without replacement of
 // size s over k sites, using the paper's message-optimal protocol. The
 // default Sequential runtime delivers messages synchronously and
 // deterministically (the model analyzed in the paper); WithRuntime
-// swaps in the goroutine cluster or a real TCP deployment without
-// changing the protocol. ConcurrentSampler is the Goroutines
-// configuration under its historical drain-then-sample API.
+// swaps in the goroutine cluster or a real TCP deployment, and
+// WithShards partitions the protocol across parallel coordinator
+// shards, without changing the protocol. ConcurrentSampler is the
+// Goroutines configuration under its historical drain-then-sample API.
 type DistributedSampler struct {
-	coord *core.Coordinator
-	k     int
+	shards []*core.Coordinator
+	k, s   int
 	appRuntime
 }
 
@@ -197,17 +252,29 @@ func NewDistributedSampler(k, s int, opts ...Option) (*DistributedSampler, error
 		return nil, err
 	}
 	o := buildOptions(opts)
-	master := xrand.New(o.seed)
-	coord := core.NewCoordinator(cfg, master.Split())
-	sites := make([]netsim.Site[core.Message], k)
-	for i := 0; i < k; i++ {
-		sites[i] = core.NewSite(i, cfg, master.Split())
+	if err := fabric.Validate(o.shards); err != nil {
+		return nil, err
 	}
-	run, err := o.rt.build(rt.Instance{Cfg: cfg, Coord: coord, Sites: sites})
+	// One master RNG chain across all shards: for shards=1 the split
+	// order (coordinator, then the k sites) is exactly the pre-fabric
+	// construction, keeping every seeded run bit-identical.
+	master := xrand.New(o.seed)
+	insts := make([]rt.Instance, o.shards)
+	coords := make([]*core.Coordinator, o.shards)
+	for p := range insts {
+		coord := core.NewCoordinator(cfg, master.Split())
+		sites := make([]netsim.Site[core.Message], k)
+		for i := 0; i < k; i++ {
+			sites[i] = core.NewSite(i, cfg, master.Split())
+		}
+		insts[p] = rt.Instance{Cfg: cfg, Coord: coord, Sites: sites}
+		coords[p] = coord
+	}
+	run, err := o.rt.buildSharded(insts)
 	if err != nil {
 		return nil, err
 	}
-	return &DistributedSampler{coord: coord, k: k, appRuntime: appRuntime{rt: run}}, nil
+	return &DistributedSampler{shards: coords, k: k, s: s, appRuntime: appRuntime{rt: run}}, nil
 }
 
 // Observe delivers one arrival to a site (0 <= site < k). On
@@ -227,15 +294,28 @@ func (d *DistributedSampler) ObserveBatch(site int, items []Item) error {
 // instant (Definition 3: the sampler never fails to maintain the
 // sample); on asynchronous runtimes call Flush first for a
 // fully-delivered view.
+//
+// The read path is deliberately cheap on the ingest locks: each shard
+// coordinator is snapshotted (an O(s) copy) under its own lock, and the
+// sort plus cross-shard merge run outside every lock — a concurrent
+// querier never stalls ingest for the sort (the merge is exact; see
+// WithShards).
 func (d *DistributedSampler) Sample() []Sampled {
-	var q []core.SampleEntry
-	d.rt.Do(func() { q = d.coord.Query() })
-	out := make([]Sampled, len(q))
-	for i, e := range q {
+	entries := make([]core.SampleEntry, 0, 2*d.s*len(d.shards))
+	for p, coord := range d.shards {
+		coord := coord
+		d.rt.DoShard(p, func() { entries = coord.Snapshot(entries) })
+	}
+	entries = core.TopSample(entries, d.s)
+	out := make([]Sampled, len(entries))
+	for i, e := range entries {
 		out[i] = Sampled{Item: fromInternal(e.Item), Key: e.Key}
 	}
 	return out
 }
+
+// Shards returns the number of protocol shards (1 unless WithShards).
+func (d *DistributedSampler) Shards() int { return len(d.shards) }
 
 // Flush is a barrier: when it returns, everything observed before the
 // call has reached the coordinator. A no-op on the sequential runtime.
@@ -282,10 +362,12 @@ func (c *ConcurrentSampler) Feed(site int, it Item) error {
 }
 
 // Drain waits for all in-flight work and returns traffic statistics.
+// The close and the statistics read happen in one locked critical
+// section, so the returned stats are exactly the post-Close finals —
+// Stats() after Drain always agrees with Drain's return value.
 func (c *ConcurrentSampler) Drain() (Stats, error) {
 	if !c.drained {
-		c.err = c.ds.Close()
-		c.stats = c.ds.Stats()
+		c.stats, c.err = c.ds.closeAndStats()
 		c.drained = true
 	}
 	return c.stats, c.err
