@@ -1,0 +1,37 @@
+#!/usr/bin/env bash
+# check_api_surface.sh — guard the root wrs package's exported surface.
+#
+# Fails the build if any symbol recorded in .github/api_surface.txt is
+# missing from the current `go doc -all` output: once a type, function,
+# or method ships, a later change may add to the surface but never lose
+# it. After an intentional, additive API change, regenerate the baseline
+# and commit it:
+#
+#   ./.github/check_api_surface.sh -write
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+baseline=.github/api_surface.txt
+
+surface() {
+    # Exported package-level funcs, types, and methods, normalized:
+    # struct/interface bodies stripped, trailing whitespace removed.
+    go doc -all . \
+        | grep -E '^(func|type) [A-Z]|^func \(' \
+        | sed -E 's/ *\{.*$//; s/[[:space:]]+$//' \
+        | sort -u
+}
+
+if [ "${1:-}" = "-write" ]; then
+    surface >"$baseline"
+    echo "wrote $(wc -l <"$baseline") symbols to $baseline"
+    exit 0
+fi
+
+missing=$(comm -23 <(sort -u "$baseline") <(surface))
+if [ -n "$missing" ]; then
+    echo "exported API surface lost pre-existing symbols:" >&2
+    echo "$missing" >&2
+    exit 1
+fi
+echo "API surface OK ($(wc -l <"$baseline") baseline symbols all present)"

@@ -1,32 +1,54 @@
-// Command wrs-sim runs a single distributed weighted-SWOR simulation and
-// prints the maintained sample plus traffic statistics — a quick way to
-// watch the protocol behave under different workloads and runtimes.
+// Command wrs-sim runs one application of the protocol over a generated
+// stream and prints its answer plus traffic statistics. It is the
+// walkthrough for the plugin API: every application is opened through
+// wrs.Open(app, ...) onto the same Handle surface, so one switch over
+// -app is all the per-application code there is.
 //
 // Usage:
 //
 //	wrs-sim -k 16 -s 10 -n 100000 -workload zipf -seed 7
-//	wrs-sim -runtime goroutines    # goroutine-per-site cluster
-//	wrs-sim -runtime tcp           # real loopback TCP cluster
-//	wrs-sim -shards 4              # 4-way sharded protocol fabric
+//	wrs-sim -runtime goroutines         # goroutine-per-site cluster
+//	wrs-sim -runtime tcp                # real loopback TCP cluster
+//	wrs-sim -shards 4                   # 4-way sharded protocol fabric
+//	wrs-sim -app hh -eps 0.1 -delta 0.1 # residual heavy hitters
+//	wrs-sim -app l1 -eps 0.2            # (1±eps) L1 tracking
+//	wrs-sim -app quantile -eps 0.1      # weight-CDF / rank quantiles
 package main
 
 import (
 	"flag"
 	"fmt"
+	"math"
 	"os"
 
-	"wrs/internal/core"
-	"wrs/internal/fabric"
-	"wrs/internal/netsim"
-	rt "wrs/internal/runtime"
+	"wrs"
+	"wrs/internal/quantile"
 	"wrs/internal/stream"
 	"wrs/internal/xrand"
 )
 
+func fatal(v ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"wrs-sim:"}, v...)...)
+	os.Exit(1)
+}
+
+// handle is the app-independent slice of wrs.Handle[Q] — everything the
+// feeding loop needs; only the report at the end is typed per app.
+type handle interface {
+	Observe(site int, it wrs.Item) error
+	Flush() error
+	Stats() wrs.Stats
+	Shards() int
+	Close() error
+}
+
 func main() {
 	k := flag.Int("k", 8, "number of sites")
-	s := flag.Int("s", 10, "sample size")
+	s := flag.Int("s", 10, "sample size (swor app)")
 	n := flag.Int("n", 100000, "stream length")
+	app := flag.String("app", "swor", "application: swor, hh, l1, quantile")
+	eps := flag.Float64("eps", 0.1, "accuracy parameter (hh, l1, quantile apps)")
+	delta := flag.Float64("delta", 0.1, "failure probability (hh, l1, quantile apps)")
 	workload := flag.String("workload", "uniform", "weights: unit, uniform, zipf, pareto, heavyhead")
 	partition := flag.String("partition", "roundrobin", "site assignment: roundrobin, random, contiguous, single")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -64,102 +86,115 @@ func main() {
 		fmt.Fprintf(os.Stderr, "wrs-sim: unknown partition %q\n", *partition)
 		os.Exit(2)
 	}
-	var factory rt.Factory
+	var spec wrs.RuntimeSpec
 	switch *runtimeName {
 	case "sequential":
-		factory = rt.Sequential()
+		spec = wrs.Sequential()
 	case "goroutines":
-		factory = rt.Goroutines()
+		spec = wrs.Goroutines()
 	case "tcp":
-		factory = rt.TCP("")
+		spec = wrs.TCP("")
 	default:
 		fmt.Fprintf(os.Stderr, "wrs-sim: unknown runtime %q\n", *runtimeName)
 		os.Exit(2)
 	}
+	opts := []wrs.Option{wrs.WithSeed(*seed), wrs.WithRuntime(spec), wrs.WithShards(*shards)}
 
-	cfg := core.Config{K: *k, S: *s}
-	if err := cfg.Validate(); err != nil {
-		fmt.Fprintln(os.Stderr, "wrs-sim:", err)
-		os.Exit(2)
-	}
-	if err := fabric.Validate(*shards); err != nil {
-		fmt.Fprintln(os.Stderr, "wrs-sim:", err)
-		os.Exit(2)
-	}
-	master := xrand.New(*seed)
-	insts := make([]rt.Instance, *shards)
-	coords := make([]*core.Coordinator, *shards)
-	for p := range insts {
-		coord := core.NewCoordinator(cfg, master.Split())
-		sites := make([]netsim.Site[core.Message], *k)
-		for i := 0; i < *k; i++ {
-			sites[i] = core.NewSite(i, cfg, master.Split())
+	// The oracle records every weight fed, so the l1 and quantile
+	// reports can show estimate vs exact truth.
+	var oracle quantile.Oracle
+
+	// Open the selected application. Each case yields the shared ingest
+	// handle plus a typed report closure — the entire per-application
+	// cost of a new workload under the plugin API.
+	var (
+		h      handle
+		report func()
+		err    error
+	)
+	switch *app {
+	case "swor":
+		var sh *wrs.Handle[[]wrs.Sampled]
+		sh, err = wrs.Open(wrs.Sampler(*k, *s), opts...)
+		h = sh
+		report = func() {
+			fmt.Println("sample (id, weight, key):")
+			for _, e := range sh.Query() {
+				fmt.Printf("  %8d  w=%-12.2f key=%.4g\n", e.Item.ID, e.Item.Weight, e.Key)
+			}
 		}
-		insts[p] = rt.Instance{Cfg: cfg, Coord: coord, Sites: sites}
-		coords[p] = coord
-	}
-	var run rt.ShardedRuntime
-	var err error
-	switch {
-	case *shards == 1:
-		var single rt.Runtime
-		single, err = factory(insts[0])
-		if err == nil {
-			run = rt.Single(single)
+	case "hh":
+		var hh *wrs.Handle[[]wrs.Item]
+		hh, err = wrs.Open(wrs.HeavyHitters(*k, *eps, *delta), opts...)
+		h = hh
+		report = func() {
+			cand := hh.Query()
+			fmt.Printf("residual heavy-hitter candidates (top %d by weight):\n", len(cand))
+			for i, it := range cand {
+				if i >= 10 {
+					fmt.Printf("  ... and %d more\n", len(cand)-10)
+					break
+				}
+				fmt.Printf("  %8d  w=%.3f\n", it.ID, it.Weight)
+			}
 		}
-	case *runtimeName == "tcp":
-		// One server hosting every shard, one connection per site.
-		run, err = rt.TCPSharded("")(insts)
+	case "l1":
+		var l1 *wrs.Handle[float64]
+		l1, err = wrs.Open(wrs.L1(*k, *eps, *delta), opts...)
+		h = l1
+		report = func() {
+			est, W := l1.Query(), oracle.Total()
+			fmt.Printf("L1 estimate: %.1f  true: %.1f  relative error: %.2f%% (eps=%v)\n",
+				est, W, 100*math.Abs(est-W)/W, *eps)
+		}
+	case "quantile":
+		var q *wrs.Handle[wrs.QuantileEstimate]
+		q, err = wrs.Open(wrs.Quantiles(*k, *eps, *delta), opts...)
+		h = q
+		report = func() {
+			est := q.Query()
+			fmt.Printf("weight-CDF estimate from %d support points (saturated=%v):\n",
+				est.Support(), est.Saturated())
+			fmt.Printf("  total weight: est %.1f  true %.1f\n", est.Total(), oracle.Total())
+			for _, phi := range []float64{0.1, 0.25, 0.5, 0.75, 0.9, 0.99} {
+				got, _ := est.Quantile(phi)
+				want, _ := oracle.Quantile(phi)
+				fmt.Printf("  q%-4g  est %-12.3f exact %-12.3f (rank error %+.3f)\n",
+					100*phi, got, want, oracle.CDF(got)-phi)
+			}
+		}
 	default:
-		run, err = rt.NewFabric(insts, factory)
+		fmt.Fprintf(os.Stderr, "wrs-sim: unknown app %q\n", *app)
+		os.Exit(2)
 	}
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "wrs-sim:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 
 	g := stream.NewGenerator(*n, *k, wf, af)
 	genRNG := xrand.New(*seed ^ 0x9E3779B97F4A7C15)
-	var totalW float64
 	for {
 		u, ok := g.Next(genRNG)
 		if !ok {
 			break
 		}
-		totalW += u.Item.Weight
-		if err := run.Feed(u.Site, u.Item); err != nil {
-			fmt.Fprintln(os.Stderr, "wrs-sim:", err)
-			os.Exit(1)
+		oracle.Observe(u.Item.Weight)
+		if err := h.Observe(u.Site, wrs.Item{ID: u.Item.ID, Weight: u.Item.Weight}); err != nil {
+			fatal(err)
 		}
 	}
-	if err := run.Flush(); err != nil {
-		fmt.Fprintln(os.Stderr, "wrs-sim:", err)
-		os.Exit(1)
+	if err := h.Flush(); err != nil {
+		fatal(err)
 	}
-	stats := run.Stats()
+	stats := h.Stats()
 
-	fmt.Printf("stream: n=%d  W=%.1f  k=%d  s=%d  shards=%d  workload=%s/%s  runtime=%s\n",
-		*n, totalW, *k, *s, *shards, *workload, *partition, *runtimeName)
+	fmt.Printf("stream: n=%d  W=%.1f  k=%d  app=%s  shards=%d  workload=%s/%s  runtime=%s\n",
+		*n, oracle.Total(), *k, *app, h.Shards(), *workload, *partition, *runtimeName)
 	fmt.Printf("traffic: %d up + %d down = %d messages (%.4f per update)\n",
 		stats.Upstream, stats.Downstream, stats.Total(),
 		float64(stats.Total())/float64(*n))
-	// Per-shard state is snapshotted under each shard's own lock; the
-	// exact top-s merge and sort run outside every lock.
-	var entries []core.SampleEntry
-	for p, coord := range coords {
-		coord := coord
-		run.DoShard(p, func() {
-			fmt.Printf("shard %d: u=%.3g  threshold=%.3g  saturated levels=%v\n",
-				p, coord.U(), coord.CurrentThreshold(), coord.SaturatedLevels())
-			entries = coord.Snapshot(entries)
-		})
-	}
-	fmt.Println("sample (id, weight, key):")
-	for _, e := range fabric.Merge(entries, *s) {
-		fmt.Printf("  %8d  w=%-12.2f key=%.4g\n", e.Item.ID, e.Item.Weight, e.Key)
-	}
-	if err := run.Close(); err != nil {
-		fmt.Fprintln(os.Stderr, "wrs-sim:", err)
-		os.Exit(1)
+	report()
+	if err := h.Close(); err != nil {
+		fatal(err)
 	}
 }

@@ -8,6 +8,7 @@
 //	wrs-tcp -k 8 -s 10 -n 200000              # plain weighted SWOR
 //	wrs-tcp -app hh -eps 0.1 -delta 0.1       # residual heavy hitters
 //	wrs-tcp -app l1 -eps 0.25 -delta 0.3      # (1±eps) L1 tracking
+//	wrs-tcp -app quantile -eps 0.15           # weight-CDF / rank quantiles
 //	wrs-tcp -shards 4                         # 4-way sharded fabric
 //
 // With -shards > 1 the one server hosts P protocol shards behind
@@ -31,6 +32,7 @@ import (
 	"wrs/internal/heavyhitter"
 	"wrs/internal/l1track"
 	"wrs/internal/netsim"
+	"wrs/internal/quantile"
 	"wrs/internal/stream"
 	"wrs/internal/transport"
 	"wrs/internal/xrand"
@@ -47,7 +49,7 @@ func main() {
 	n := flag.Int("n", 200000, "total updates")
 	batch := flag.Int("batch", 256, "updates per FeedBatch call (1 = unbatched)")
 	seed := flag.Uint64("seed", 1, "random seed")
-	app := flag.String("app", "swor", "application: swor, hh, l1")
+	app := flag.String("app", "swor", "application: swor, hh, l1, quantile")
 	eps := flag.Float64("eps", 0.1, "accuracy parameter (hh, l1 apps)")
 	delta := flag.Float64("delta", 0.1, "failure probability (hh, l1 apps)")
 	shards := flag.Int("shards", 1, "protocol shards (parallel coordinator locks, exact merged query)")
@@ -151,6 +153,44 @@ func main() {
 			}
 			fmt.Printf("\nL1 estimate: %.1f  true: %.1f  relative error: %.2f%% (eps=%v, s=%d)\n",
 				est, totalW, 100*math.Abs(est-totalW)/totalW, *eps, coreCfg.S)
+		}
+	case "quantile":
+		// The quantile application is the plain sampler's instances at
+		// s = SampleSize(eps, delta); only the query differs — the
+		// bottom-k CDF estimator over the merged per-shard snapshots.
+		qp := quantile.Params{Eps: *eps, Delta: *delta}
+		if err := qp.Validate(); err != nil {
+			fatal(err)
+		}
+		coreCfg = core.Config{K: *k, S: qp.SampleSize()}
+		if err := coreCfg.Validate(); err != nil {
+			fatal(err)
+		}
+		var coords []*core.Coordinator
+		for p := 0; p < *shards; p++ {
+			coord := core.NewCoordinator(coreCfg, master.Split())
+			protos = append(protos, coord)
+			sites := make([]netsim.Site[core.Message], *k)
+			for i := 0; i < *k; i++ {
+				sites[i] = core.NewSite(i, coreCfg, master.Split())
+			}
+			machines = append(machines, sites)
+			coords = append(coords, coord)
+		}
+		report = func(cluster *transport.Cluster, totalW float64) {
+			var entries []core.SampleEntry
+			for p, coord := range coords {
+				coord := coord
+				cluster.DoShard(p, func() { entries = coord.Snapshot(entries) })
+			}
+			sm := quantile.Summarize(entries, coreCfg.S)
+			fmt.Printf("\nweight-CDF estimate (s=%d, %d support points):\n", coreCfg.S, sm.Support())
+			fmt.Printf("  total weight: est %.1f  true %.1f  relative error %.2f%%\n",
+				sm.Total(), totalW, 100*math.Abs(sm.Total()-totalW)/totalW)
+			for _, phi := range []float64{0.25, 0.5, 0.9, 0.99} {
+				x, _ := sm.Quantile(phi)
+				fmt.Printf("  q%-4g  weight <= %.3f\n", 100*phi, x)
+			}
 		}
 	default:
 		fmt.Fprintf(os.Stderr, "wrs-tcp: unknown app %q\n", *app)

@@ -30,6 +30,28 @@
 // constructions. Reservoir and WithReplacement are the centralized
 // single-stream samplers for comparison and local use.
 //
+// # Applications as plugins
+//
+// Underneath, every application is a plugin: an App[Q] descriptor that
+// builds per-shard protocol instances and answers queries of type Q
+// from locked per-shard snapshots. Open(app, opts...) returns a
+// Handle[Q] owning the one shared implementation of Observe,
+// ObserveBatch, Flush, Stats, Close, Shards, and K, plus a non-blocking
+// typed Query:
+//
+//	q, _ := wrs.Open(wrs.Quantiles(8, 0.1, 0.05), wrs.WithShards(4))
+//	... q.Observe(site, item) ...
+//	median, _ := q.Query().Quantile(0.5)
+//
+// Four applications ship: Sampler (the maintained SWOR itself),
+// HeavyHitters (Section 4), L1 (Section 5), and Quantiles — weight-CDF
+// and rank-quantile estimation from the maintained sample, normalized
+// with the Section 5 key calibration. The legacy constructors
+// (NewDistributedSampler, NewHeavyHitterTracker, NewL1Tracker) are thin
+// wrappers over Open and remain bit-identical for fixed seeds. The
+// plugin contract — RNG split order, union-mergeability of per-shard
+// answers — is specified in DESIGN.md §10.
+//
 // # Runtimes
 //
 // The protocol state machines are transport-agnostic; WithRuntime
@@ -37,7 +59,7 @@
 //
 //	wrs.NewDistributedSampler(k, s)                                    // Sequential(): deterministic simulator
 //	wrs.NewDistributedSampler(k, s, wrs.WithRuntime(wrs.Goroutines())) // goroutine-per-site cluster
-//	wrs.NewHeavyHitterTracker(k, eps, delta,
+//	wrs.Open(wrs.HeavyHitters(k, eps, delta),
 //	    wrs.WithRuntime(wrs.TCP("127.0.0.1:0")))                       // real TCP connections
 //
 // On asynchronous runtimes, Flush is a delivery barrier and Close

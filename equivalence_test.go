@@ -1,0 +1,230 @@
+package wrs_test
+
+import (
+	"fmt"
+	"testing"
+
+	"wrs"
+)
+
+// equivalence_test.go pins the wrapper contract of the App/Handle
+// redesign: the legacy constructors (NewDistributedSampler,
+// NewHeavyHitterTracker, NewL1Tracker) must produce bit-identical
+// samples, candidates, and estimates to a direct wrs.Open of the
+// corresponding App descriptor, for fixed seeds, across every runtime
+// and shard count.
+//
+// On the asynchronous runtimes two separately-built stacks only replay
+// identically when their message interleavings match, so the feeder
+// flushes after every arrival — twice, because one barrier proves
+// upstream delivery everywhere but only proves broadcast application at
+// the site whose message triggered it; the second round-trip puts every
+// pong behind those broadcasts on each connection's FIFO, after which
+// both stacks have applied the identical control plane and their site
+// RNGs consume identical bit streams.
+
+func equivalenceMatrix() []struct {
+	name string
+	spec func() wrs.RuntimeSpec
+	sync bool // flush-per-arrival needed for deterministic replay
+} {
+	return []struct {
+		name string
+		spec func() wrs.RuntimeSpec
+		sync bool
+	}{
+		{"sequential", wrs.Sequential, false},
+		{"goroutines", wrs.Goroutines, true},
+		{"tcp", func() wrs.RuntimeSpec { return wrs.TCP("") }, true},
+	}
+}
+
+// feedPair drives two ingest surfaces in lockstep over the same stream.
+func feedPair(t *testing.T, k, n int, seed uint64, sync bool,
+	observe func(site int, it wrs.Item) error, flush func() error) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		it := wrs.Item{ID: uint64(i)*2654435761 + seed, Weight: float64(1 + (i*i+int(seed))%37)}
+		if err := observe(i%k, it); err != nil {
+			t.Fatal(err)
+		}
+		if sync {
+			if err := flush(); err != nil {
+				t.Fatal(err)
+			}
+			if err := flush(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWrapperOpenEquivalenceSampler(t *testing.T) {
+	const k, s, n = 3, 8, 220
+	for _, rtc := range equivalenceMatrix() {
+		for _, shards := range []int{1, 2, 7} {
+			for _, seed := range []uint64{1, 7, 42} {
+				t.Run(fmt.Sprintf("%s/shards=%d/seed=%d", rtc.name, shards, seed), func(t *testing.T) {
+					opts := []wrs.Option{wrs.WithSeed(seed), wrs.WithRuntime(rtc.spec()), wrs.WithShards(shards)}
+					legacy, err := wrs.NewDistributedSampler(k, s, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer legacy.Close()
+					direct, err := wrs.Open(wrs.Sampler(k, s), opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer direct.Close()
+
+					feedPair(t, k, n, seed, rtc.sync, func(site int, it wrs.Item) error {
+						if err := legacy.Observe(site, it); err != nil {
+							return err
+						}
+						return direct.Observe(site, it)
+					}, func() error {
+						if err := legacy.Flush(); err != nil {
+							return err
+						}
+						return direct.Flush()
+					})
+
+					a, b := legacy.Sample(), direct.Query()
+					if len(a) != len(b) {
+						t.Fatalf("sample sizes diverged: legacy %d, open %d", len(a), len(b))
+					}
+					for i := range a {
+						if a[i] != b[i] {
+							t.Fatalf("sample[%d] diverged: legacy %+v, open %+v", i, a[i], b[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestWrapperOpenEquivalenceHeavyHitters(t *testing.T) {
+	const k, eps, delta, n = 3, 0.2, 0.2, 200
+	for _, rtc := range equivalenceMatrix() {
+		for _, shards := range []int{1, 2, 7} {
+			for _, seed := range []uint64{1, 7, 42} {
+				t.Run(fmt.Sprintf("%s/shards=%d/seed=%d", rtc.name, shards, seed), func(t *testing.T) {
+					opts := []wrs.Option{wrs.WithSeed(seed), wrs.WithRuntime(rtc.spec()), wrs.WithShards(shards)}
+					legacy, err := wrs.NewHeavyHitterTracker(k, eps, delta, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer legacy.Close()
+					direct, err := wrs.Open(wrs.HeavyHitters(k, eps, delta), opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer direct.Close()
+
+					feedPair(t, k, n, seed, rtc.sync, func(site int, it wrs.Item) error {
+						if err := legacy.Observe(site, it); err != nil {
+							return err
+						}
+						return direct.Observe(site, it)
+					}, func() error {
+						if err := legacy.Flush(); err != nil {
+							return err
+						}
+						return direct.Flush()
+					})
+
+					a, b := legacy.Candidates(), direct.Query()
+					if len(a) != len(b) {
+						t.Fatalf("candidate counts diverged: legacy %d, open %d", len(a), len(b))
+					}
+					for i := range a {
+						if a[i] != b[i] {
+							t.Fatalf("candidate[%d] diverged: legacy %+v, open %+v", i, a[i], b[i])
+						}
+					}
+				})
+			}
+		}
+	}
+}
+
+func TestWrapperOpenEquivalenceL1(t *testing.T) {
+	const k, eps, delta, n = 3, 0.45, 0.45, 150
+	for _, rtc := range equivalenceMatrix() {
+		for _, shards := range []int{1, 2, 7} {
+			for _, seed := range []uint64{1, 7, 42} {
+				t.Run(fmt.Sprintf("%s/shards=%d/seed=%d", rtc.name, shards, seed), func(t *testing.T) {
+					opts := []wrs.Option{wrs.WithSeed(seed), wrs.WithRuntime(rtc.spec()), wrs.WithShards(shards)}
+					legacy, err := wrs.NewL1Tracker(k, eps, delta, opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer legacy.Close()
+					direct, err := wrs.Open(wrs.L1(k, eps, delta), opts...)
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer direct.Close()
+
+					feedPair(t, k, n, seed, rtc.sync, func(site int, it wrs.Item) error {
+						if err := legacy.Observe(site, it); err != nil {
+							return err
+						}
+						return direct.Observe(site, it)
+					}, func() error {
+						if err := legacy.Flush(); err != nil {
+							return err
+						}
+						return direct.Flush()
+					})
+
+					if a, b := legacy.Estimate(), direct.Query(); a != b {
+						t.Fatalf("estimates diverged: legacy %v, open %v", a, b)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestAppDescriptorSingleUse pins the one-shot binding: per-shard query
+// state lives on the descriptor, so a second Open of the same value
+// must fail instead of silently crossing two handles' queries.
+func TestAppDescriptorSingleUse(t *testing.T) {
+	app := wrs.Sampler(2, 4)
+	h, err := wrs.Open(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := wrs.Open(app); err == nil {
+		t.Fatal("second Open of the same descriptor succeeded")
+	}
+}
+
+// TestAppDescriptorRetryAfterFailedOpen pins the rollback half of the
+// one-shot binding: an Open that fails after building instances (here:
+// a TCP listen on a non-local address) releases the descriptor, so a
+// retry with corrected options works instead of erroring as "already
+// opened".
+func TestAppDescriptorRetryAfterFailedOpen(t *testing.T) {
+	app := wrs.Sampler(2, 4)
+	if _, err := wrs.Open(app, wrs.WithRuntime(wrs.TCP("203.0.113.1:1"))); err == nil {
+		t.Fatal("Open on an unbindable address succeeded")
+	}
+	h, err := wrs.Open(app, wrs.WithSeed(3))
+	if err != nil {
+		t.Fatalf("retry after failed Open: %v", err)
+	}
+	defer h.Close()
+	if err := h.Observe(0, wrs.Item{ID: 1, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if got := len(h.Query()); got != 1 {
+		t.Fatalf("sample size %d after retry, want 1", got)
+	}
+}

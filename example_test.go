@@ -182,6 +182,61 @@ func ExampleHeavyHitterTracker_tcp() {
 	// giant found over TCP: true
 }
 
+// Open is the generic application layer: every protocol application is
+// a descriptor passed to Open, which returns a typed Handle owning the
+// whole ingest surface (Observe, ObserveBatch, Flush, Stats, Close) and
+// a non-blocking Query. The legacy constructors are thin wrappers over
+// exactly this path.
+func ExampleOpen() {
+	h, err := wrs.Open(wrs.Sampler(2, 3), wrs.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	defer h.Close()
+	weights := []float64{1, 10, 100, 1000, 10000}
+	for i, w := range weights {
+		if err := h.Observe(i%2, wrs.Item{ID: uint64(i), Weight: w}); err != nil {
+			panic(err)
+		}
+	}
+	fmt.Println("sites:", h.K())
+	fmt.Println("sample size:", len(h.Query()))
+	// Output:
+	// sites: 2
+	// sample size: 3
+}
+
+// Quantiles is the fourth application, shipped entirely through the
+// generic API: it estimates the stream's weight-CDF — the fraction of
+// total weight on items of weight <= x — from the maintained sample,
+// over any runtime and shard count.
+func ExampleQuantiles() {
+	q, err := wrs.Open(wrs.Quantiles(4, 0.1, 0.05), wrs.WithSeed(11), wrs.WithShards(2))
+	if err != nil {
+		panic(err)
+	}
+	defer q.Close()
+	// 5000 light items (weight 1) and 500 heavy ones (weight 90): the
+	// heavy tail carries ~90% of the weight.
+	for i := 0; i < 5500; i++ {
+		w := 1.0
+		if i%11 == 10 {
+			w = 90
+		}
+		if err := q.Observe(i%4, wrs.Item{ID: uint64(i), Weight: w}); err != nil {
+			panic(err)
+		}
+	}
+	est := q.Query()
+	light := est.CDF(1) // fraction of weight on the light items (truth: 0.1)
+	fmt.Println("light-item share below 0.2:", light < 0.2)
+	median, _ := est.Quantile(0.5)
+	fmt.Println("median weight is heavy:", median == 90)
+	// Output:
+	// light-item share below 0.2: true
+	// median weight is heavy: true
+}
+
 // The sliding reservoir forgets items that leave the window.
 func ExampleSlidingReservoir() {
 	r, err := wrs.NewSlidingReservoir(2, 10, wrs.WithSeed(5))

@@ -1,0 +1,57 @@
+// Example: latency-budget percentiles over a distributed fleet, through
+// the generic application API.
+//
+// Eight collectors each observe request sizes (weights) and talk to one
+// coordinator. The Quantiles application — opened directly through
+// wrs.Open, no dedicated tracker type — estimates where the bytes
+// actually live: the weight-CDF and its quantiles, e.g. "items of
+// weight <= x carry half the total traffic". The protocol underneath is
+// the same message-optimal weighted SWOR as every other application,
+// here on the goroutine-per-site runtime with a 2-way sharded
+// coordinator.
+package main
+
+import (
+	"fmt"
+	"math"
+
+	"wrs"
+	"wrs/internal/xrand"
+)
+
+func main() {
+	const k, n = 8, 200000
+
+	q, err := wrs.Open(wrs.Quantiles(k, 0.1, 0.05),
+		wrs.WithSeed(42), wrs.WithRuntime(wrs.Goroutines()), wrs.WithShards(2))
+	if err != nil {
+		panic(err)
+	}
+	defer q.Close()
+
+	// Pareto-distributed request sizes: a heavy tail carries much of the
+	// traffic — exactly where a mean hides what a quantile shows.
+	rng := xrand.New(7)
+	var trueTotal float64
+	for i := 0; i < n; i++ {
+		w := math.Pow(1-rng.Float64()*0.999999, -1/1.3)
+		trueTotal += w
+		if err := q.Observe(i%k, wrs.Item{ID: uint64(i), Weight: w}); err != nil {
+			panic(err)
+		}
+	}
+	if err := q.Flush(); err != nil {
+		panic(err)
+	}
+
+	est := q.Query()
+	fmt.Printf("observed %d requests over %d sites (%d shards)\n", n, q.K(), q.Shards())
+	fmt.Printf("total traffic: estimated %.0f, true %.0f (%.1f%% off)\n",
+		est.Total(), trueTotal, 100*math.Abs(est.Total()-trueTotal)/trueTotal)
+	for _, phi := range []float64{0.5, 0.9, 0.99} {
+		x, _ := est.Quantile(phi)
+		fmt.Printf("%2.0f%% of bytes are on requests of size <= %.2f\n", 100*phi, x)
+	}
+	st := q.Stats()
+	fmt.Printf("messages: %d (%.4f per update)\n", st.Total(), float64(st.Total())/n)
+}

@@ -46,6 +46,18 @@ type Instance struct {
 	Sites []netsim.Site[core.Message]
 }
 
+// SiteList widens a slice of concrete site machines (*core.Site,
+// *l1track.DupSite, ...) to the netsim.Site[core.Message] slice an
+// Instance carries — the conversion every application performs when
+// assembling instances.
+func SiteList[S netsim.Site[core.Message]](sites []S) []netsim.Site[core.Message] {
+	out := make([]netsim.Site[core.Message], len(sites))
+	for i, s := range sites {
+		out[i] = s
+	}
+	return out
+}
+
 // Runtime drives a protocol instance. Which goroutines may call Feed
 // and FeedBatch is runtime-specific: the sequential runtime is
 // single-threaded, the others allow one feeder per site.

@@ -1,0 +1,127 @@
+package wrs_test
+
+import (
+	"strings"
+	"testing"
+
+	"wrs"
+)
+
+// TestCentralizedConstructorsRejectDistributedOptions is the satellite
+// table: the centralized single-stream samplers used to accept
+// WithRuntime and WithShards and drop them on the floor; they must now
+// return a clear error naming the inapplicable option.
+func TestCentralizedConstructorsRejectDistributedOptions(t *testing.T) {
+	ctors := []struct {
+		name  string
+		build func(opts ...wrs.Option) error
+	}{
+		{"NewReservoir", func(opts ...wrs.Option) error {
+			_, err := wrs.NewReservoir(4, opts...)
+			return err
+		}},
+		{"NewWithReplacement", func(opts ...wrs.Option) error {
+			_, err := wrs.NewWithReplacement(4, opts...)
+			return err
+		}},
+		{"NewSlidingReservoir", func(opts ...wrs.Option) error {
+			_, err := wrs.NewSlidingReservoir(4, 100, opts...)
+			return err
+		}},
+	}
+	cases := []struct {
+		name    string
+		opts    []wrs.Option
+		wantErr string // substring; empty means must succeed
+	}{
+		{"no options", nil, ""},
+		{"seed only", []wrs.Option{wrs.WithSeed(7)}, ""},
+		{"runtime sequential", []wrs.Option{wrs.WithRuntime(wrs.Sequential())}, "WithRuntime"},
+		{"runtime goroutines", []wrs.Option{wrs.WithRuntime(wrs.Goroutines())}, "WithRuntime"},
+		{"runtime tcp", []wrs.Option{wrs.WithRuntime(wrs.TCP(""))}, "WithRuntime"},
+		{"shards", []wrs.Option{wrs.WithShards(4)}, "WithShards"},
+		{"shards of one", []wrs.Option{wrs.WithShards(1)}, "WithShards"},
+		{"seed and shards", []wrs.Option{wrs.WithSeed(3), wrs.WithShards(2)}, "WithShards"},
+	}
+	for _, ctor := range ctors {
+		for _, c := range cases {
+			t.Run(ctor.name+"/"+c.name, func(t *testing.T) {
+				err := ctor.build(c.opts...)
+				if c.wantErr == "" {
+					if err != nil {
+						t.Fatalf("unexpected error: %v", err)
+					}
+					return
+				}
+				if err == nil {
+					t.Fatalf("inapplicable option silently accepted")
+				}
+				if !strings.Contains(err.Error(), c.wantErr) || !strings.Contains(err.Error(), ctor.name) {
+					t.Fatalf("error %q does not name %s and %s", err, ctor.name, c.wantErr)
+				}
+			})
+		}
+	}
+}
+
+// TestSlidingReservoirObserveBatch pins batch/loop equivalence on the
+// sliding-window sampler: one reservoir fed item by item and one fed in
+// batches consume identical randomness and hold identical samples.
+func TestSlidingReservoirObserveBatch(t *testing.T) {
+	const s, width, n = 4, 50, 300
+	loop, err := wrs.NewSlidingReservoir(s, width, wrs.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	batched, err := wrs.NewSlidingReservoir(s, width, wrs.WithSeed(9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	items := make([]wrs.Item, n)
+	for i := range items {
+		items[i] = wrs.Item{ID: uint64(i), Weight: float64(1 + i%13)}
+	}
+	for _, it := range items {
+		if err := loop.Observe(it); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for start := 0; start < n; start += 37 {
+		end := start + 37
+		if end > n {
+			end = n
+		}
+		if err := batched.ObserveBatch(items[start:end]); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if loop.N() != batched.N() || loop.Retained() != batched.Retained() {
+		t.Fatalf("state diverged: N %d/%d, Retained %d/%d",
+			loop.N(), batched.N(), loop.Retained(), batched.Retained())
+	}
+	a, b := loop.Sample(), batched.Sample()
+	if len(a) != len(b) {
+		t.Fatalf("sample sizes diverged: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sample[%d] diverged: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+// TestSlidingReservoirObserveBatchInvalidWeight pins the error contract:
+// the batch stops at the first invalid weight.
+func TestSlidingReservoirObserveBatchInvalidWeight(t *testing.T) {
+	r, err := wrs.NewSlidingReservoir(2, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = r.ObserveBatch([]wrs.Item{{ID: 1, Weight: 1}, {ID: 2, Weight: -1}, {ID: 3, Weight: 1}})
+	if err == nil {
+		t.Fatal("invalid weight accepted in batch")
+	}
+	if r.N() != 1 {
+		t.Fatalf("N = %d after failed batch, want 1 (stop at first invalid)", r.N())
+	}
+}

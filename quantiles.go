@@ -1,0 +1,85 @@
+package wrs
+
+import (
+	"wrs/internal/core"
+	"wrs/internal/quantile"
+	rt "wrs/internal/runtime"
+	"wrs/internal/xrand"
+)
+
+// QuantileEstimate is the answer of the Quantiles application: a
+// queryable estimate of the stream's weight-CDF
+// F(x) = (total weight on items of weight <= x) / W and its rank
+// quantiles, built from the maintained weighted SWOR with the Section 5
+// key calibration as the normalizer. With probability 1-delta every CDF
+// value is within eps of the truth. The zero value is an empty stream.
+type QuantileEstimate struct {
+	sum quantile.Summary
+}
+
+// Total returns the estimated total weight W (exact until the stream
+// outgrows the sample; see Saturated).
+func (q QuantileEstimate) Total() float64 { return q.sum.Total() }
+
+// CDF returns the estimated fraction of total weight carried by items
+// of weight <= x — a nondecreasing step function from 0 to 1.
+func (q QuantileEstimate) CDF(x float64) float64 { return q.sum.CDF(x) }
+
+// Quantile returns the smallest sampled weight x with CDF(x) >= phi.
+// ok is false while the stream is empty.
+func (q QuantileEstimate) Quantile(phi float64) (x float64, ok bool) { return q.sum.Quantile(phi) }
+
+// Saturated reports estimation mode: false means the sample still holds
+// the entire stream and every answer is exact.
+func (q QuantileEstimate) Saturated() bool { return q.sum.Saturated() }
+
+// Support returns the number of sampled support points behind the
+// estimate.
+func (q QuantileEstimate) Support() int { return q.sum.Support() }
+
+// Quantiles is the fourth application, and the proof that the App/Open
+// layer carries its weight: it ships entirely through the generic API —
+// no dedicated tracker type — yet runs over every runtime and any shard
+// count like the other three. It estimates the weight-CDF and rank
+// quantiles of the distributed stream from the maintained SWOR of size
+// s = ceil(4·ln(2/delta)/eps²), normalized with the Section 5 key
+// calibration (Horvitz-Thompson weights conditioned on the s-th largest
+// key); eps, delta in (0,1). Open it directly:
+//
+//	q, err := wrs.Open(wrs.Quantiles(k, 0.1, 0.05), wrs.WithShards(4))
+//	...
+//	median, _ := q.Query().Quantile(0.5)
+func Quantiles(k int, eps, delta float64) App[QuantileEstimate] {
+	return &quantilesApp{k: k, params: quantile.Params{Eps: eps, Delta: delta}}
+}
+
+type quantilesApp struct {
+	k      int
+	params quantile.Params
+	coords []*core.Coordinator
+}
+
+func (a *quantilesApp) Sites() int { return a.k }
+
+func (a *quantilesApp) reset() { a.coords = nil }
+
+func (a *quantilesApp) Instances(k, shards int, master *xrand.RNG) ([]rt.Instance, error) {
+	if a.coords != nil {
+		return nil, errAppReused
+	}
+	if err := a.params.Validate(); err != nil {
+		return nil, err
+	}
+	insts, coords, err := samplerInstances(k, a.params.SampleSize(), shards, master)
+	if err != nil {
+		return nil, err
+	}
+	a.coords = coords
+	return insts, nil
+}
+
+func (a *quantilesApp) Query(snaps Snapshots) QuantileEstimate {
+	s := a.params.SampleSize()
+	entries := snapshotShards(snaps, a.coords, s)
+	return QuantileEstimate{sum: quantile.Summarize(entries, s)}
+}

@@ -1,0 +1,139 @@
+package wrs_test
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"wrs"
+	"wrs/internal/quantile"
+)
+
+// TestQuantilesMatrix is the acceptance suite for the fourth
+// application: Quantiles runs over every runtime and shards {1, 2, 7}
+// through the generic Open/Handle API alone, and its answers stay
+// within the provisioned (eps, delta) of the exact weight-CDF computed
+// by an oracle that records every fed weight.
+func TestQuantilesMatrix(t *testing.T) {
+	const k, eps, delta, n = 4, 0.15, 0.1, 8000
+	specs := []struct {
+		name string
+		spec wrs.RuntimeSpec
+	}{
+		{"sequential", wrs.Sequential()},
+		{"goroutines", wrs.Goroutines()},
+		{"tcp", wrs.TCP("")},
+	}
+	for _, rtc := range specs {
+		for _, shards := range []int{1, 2, 7} {
+			t.Run(fmt.Sprintf("%s/shards=%d", rtc.name, shards), func(t *testing.T) {
+				q, err := wrs.Open(wrs.Quantiles(k, eps, delta),
+					wrs.WithSeed(17), wrs.WithRuntime(rtc.spec), wrs.WithShards(shards))
+				if err != nil {
+					t.Fatal(err)
+				}
+				defer q.Close()
+				if got := q.Shards(); got != shards {
+					t.Fatalf("Shards() = %d, want %d", got, shards)
+				}
+				if got := q.K(); got != k {
+					t.Fatalf("K() = %d, want %d", got, k)
+				}
+
+				var oracle quantile.Oracle
+				var batch []wrs.Item
+				for i := 0; i < n; i++ {
+					w := 1 + float64((i*i)%97) // deterministic, spread-out weights
+					oracle.Observe(w)
+					batch = append(batch, wrs.Item{ID: uint64(i), Weight: w})
+					if len(batch) == 200 {
+						if err := q.ObserveBatch(i%k, batch); err != nil {
+							t.Fatal(err)
+						}
+						batch = batch[:0]
+					}
+				}
+				if err := q.Flush(); err != nil {
+					t.Fatal(err)
+				}
+
+				est := q.Query()
+				if !est.Saturated() {
+					t.Fatalf("estimate not saturated after %d items (support %d)", n, est.Support())
+				}
+				var maxErr float64
+				for x := 1.0; x <= 98; x++ {
+					if e := math.Abs(est.CDF(x) - oracle.CDF(x)); e > maxErr {
+						maxErr = e
+					}
+				}
+				if maxErr > eps {
+					t.Errorf("max CDF error %.4f > eps %.2f", maxErr, eps)
+				}
+				if rel := math.Abs(est.Total()-oracle.Total()) / oracle.Total(); rel > eps {
+					t.Errorf("Total %v vs true %v: relative error %.4f > eps", est.Total(), oracle.Total(), rel)
+				}
+				for _, phi := range []float64{0.25, 0.5, 0.9} {
+					x, ok := est.Quantile(phi)
+					if !ok {
+						t.Fatalf("Quantile(%v) not ok", phi)
+					}
+					// The estimated phi-quantile must sit within eps of phi in
+					// rank space under the exact CDF.
+					if f := oracle.CDF(x); math.Abs(f-phi) > eps {
+						t.Errorf("Quantile(%v) = %v has exact CDF %v (off by > eps)", phi, x, f)
+					}
+				}
+				if q.Stats().Upstream == 0 {
+					t.Error("no upstream traffic recorded")
+				}
+			})
+		}
+	}
+}
+
+// TestQuantilesExactPrefix pins the exact mode: while the stream is
+// shorter than the sample size, the estimate is not an estimate at all.
+func TestQuantilesExactPrefix(t *testing.T) {
+	q, err := wrs.Open(wrs.Quantiles(2, 0.2, 0.2), wrs.WithSeed(5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer q.Close()
+	var oracle quantile.Oracle
+	for i := 0; i < 40; i++ {
+		w := float64(1 + i%9)
+		oracle.Observe(w)
+		if err := q.Observe(i%2, wrs.Item{ID: uint64(i), Weight: w}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	est := q.Query()
+	if est.Saturated() {
+		t.Fatal("saturated on a 40-item stream")
+	}
+	if math.Abs(est.Total()-oracle.Total()) > 1e-9 {
+		t.Errorf("exact Total = %v, want %v", est.Total(), oracle.Total())
+	}
+	for x := 1.0; x <= 9; x++ {
+		if math.Abs(est.CDF(x)-oracle.CDF(x)) > 1e-12 {
+			t.Errorf("exact CDF(%v) = %v, want %v", x, est.CDF(x), oracle.CDF(x))
+		}
+	}
+}
+
+// TestQuantilesValidation pins constructor validation through Open.
+func TestQuantilesValidation(t *testing.T) {
+	if _, err := wrs.Open(wrs.Quantiles(2, 0, 0.1)); err == nil {
+		t.Error("eps=0 accepted")
+	}
+	if _, err := wrs.Open(wrs.Quantiles(2, 0.1, 1)); err == nil {
+		t.Error("delta=1 accepted")
+	}
+	if _, err := wrs.Open(wrs.Quantiles(0, 0.1, 0.1)); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := wrs.Open(wrs.Quantiles(2, 0.1, 0.1), wrs.WithShards(0)); err == nil {
+		t.Error("0 shards accepted")
+	}
+}

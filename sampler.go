@@ -12,12 +12,16 @@ type Reservoir struct {
 	es *sample.ES
 }
 
-// NewReservoir returns a weighted SWOR reservoir of size s.
+// NewReservoir returns a weighted SWOR reservoir of size s. It is a
+// single-stream sampler: WithRuntime and WithShards are rejected.
 func NewReservoir(s int, opts ...Option) (*Reservoir, error) {
 	if s < 1 {
 		return nil, errSampleSize(s)
 	}
 	o := buildOptions(opts)
+	if err := o.centralizedOnly("NewReservoir"); err != nil {
+		return nil, err
+	}
 	return &Reservoir{es: sample.NewES(s, xrand.New(o.seed))}, nil
 }
 
@@ -52,12 +56,16 @@ type WithReplacement struct {
 	swr *sample.SWR
 }
 
-// NewWithReplacement returns a weighted SWR sampler of size s.
+// NewWithReplacement returns a weighted SWR sampler of size s. It is a
+// single-stream sampler: WithRuntime and WithShards are rejected.
 func NewWithReplacement(s int, opts ...Option) (*WithReplacement, error) {
 	if s < 1 {
 		return nil, errSampleSize(s)
 	}
 	o := buildOptions(opts)
+	if err := o.centralizedOnly("NewWithReplacement"); err != nil {
+		return nil, err
+	}
 	return &WithReplacement{swr: sample.NewSWR(s, xrand.New(o.seed))}, nil
 }
 

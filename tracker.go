@@ -3,14 +3,6 @@ package wrs
 import (
 	"fmt"
 	"math"
-
-	"wrs/internal/core"
-	"wrs/internal/fabric"
-	"wrs/internal/heavyhitter"
-	"wrs/internal/l1track"
-	"wrs/internal/netsim"
-	rt "wrs/internal/runtime"
-	"wrs/internal/xrand"
 )
 
 func errSampleSize(s int) error {
@@ -31,53 +23,34 @@ func validateWeight(w float64) error {
 // strictly stronger than the usual eps-L1 guarantee and is exactly what
 // with-replacement sampling cannot provide on skewed streams.
 //
-// Like every application in this package it runs over any runtime and
-// any shard count: WithRuntime(TCP(addr)) monitors heavy hitters over
-// real connections, WithShards(p) partitions the sample across p
-// parallel coordinator shards (per-shard samples merge exactly by key,
-// so the residual guarantee is unchanged).
+// It is a thin wrapper over Open(HeavyHitters(k, eps, delta)). Like
+// every application in this package it runs over any runtime and any
+// shard count: WithRuntime(TCP(addr)) monitors heavy hitters over real
+// connections, WithShards(p) partitions the sample across p parallel
+// coordinator shards (per-shard samples merge exactly by key, so the
+// residual guarantee is unchanged).
 type HeavyHitterTracker struct {
-	shards []*heavyhitter.Tracker
-	appRuntime
+	h *Handle[[]Item]
 }
 
 // NewHeavyHitterTracker creates a tracker over k sites with parameters
 // eps, delta in (0,1). The underlying sample size is
 // ceil(6·ln(1/(eps·delta))/eps) (Theorem 4).
 func NewHeavyHitterTracker(k int, eps, delta float64, opts ...Option) (*HeavyHitterTracker, error) {
-	o := buildOptions(opts)
-	if err := fabric.Validate(o.shards); err != nil {
-		return nil, err
-	}
-	master := xrand.New(o.seed)
-	insts := make([]rt.Instance, o.shards)
-	trackers := make([]*heavyhitter.Tracker, o.shards)
-	for p := range insts {
-		tr, err := heavyhitter.NewTracker(k, heavyhitter.Params{Eps: eps, Delta: delta}, master)
-		if err != nil {
-			return nil, err
-		}
-		sites := make([]netsim.Site[core.Message], k)
-		for i, s := range tr.Sites {
-			sites[i] = s
-		}
-		insts[p] = rt.Instance{Cfg: tr.Coord.Config(), Coord: tr.Coord, Sites: sites}
-		trackers[p] = tr
-	}
-	run, err := o.rt.buildSharded(insts)
+	h, err := Open(HeavyHitters(k, eps, delta), opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &HeavyHitterTracker{shards: trackers, appRuntime: appRuntime{rt: run}}, nil
+	return &HeavyHitterTracker{h: h}, nil
 }
 
 // Observe delivers one arrival to a site.
-func (h *HeavyHitterTracker) Observe(site int, it Item) error { return h.observe(site, it) }
+func (h *HeavyHitterTracker) Observe(site int, it Item) error { return h.h.Observe(site, it) }
 
 // ObserveBatch delivers a slice of arrivals to a site through the
 // runtime's batched path.
 func (h *HeavyHitterTracker) ObserveBatch(site int, items []Item) error {
-	return h.observeBatch(site, items)
+	return h.h.ObserveBatch(site, items)
 }
 
 // Candidates returns at most ceil(2/eps) items, heaviest first; with
@@ -85,46 +58,33 @@ func (h *HeavyHitterTracker) ObserveBatch(site int, items []Item) error {
 // asynchronous runtimes call Flush first for a fully-delivered view.
 // Each shard is snapshotted under its own ingest lock; the exact top-s
 // key merge and the weight ranking run outside every lock.
-func (h *HeavyHitterTracker) Candidates() []Item {
-	var entries []core.SampleEntry
-	for p, tr := range h.shards {
-		coord := tr.Coord
-		h.rt.DoShard(p, func() { entries = coord.Snapshot(entries) })
-	}
-	items := heavyhitter.CandidatesFrom(entries, h.shards[0].Params())
-	out := make([]Item, len(items))
-	for i, it := range items {
-		out[i] = fromInternal(it)
-	}
-	return out
-}
+func (h *HeavyHitterTracker) Candidates() []Item { return h.h.Query() }
 
 // Shards returns the number of protocol shards (1 unless WithShards).
-func (h *HeavyHitterTracker) Shards() int { return len(h.shards) }
+func (h *HeavyHitterTracker) Shards() int { return h.h.Shards() }
 
 // Flush is a barrier: when it returns, everything observed before the
 // call has reached the coordinator.
-func (h *HeavyHitterTracker) Flush() error { return h.flush() }
+func (h *HeavyHitterTracker) Flush() error { return h.h.Flush() }
 
 // Stats returns cumulative network traffic.
-func (h *HeavyHitterTracker) Stats() Stats { return h.stats() }
+func (h *HeavyHitterTracker) Stats() Stats { return h.h.Stats() }
 
 // Close shuts the runtime down; Candidates remains usable. Idempotent.
-func (h *HeavyHitterTracker) Close() error { return h.close() }
+func (h *HeavyHitterTracker) Close() error { return h.h.Close() }
 
 // L1Tracker continuously maintains a (1±eps)-approximation of the total
 // weight across all sites (Section 5, Theorem 6): each update is
 // duplicated l = s/(2·eps) times into a weighted SWOR of size
 // s = Θ(log(1/delta)/eps²) and the s-th largest key calibrates the total.
 //
-// Like every application in this package it runs over any runtime and
-// any shard count: WithRuntime(TCP(addr)) tracks the distributed total
-// over real connections, WithShards(p) splits the stream across p
-// parallel shards whose per-partition estimates add exactly to the
-// global total.
+// It is a thin wrapper over Open(L1(k, eps, delta)). Like every
+// application in this package it runs over any runtime and any shard
+// count: WithRuntime(TCP(addr)) tracks the distributed total over real
+// connections, WithShards(p) splits the stream across p parallel shards
+// whose per-partition estimates add exactly to the global total.
 type L1Tracker struct {
-	shards []*l1track.DupCoordinator
-	appRuntime
+	h *Handle[float64]
 }
 
 // NewL1Tracker creates a tracker over k sites; eps in (0, 0.5), delta in
@@ -135,62 +95,36 @@ type L1Tracker struct {
 // estimators preserves the overall 1-delta guarantee (per-shard sample
 // size grows only logarithmically in p).
 func NewL1Tracker(k int, eps, delta float64, opts ...Option) (*L1Tracker, error) {
-	o := buildOptions(opts)
-	if err := fabric.Validate(o.shards); err != nil {
-		return nil, err
-	}
-	master := xrand.New(o.seed)
-	insts := make([]rt.Instance, o.shards)
-	coords := make([]*l1track.DupCoordinator, o.shards)
-	for p := range insts {
-		coord, sites, err := l1track.NewDupTracker(k, l1track.DupParams{Eps: eps, Delta: delta / float64(o.shards)}, master)
-		if err != nil {
-			return nil, err
-		}
-		ns := make([]netsim.Site[core.Message], k)
-		for i, s := range sites {
-			ns[i] = s
-		}
-		insts[p] = rt.Instance{Cfg: coord.Core().Config(), Coord: coord, Sites: ns}
-		coords[p] = coord
-	}
-	run, err := o.rt.buildSharded(insts)
+	h, err := Open(L1(k, eps, delta), opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &L1Tracker{shards: coords, appRuntime: appRuntime{rt: run}}, nil
+	return &L1Tracker{h: h}, nil
 }
 
 // Observe delivers one arrival to a site.
-func (l *L1Tracker) Observe(site int, it Item) error { return l.observe(site, it) }
+func (l *L1Tracker) Observe(site int, it Item) error { return l.h.Observe(site, it) }
 
 // ObserveBatch delivers a slice of arrivals to a site through the
 // runtime's batched path.
-func (l *L1Tracker) ObserveBatch(site int, items []Item) error { return l.observeBatch(site, items) }
+func (l *L1Tracker) ObserveBatch(site int, items []Item) error { return l.h.ObserveBatch(site, items) }
 
 // Estimate returns the current (1±eps) estimate of the total weight. On
 // asynchronous runtimes call Flush first for a fully-delivered view.
 // Shard estimates cover disjoint partitions of the stream, so their
 // sum estimates the global L1 (exactly, while every shard is still in
 // its exact prefix).
-func (l *L1Tracker) Estimate() float64 {
-	var est float64
-	for p, coord := range l.shards {
-		coord := coord
-		l.rt.DoShard(p, func() { est += coord.Estimate() })
-	}
-	return est
-}
+func (l *L1Tracker) Estimate() float64 { return l.h.Query() }
 
 // Shards returns the number of protocol shards (1 unless WithShards).
-func (l *L1Tracker) Shards() int { return len(l.shards) }
+func (l *L1Tracker) Shards() int { return l.h.Shards() }
 
 // Flush is a barrier: when it returns, everything observed before the
 // call has reached the coordinator.
-func (l *L1Tracker) Flush() error { return l.flush() }
+func (l *L1Tracker) Flush() error { return l.h.Flush() }
 
 // Stats returns cumulative network traffic.
-func (l *L1Tracker) Stats() Stats { return l.stats() }
+func (l *L1Tracker) Stats() Stats { return l.h.Stats() }
 
 // Close shuts the runtime down; Estimate remains usable. Idempotent.
-func (l *L1Tracker) Close() error { return l.close() }
+func (l *L1Tracker) Close() error { return l.h.Close() }

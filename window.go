@@ -14,9 +14,13 @@ type SlidingReservoir struct {
 }
 
 // NewSlidingReservoir returns a sliding-window sampler with sample size s
-// over a window of `width` items.
+// over a window of `width` items. It is a single-stream sampler:
+// WithRuntime and WithShards are rejected.
 func NewSlidingReservoir(s, width int, opts ...Option) (*SlidingReservoir, error) {
 	o := buildOptions(opts)
+	if err := o.centralizedOnly("NewSlidingReservoir"); err != nil {
+		return nil, err
+	}
 	w, err := window.New(s, width, xrand.New(o.seed))
 	if err != nil {
 		return nil, err
@@ -27,6 +31,19 @@ func NewSlidingReservoir(s, width int, opts ...Option) (*SlidingReservoir, error
 // Observe feeds one item; the weight must be positive and finite.
 func (r *SlidingReservoir) Observe(it Item) error {
 	return r.w.Observe(it.internal())
+}
+
+// ObserveBatch feeds a slice of items in order — the batch counterpart
+// of Observe, matching the ingest surface of the distributed
+// applications. It stops at the first invalid weight (items before it
+// are already observed).
+func (r *SlidingReservoir) ObserveBatch(items []Item) error {
+	for _, it := range items {
+		if err := r.w.Observe(it.internal()); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // Sample returns the weighted SWOR of the current window, largest key

@@ -2,14 +2,10 @@ package wrs
 
 import (
 	"fmt"
-	"sync"
 
-	"wrs/internal/core"
-	"wrs/internal/fabric"
 	"wrs/internal/netsim"
 	rt "wrs/internal/runtime"
 	"wrs/internal/stream"
-	"wrs/internal/xrand"
 )
 
 // Item is a weighted stream update: an application identifier and a
@@ -55,7 +51,7 @@ func fromNetsim(s netsim.Stats) Stats {
 	return Stats{Upstream: s.Upstream, Downstream: s.Downstream, UpWords: s.UpWords, DownWords: s.DownWords}
 }
 
-// RuntimeSpec selects the runtime that drives a sampler or tracker: the
+// RuntimeSpec selects the runtime that drives an application: the
 // protocol state machines are transport-agnostic, so the same
 // application runs on the deterministic simulator, the goroutine
 // cluster, or real TCP connections. The zero value means Sequential.
@@ -130,13 +126,15 @@ func TCP(addr string) RuntimeSpec {
 	return RuntimeSpec{name: "tcp(" + addr + ")", factory: rt.TCP(addr), sharded: rt.TCPSharded(addr)}
 }
 
-// Option configures a sampler or tracker.
+// Option configures an application handle or a centralized sampler.
 type Option func(*options)
 
 type options struct {
-	seed   uint64
-	rt     RuntimeSpec
-	shards int
+	seed      uint64
+	rt        RuntimeSpec
+	rtSet     bool
+	shards    int
+	shardsSet bool
 }
 
 // WithSeed fixes the random seed, making every run replayable. Without
@@ -149,9 +147,11 @@ func WithSeed(seed uint64) Option {
 // WithRuntime selects the runtime driving the protocol instance;
 // Sequential() is the default. Every application accepts every
 // runtime: a HeavyHitterTracker or L1Tracker over TCP(addr) runs the
-// full protocol over real connections.
+// full protocol over real connections. The centralized samplers
+// (Reservoir, WithReplacement, SlidingReservoir) have no runtime and
+// reject this option.
 func WithRuntime(r RuntimeSpec) Option {
-	return func(o *options) { o.rt = r }
+	return func(o *options) { o.rt = r; o.rtSet = true }
 }
 
 // WithShards partitions the protocol across p independent shards — a
@@ -168,9 +168,10 @@ func WithRuntime(r RuntimeSpec) Option {
 // to the pre-sharding library. Sharding trades messages for
 // parallelism: p shards each filter against their own top-s, so
 // upstream traffic grows roughly p-fold in the log n term — see
-// DESIGN.md §9 for measurements.
+// DESIGN.md §9 for measurements. The centralized samplers reject this
+// option.
 func WithShards(p int) Option {
-	return func(o *options) { o.shards = p }
+	return func(o *options) { o.shards = p; o.shardsSet = true }
 }
 
 func buildOptions(opts []Option) options {
@@ -181,156 +182,79 @@ func buildOptions(opts []Option) options {
 	return o
 }
 
-// appRuntime is the runtime plumbing shared by the sampler and the
-// trackers: feeding, flushing, stats, and idempotent close.
-type appRuntime struct {
-	rt rt.ShardedRuntime
-
-	mu         sync.Mutex
-	closed     bool
-	finalStats Stats
-}
-
-func (a *appRuntime) observe(site int, it Item) error {
-	return a.rt.Feed(site, it.internal())
-}
-
-func (a *appRuntime) observeBatch(site int, items []Item) error {
-	return a.rt.FeedBatch(site, toInternal(items))
-}
-
-func (a *appRuntime) flush() error { return a.rt.Flush() }
-
-func (a *appRuntime) stats() Stats {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.closed {
-		return a.finalStats
+// centralizedOnly rejects the distributed-protocol options on the
+// centralized single-stream samplers, which have neither a runtime nor
+// shards — silently dropping them would mask a misconfiguration.
+func (o options) centralizedOnly(ctor string) error {
+	if o.rtSet {
+		return fmt.Errorf("wrs: %s is a centralized sampler: WithRuntime does not apply", ctor)
 	}
-	return fromNetsim(a.rt.Stats())
-}
-
-func (a *appRuntime) close() error {
-	_, err := a.closeAndStats()
-	return err
-}
-
-// closeAndStats closes the runtime and returns the final statistics
-// from the same critical section — one locked path, so a caller
-// draining the runtime can never observe stats from a different moment
-// than the close it performed (ConcurrentSampler.Drain relies on this).
-func (a *appRuntime) closeAndStats() (Stats, error) {
-	a.mu.Lock()
-	defer a.mu.Unlock()
-	if a.closed {
-		return a.finalStats, nil
+	if o.shardsSet {
+		return fmt.Errorf("wrs: %s is a centralized sampler: WithShards does not apply", ctor)
 	}
-	err := a.rt.Close()
-	a.finalStats = fromNetsim(a.rt.Stats())
-	a.closed = true
-	return a.finalStats, err
+	return nil
 }
 
 // DistributedSampler maintains a weighted sample without replacement of
-// size s over k sites, using the paper's message-optimal protocol. The
-// default Sequential runtime delivers messages synchronously and
-// deterministically (the model analyzed in the paper); WithRuntime
-// swaps in the goroutine cluster or a real TCP deployment, and
-// WithShards partitions the protocol across parallel coordinator
-// shards, without changing the protocol. ConcurrentSampler is the
-// Goroutines configuration under its historical drain-then-sample API.
+// size s over k sites, using the paper's message-optimal protocol. It
+// is a thin wrapper over Open(Sampler(k, s)): the Sampler application
+// on the shared Handle plumbing. The default Sequential runtime
+// delivers messages synchronously and deterministically (the model
+// analyzed in the paper); WithRuntime swaps in the goroutine cluster or
+// a real TCP deployment, and WithShards partitions the protocol across
+// parallel coordinator shards, without changing the protocol.
+// ConcurrentSampler is the Goroutines configuration under its
+// historical drain-then-sample API.
 type DistributedSampler struct {
-	shards []*core.Coordinator
-	k, s   int
-	appRuntime
+	h *Handle[[]Sampled]
 }
 
 // NewDistributedSampler creates a sampler over k sites with sample size s.
 func NewDistributedSampler(k, s int, opts ...Option) (*DistributedSampler, error) {
-	cfg := core.Config{K: k, S: s}
-	if err := cfg.Validate(); err != nil {
-		return nil, err
-	}
-	o := buildOptions(opts)
-	if err := fabric.Validate(o.shards); err != nil {
-		return nil, err
-	}
-	// One master RNG chain across all shards: for shards=1 the split
-	// order (coordinator, then the k sites) is exactly the pre-fabric
-	// construction, keeping every seeded run bit-identical.
-	master := xrand.New(o.seed)
-	insts := make([]rt.Instance, o.shards)
-	coords := make([]*core.Coordinator, o.shards)
-	for p := range insts {
-		coord := core.NewCoordinator(cfg, master.Split())
-		sites := make([]netsim.Site[core.Message], k)
-		for i := 0; i < k; i++ {
-			sites[i] = core.NewSite(i, cfg, master.Split())
-		}
-		insts[p] = rt.Instance{Cfg: cfg, Coord: coord, Sites: sites}
-		coords[p] = coord
-	}
-	run, err := o.rt.buildSharded(insts)
+	h, err := Open(Sampler(k, s), opts...)
 	if err != nil {
 		return nil, err
 	}
-	return &DistributedSampler{shards: coords, k: k, s: s, appRuntime: appRuntime{rt: run}}, nil
+	return &DistributedSampler{h: h}, nil
 }
 
 // Observe delivers one arrival to a site (0 <= site < k). On
 // asynchronous runtimes delivery may be deferred; weight validation
 // errors then surface at Flush or Close instead.
-func (d *DistributedSampler) Observe(site int, it Item) error { return d.observe(site, it) }
+func (d *DistributedSampler) Observe(site int, it Item) error { return d.h.Observe(site, it) }
 
 // ObserveBatch delivers a slice of arrivals to a site in order through
 // the runtime's batched path — one enqueue on the goroutine runtime,
 // coalesced multi-message frames over TCP.
 func (d *DistributedSampler) ObserveBatch(site int, items []Item) error {
-	return d.observeBatch(site, items)
+	return d.h.ObserveBatch(site, items)
 }
 
 // Sample returns the current weighted sample without replacement —
 // min(items observed, s) items, largest key first. It is valid at any
 // instant (Definition 3: the sampler never fails to maintain the
 // sample); on asynchronous runtimes call Flush first for a
-// fully-delivered view.
-//
-// The read path is deliberately cheap on the ingest locks: each shard
-// coordinator is snapshotted (an O(s) copy) under its own lock, and the
-// sort plus cross-shard merge run outside every lock — a concurrent
-// querier never stalls ingest for the sort (the merge is exact; see
-// WithShards).
-func (d *DistributedSampler) Sample() []Sampled {
-	entries := make([]core.SampleEntry, 0, 2*d.s*len(d.shards))
-	for p, coord := range d.shards {
-		coord := coord
-		d.rt.DoShard(p, func() { entries = coord.Snapshot(entries) })
-	}
-	entries = core.TopSample(entries, d.s)
-	out := make([]Sampled, len(entries))
-	for i, e := range entries {
-		out[i] = Sampled{Item: fromInternal(e.Item), Key: e.Key}
-	}
-	return out
-}
+// fully-delivered view. The read path never stalls ingest: see
+// Handle.Query.
+func (d *DistributedSampler) Sample() []Sampled { return d.h.Query() }
 
 // Shards returns the number of protocol shards (1 unless WithShards).
-func (d *DistributedSampler) Shards() int { return len(d.shards) }
+func (d *DistributedSampler) Shards() int { return d.h.Shards() }
 
 // Flush is a barrier: when it returns, everything observed before the
 // call has reached the coordinator. A no-op on the sequential runtime.
-func (d *DistributedSampler) Flush() error { return d.flush() }
+func (d *DistributedSampler) Flush() error { return d.h.Flush() }
 
 // Stats returns cumulative network traffic.
-func (d *DistributedSampler) Stats() Stats { return d.stats() }
+func (d *DistributedSampler) Stats() Stats { return d.h.Stats() }
 
 // Close shuts the runtime down (goroutines joined, connections closed).
 // The sample remains queryable; further Observe calls error. Close is
 // idempotent and returns the first runtime error, if any.
-func (d *DistributedSampler) Close() error { return d.close() }
+func (d *DistributedSampler) Close() error { return d.h.Close() }
 
 // K returns the number of sites.
-func (d *DistributedSampler) K() int { return d.k }
+func (d *DistributedSampler) K() int { return d.h.K() }
 
 // ConcurrentSampler is the same protocol on the Goroutines runtime
 // under its historical API: Feed from any goroutine, then Drain exactly
@@ -367,7 +291,7 @@ func (c *ConcurrentSampler) Feed(site int, it Item) error {
 // Stats() after Drain always agrees with Drain's return value.
 func (c *ConcurrentSampler) Drain() (Stats, error) {
 	if !c.drained {
-		c.stats, c.err = c.ds.closeAndStats()
+		c.stats, c.err = c.ds.h.closeAndStats()
 		c.drained = true
 	}
 	return c.stats, c.err
