@@ -1,0 +1,34 @@
+#!/usr/bin/env bash
+# check_links.sh — verify that every relative markdown link in the
+# project documentation points at a file that exists.
+#
+# Scope: README.md, DESIGN.md, PAPER.md, PAPERS.md, docs/*.md. External
+# links (http/https) are not fetched; anchors are stripped before the
+# existence check (a pure-anchor link like (#section) is skipped).
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+fail=0
+for doc in README.md DESIGN.md PAPER.md PAPERS.md docs/*.md; do
+    [ -f "$doc" ] || continue
+    dir=$(dirname "$doc")
+    # Inline markdown links: [text](target)
+    while IFS= read -r target; do
+        case "$target" in
+        http://* | https://* | mailto:*) continue ;;
+        '#'*) continue ;; # same-file anchor
+        esac
+        path="${target%%#*}"
+        [ -n "$path" ] || continue
+        if [ ! -e "$dir/$path" ]; then
+            echo "$doc: broken relative link -> $target" >&2
+            fail=1
+        fi
+    done < <(grep -oE '\]\([^)]+\)' "$doc" | sed -E 's/^\]\(//; s/\)$//')
+done
+
+if [ "$fail" -ne 0 ]; then
+    echo "markdown link check failed" >&2
+    exit 1
+fi
+echo "markdown links OK"

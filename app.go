@@ -11,10 +11,11 @@ import (
 
 // App is an application descriptor: a recipe for the per-shard protocol
 // instances an application runs on, plus the query that turns their
-// coordinator state into the application's answer Q. The four shipped
-// applications — Sampler, HeavyHitters, L1, Quantiles — are all values
-// of this interface, and Open runs any of them over any runtime and any
-// shard count with one implementation of the ingest surface.
+// coordinator state into the application's answer Q. The five shipped
+// applications — Sampler, HeavyHitters, L1, Quantiles, Windowed — are
+// all values of this interface, and Open runs any of them over any
+// runtime and any shard count with one implementation of the ingest
+// surface.
 //
 // The interface is sealed: its methods mention internal packages, so
 // only this module can implement it (see DESIGN.md §10 for the contract

@@ -24,6 +24,7 @@ type ingestRecord struct {
 	MmsgPerSec float64 `json:"mmsg_per_s"`
 	DroppedPct float64 `json:"dropped_pct"`
 	Queries    int64   `json:"queries,omitempty"`
+	Window     int     `json:"window,omitempty"`
 	Date       string  `json:"date"`
 }
 
@@ -38,7 +39,11 @@ type ingestRecord struct {
 //     the shards serialize and the column is flat);
 //   - live workload with a concurrent 100 Hz querier over s = 4096:
 //     snapshot (sort outside the locks) vs lockedsort (the
-//     pre-snapshot read path).
+//     pre-snapshot read path);
+//   - window workload, width ∈ {1024, 65536}: sequence-stamped
+//     MsgWindow candidates into windowed coordinators — the
+//     non-monotone retention update (ordered insert, dominance,
+//     expiry) per message, the PR 5 axis.
 func runIngestMatrix(path string, quick bool) error {
 	msgs := int64(4 << 20)
 	if quick {
@@ -59,6 +64,7 @@ func runIngestMatrix(path string, quick bool) error {
 			MmsgPerSec: res.MmsgPerSec(),
 			DroppedPct: 100 * float64(res.Dropped) / float64(res.Msgs),
 			Queries:    res.Queries,
+			Window:     res.Opts.Window,
 			Date:       date,
 		})
 		fmt.Printf("%-36s %8.1f ns/msg  %7.2f Mmsg/s  (shards=%d procs=%d)\n",
@@ -93,6 +99,14 @@ func runIngestMatrix(path string, quick bool) error {
 			return err
 		}
 		add("querier/"+q.name+"/100Hz", "live", q.name, res)
+	}
+
+	for _, width := range []int{1024, 65536} {
+		res, err := transport.RunIngestBench(transport.IngestBenchOpts{Msgs: msgs, Window: width})
+		if err != nil {
+			return err
+		}
+		add(fmt.Sprintf("window/width=%d", width), "window", "prefilter", res)
 	}
 
 	if runtime.NumCPU() < 8 {

@@ -13,6 +13,7 @@
 //	wrs-sim -app hh -eps 0.1 -delta 0.1 # residual heavy hitters
 //	wrs-sim -app l1 -eps 0.2            # (1±eps) L1 tracking
 //	wrs-sim -app quantile -eps 0.1      # weight-CDF / rank quantiles
+//	wrs-sim -app window -width 5000     # sliding-window weighted SWOR
 package main
 
 import (
@@ -46,9 +47,10 @@ func main() {
 	k := flag.Int("k", 8, "number of sites")
 	s := flag.Int("s", 10, "sample size (swor app)")
 	n := flag.Int("n", 100000, "stream length")
-	app := flag.String("app", "swor", "application: swor, hh, l1, quantile")
+	app := flag.String("app", "swor", "application: swor, hh, l1, quantile, window")
 	eps := flag.Float64("eps", 0.1, "accuracy parameter (hh, l1, quantile apps)")
 	delta := flag.Float64("delta", 0.1, "failure probability (hh, l1, quantile apps)")
+	width := flag.Int("width", 5000, "sub-stream window width in items (window app)")
 	workload := flag.String("workload", "uniform", "weights: unit, uniform, zipf, pareto, heavyhead")
 	partition := flag.String("partition", "roundrobin", "site assignment: roundrobin, random, contiguous, single")
 	seed := flag.Uint64("seed", 1, "random seed")
@@ -161,6 +163,18 @@ func main() {
 				want, _ := oracle.Quantile(phi)
 				fmt.Printf("  q%-4g  est %-12.3f exact %-12.3f (rank error %+.3f)\n",
 					100*phi, got, want, oracle.CDF(got)-phi)
+			}
+		}
+	case "window":
+		var wh *wrs.Handle[wrs.WindowSample]
+		wh, err = wrs.Open(wrs.Windowed(*k, *s, *width), opts...)
+		h = wh
+		report = func() {
+			ws := wh.Query()
+			fmt.Printf("sliding-window sample (width %d per sub-stream; %d live, %d retained, %d accounted):\n",
+				*width, ws.Window, ws.Retained, ws.Observed)
+			for _, e := range ws.Items {
+				fmt.Printf("  %8d  w=%-12.2f key=%.4g\n", e.Item.ID, e.Item.Weight, e.Key)
 			}
 		}
 	default:

@@ -9,6 +9,7 @@
 //	wrs-tcp -app hh -eps 0.1 -delta 0.1       # residual heavy hitters
 //	wrs-tcp -app l1 -eps 0.25 -delta 0.3      # (1±eps) L1 tracking
 //	wrs-tcp -app quantile -eps 0.15           # weight-CDF / rank quantiles
+//	wrs-tcp -app window -width 2000           # sliding-window SWOR
 //	wrs-tcp -shards 4                         # 4-way sharded fabric
 //
 // With -shards > 1 the one server hosts P protocol shards behind
@@ -35,6 +36,7 @@ import (
 	"wrs/internal/quantile"
 	"wrs/internal/stream"
 	"wrs/internal/transport"
+	"wrs/internal/window"
 	"wrs/internal/xrand"
 )
 
@@ -49,9 +51,10 @@ func main() {
 	n := flag.Int("n", 200000, "total updates")
 	batch := flag.Int("batch", 256, "updates per FeedBatch call (1 = unbatched)")
 	seed := flag.Uint64("seed", 1, "random seed")
-	app := flag.String("app", "swor", "application: swor, hh, l1, quantile")
+	app := flag.String("app", "swor", "application: swor, hh, l1, quantile, window")
 	eps := flag.Float64("eps", 0.1, "accuracy parameter (hh, l1 apps)")
 	delta := flag.Float64("delta", 0.1, "failure probability (hh, l1 apps)")
+	width := flag.Int("width", 2000, "sub-stream window width in items (window app)")
 	shards := flag.Int("shards", 1, "protocol shards (parallel coordinator locks, exact merged query)")
 	flag.Parse()
 	if *batch < 1 {
@@ -190,6 +193,43 @@ func main() {
 			for _, phi := range []float64{0.25, 0.5, 0.9, 0.99} {
 				x, _ := sm.Quantile(phi)
 				fmt.Printf("  q%-4g  weight <= %.3f\n", 100*phi, x)
+			}
+		}
+	case "window":
+		// The windowed application: per shard, a WindowCoordinator and k
+		// sequence-stamping WindowSites; the transport carries the
+		// stamped candidates and clock advances like any other traffic.
+		coreCfg = core.Config{K: *k, S: *s}
+		if err := coreCfg.Validate(); err != nil {
+			fatal(err)
+		}
+		var coords []*core.WindowCoordinator
+		for p := 0; p < *shards; p++ {
+			coord := core.NewWindowCoordinator(coreCfg, *width, master.Split())
+			protos = append(protos, coord)
+			sites := make([]netsim.Site[core.Message], *k)
+			for i := 0; i < *k; i++ {
+				sites[i] = core.NewWindowSite(i, coreCfg, *width, master.Split())
+			}
+			machines = append(machines, sites)
+			coords = append(coords, coord)
+		}
+		report = func(cluster *transport.Cluster, _ float64) {
+			var entries []window.Entry
+			var cov core.WindowCoverage
+			for p, coord := range coords {
+				coord := coord
+				cluster.DoShard(p, func() {
+					var c core.WindowCoverage
+					entries, c = coord.SnapshotWindow(entries)
+					cov.Add(c)
+				})
+			}
+			entries = window.TopEntries(entries, coreCfg.S)
+			fmt.Printf("\nsliding-window sample (width %d per sub-stream; %d live, %d retained):\n",
+				*width, cov.Live, cov.Retained)
+			for _, e := range entries {
+				fmt.Printf("  %8d  w=%-12.3f key=%.4g\n", e.Item.ID, e.Item.Weight, e.Key)
 			}
 		}
 	default:

@@ -43,14 +43,18 @@
 //	... q.Observe(site, item) ...
 //	median, _ := q.Query().Quantile(0.5)
 //
-// Four applications ship: Sampler (the maintained SWOR itself),
-// HeavyHitters (Section 4), L1 (Section 5), and Quantiles — weight-CDF
+// Five applications ship: Sampler (the maintained SWOR itself),
+// HeavyHitters (Section 4), L1 (Section 5), Quantiles — weight-CDF
 // and rank-quantile estimation from the maintained sample, normalized
-// with the Section 5 key calibration. The legacy constructors
-// (NewDistributedSampler, NewHeavyHitterTracker, NewL1Tracker) are thin
-// wrappers over Open and remain bit-identical for fixed seeds. The
-// plugin contract — RNG split order, union-mergeability of per-shard
-// answers — is specified in DESIGN.md §10.
+// with the Section 5 key calibration — and Windowed, the distributed
+// sliding-window SWOR (the paper's Section 6 future-work direction):
+// a sample over the most recent width items of every site's
+// sub-stream, push-only and exact on every runtime. The legacy
+// constructors (NewDistributedSampler, NewHeavyHitterTracker,
+// NewL1Tracker) are thin wrappers over Open and remain bit-identical
+// for fixed seeds. The plugin contract — RNG split order,
+// union-mergeability of per-shard answers — is specified in DESIGN.md
+// §10 and walked through in docs/PLUGINS.md.
 //
 // # Runtimes
 //
@@ -76,6 +80,6 @@
 // shards share one server and one connection per site. The trade:
 // roughly 1.8x messages per doubling of P (DESIGN.md §9).
 //
-// See DESIGN.md for the system inventory and EXPERIMENTS.md for the
-// reproduction of every quantitative claim in the paper.
+// See DESIGN.md for the system inventory and docs/EXPERIMENTS.md for
+// the reproduction of every quantitative claim in the paper.
 package wrs

@@ -237,6 +237,42 @@ func ExampleQuantiles() {
 	// median weight is heavy: true
 }
 
+// Windowed is the distributed sliding window: each site keeps a window
+// over its own sub-stream, the query samples the union — and a heavy
+// item is forgotten once `width` newer items arrive on its sub-stream,
+// on any runtime and shard count.
+func ExampleWindowed() {
+	h, err := wrs.Open(wrs.Windowed(2, 3, 10), wrs.WithSeed(7))
+	if err != nil {
+		panic(err)
+	}
+	defer h.Close()
+	// A giant at site 0, then ten newer items on the same sub-stream:
+	// the giant's position leaves site 0's window exactly at the tenth.
+	if err := h.Observe(0, wrs.Item{ID: 1, Weight: 1e9}); err != nil {
+		panic(err)
+	}
+	for i := 2; i <= 10; i++ {
+		h.Observe(0, wrs.Item{ID: uint64(i), Weight: 1})
+	}
+	inSample := func() bool {
+		for _, e := range h.Query().Items {
+			if e.Item.ID == 1 {
+				return true
+			}
+		}
+		return false
+	}
+	fmt.Println("giant sampled while in window:", inSample())
+	h.Observe(0, wrs.Item{ID: 11, Weight: 1})
+	fmt.Println("giant sampled after expiry:", inSample())
+	fmt.Println("window population:", h.Query().Window)
+	// Output:
+	// giant sampled while in window: true
+	// giant sampled after expiry: false
+	// window population: 10
+}
+
 // The sliding reservoir forgets items that leave the window.
 func ExampleSlidingReservoir() {
 	r, err := wrs.NewSlidingReservoir(2, 10, wrs.WithSeed(5))

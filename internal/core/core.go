@@ -48,6 +48,16 @@ const (
 	// MsgEpochUpdate announces a new filtering threshold
 	// (coordinator -> all sites).
 	MsgEpochUpdate
+	// MsgWindow carries a sequence-stamped sliding-window candidate: an
+	// item, its key, and the shard-local stamp packing the site-local
+	// arrival position with the site id (site -> coordinator; the
+	// windowed application).
+	MsgWindow
+	// MsgClock advances a site's sub-stream clock without carrying an
+	// item, so the coordinator can expire that site's sent candidates
+	// even when the site's newest arrivals were all buffered locally
+	// (site -> coordinator; the windowed application).
+	MsgClock
 )
 
 func (k MsgKind) String() string {
@@ -60,6 +70,10 @@ func (k MsgKind) String() string {
 		return "level-saturated"
 	case MsgEpochUpdate:
 		return "epoch-update"
+	case MsgWindow:
+		return "window"
+	case MsgClock:
+		return "window-clock"
 	default:
 		return "unknown"
 	}
@@ -67,12 +81,14 @@ func (k MsgKind) String() string {
 
 // Message is a protocol message. Every message fits in O(1) machine words
 // (Proposition 7): an item id, a weight, and at most one of key, level, or
-// threshold.
+// threshold. The windowed application reuses the Level slot as its
+// sequence stamp (see WindowStamp), so its messages ride the same wire
+// layout.
 type Message struct {
 	Kind      MsgKind
-	Item      stream.Item // early, regular
-	Key       float64     // regular
-	Level     int         // level-saturated
+	Item      stream.Item // early, regular, window
+	Key       float64     // regular, window
+	Level     int         // level-saturated; sequence stamp for window/window-clock
 	Threshold float64     // epoch-update
 }
 
@@ -84,10 +100,29 @@ func (m Message) Words() int {
 		return 3 // kind + id + weight
 	case MsgRegular:
 		return 4 // kind + id + weight + key
+	case MsgWindow:
+		return 5 // kind + id + weight + key + stamp
 	default:
-		return 2 // kind + payload
+		return 2 // kind + payload (level, threshold, or stamp)
 	}
 }
+
+// MaxWindowStamp is the largest sequence stamp a window message can
+// carry: stamps share the Level slot, which the wire format encodes as
+// an int32.
+const MaxWindowStamp = math.MaxInt32
+
+// WindowStamp packs a site-local arrival position and the site id into
+// the shard-local sequence stamp carried in Message.Level: stamp =
+// pos·k + site. The packing is unique across a shard's k sub-streams
+// and order-preserving within each, so one int both names the
+// sub-stream and advances its clock. Positions are bounded by
+// MaxWindowStamp/k; WindowSite.Observe errors before overflowing.
+func WindowStamp(pos, site, k int) int { return pos*k + site }
+
+// SplitWindowStamp unpacks a sequence stamp into (pos, site). The
+// caller must reject negative stamps first.
+func SplitWindowStamp(stamp, k int) (pos, site int) { return stamp / k, stamp % k }
 
 // Config holds the algorithm parameters shared by sites and coordinator.
 type Config struct {

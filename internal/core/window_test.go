@@ -1,0 +1,444 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"wrs/internal/stream"
+	"wrs/internal/window"
+	"wrs/internal/xrand"
+)
+
+// winOracle is the brute-force windowed-SWOR oracle: it remembers every
+// (pos, key, item) of every sub-stream — keys drawn from mirrored RNGs
+// in the exact order the site machines draw them — and answers the
+// top-s over the union of the last `width` items per sub-stream.
+type winOracle struct {
+	s, width int
+	subs     [][]window.Entry
+	rngs     []*xrand.RNG
+}
+
+func newWinOracle(k, s, width int, rngs []*xrand.RNG) *winOracle {
+	return &winOracle{s: s, width: width, subs: make([][]window.Entry, k), rngs: rngs}
+}
+
+func (o *winOracle) observe(site int, it stream.Item) {
+	key := o.rngs[site].ExpKey(it.Weight)
+	o.subs[site] = append(o.subs[site], window.Entry{Pos: len(o.subs[site]), Key: key, Item: it})
+}
+
+// sample returns the exact union-window top-s, largest key first (ties,
+// measure zero, break by item ID — the comparator the app layer uses).
+func (o *winOracle) sample() []window.Entry {
+	var live []window.Entry
+	for _, sub := range o.subs {
+		lo := len(sub) - o.width
+		if lo < 0 {
+			lo = 0
+		}
+		live = append(live, sub[lo:]...)
+	}
+	return window.TopEntries(live, o.s)
+}
+
+// windowPair wires k WindowSites to one WindowCoordinator with
+// synchronous inline delivery — the minimal deterministic harness.
+type windowPair struct {
+	coord *WindowCoordinator
+	sites []*WindowSite
+	up    int64
+}
+
+func newWindowPair(k, s, width int, seed uint64) (*windowPair, *winOracle) {
+	cfg := Config{K: k, S: s}
+	master := xrand.New(seed)
+	mirror := xrand.New(seed)
+	coord := NewWindowCoordinator(cfg, width, master.Split())
+	mirror.Split() // the coordinator's contract split, unused by the oracle
+	p := &windowPair{coord: coord}
+	rngs := make([]*xrand.RNG, k)
+	for i := 0; i < k; i++ {
+		p.sites = append(p.sites, NewWindowSite(i, cfg, width, master.Split()))
+		rngs[i] = mirror.Split()
+	}
+	return p, newWinOracle(k, s, width, rngs)
+}
+
+func (p *windowPair) feed(t *testing.T, site int, it stream.Item) {
+	t.Helper()
+	err := p.sites[site].Observe(it, func(m Message) {
+		p.up++
+		p.coord.HandleMessage(m, func(Message) {
+			t.Fatal("windowed coordinator broadcast — the protocol is push-only")
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func sameEntries(a, b []window.Entry) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i].Key != b[i].Key || a[i].Item != b[i].Item {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWindowProtocolExactEveryStep is the heart of the windowed
+// protocol: at every single instant, over several widths (including
+// width < s) and site assignments, the coordinator's query must equal
+// the brute-force union-window top-s bit for bit.
+func TestWindowProtocolExactEveryStep(t *testing.T) {
+	for _, tc := range []struct {
+		k, s, width int
+		assign      func(i int) int
+		name        string
+	}{
+		{1, 4, 10, func(i int) int { return 0 }, "single-site"},
+		{3, 4, 25, func(i int) int { return i % 3 }, "round-robin"},
+		{3, 4, 3, func(i int) int { return i % 3 }, "width<s"},
+		{4, 2, 60, func(i int) int { return (i * i) % 4 }, "skewed"},
+		{2, 6, 1, func(i int) int { return i % 2 }, "width=1"},
+	} {
+		t.Run(tc.name, func(t *testing.T) {
+			pair, oracle := newWindowPair(tc.k, tc.s, tc.width, 42)
+			wrng := xrand.New(99)
+			for i := 0; i < 500; i++ {
+				site := tc.assign(i)
+				it := stream.Item{ID: uint64(i), Weight: 0.1 + 100*wrng.Float64()}
+				oracle.observe(site, it)
+				pair.feed(t, site, it)
+				got, want := pair.coord.Query(), oracle.sample()
+				if !sameEntries(got, want) {
+					t.Fatalf("step %d: query diverged from oracle\n got %v\nwant %v", i, got, want)
+				}
+			}
+			if pair.up >= 500 && tc.width > tc.s {
+				t.Errorf("sent %d messages for 500 updates: no filtering at width %d > s", pair.up, tc.width)
+			}
+		})
+	}
+}
+
+// TestWindowSiteLocalTopSAlwaysSent pins the site invariant the
+// exactness argument rests on: after every arrival, every member of the
+// site's local window top-s has been emitted.
+func TestWindowSiteLocalTopSAlwaysSent(t *testing.T) {
+	const s, width, n = 3, 20, 300
+	site := NewWindowSite(0, Config{K: 1, S: s}, width, xrand.New(7))
+	mirror := xrand.New(7)
+	var sub []window.Entry
+	sent := map[int]bool{} // by pos
+	wrng := xrand.New(8)
+	for i := 0; i < n; i++ {
+		it := stream.Item{ID: uint64(i), Weight: 0.5 + 10*wrng.Float64()}
+		sub = append(sub, window.Entry{Pos: i, Key: mirror.ExpKey(it.Weight), Item: it})
+		if err := site.Observe(it, func(m Message) {
+			if m.Kind == MsgWindow {
+				pos, _ := SplitWindowStamp(m.Level, 1)
+				if sent[pos] {
+					t.Fatalf("position %d sent twice", pos)
+				}
+				sent[pos] = true
+			}
+		}); err != nil {
+			t.Fatal(err)
+		}
+		lo := len(sub) - width
+		if lo < 0 {
+			lo = 0
+		}
+		top := window.TopEntries(append([]window.Entry(nil), sub[lo:]...), s)
+		for _, e := range top {
+			if !sent[e.Pos] {
+				t.Fatalf("step %d: local top-%d member at pos %d never sent", i, s, e.Pos)
+			}
+		}
+	}
+}
+
+// TestWindowWidthLessThanS pins the degenerate regime: with width < s
+// every arrival is in its sub-window's top-s, so every arrival is sent
+// immediately, the item send always carries the newest position, and no
+// clock messages are ever needed.
+func TestWindowWidthLessThanS(t *testing.T) {
+	pair, oracle := newWindowPair(2, 8, 3, 5)
+	wrng := xrand.New(6)
+	for i := 0; i < 200; i++ {
+		it := stream.Item{ID: uint64(i), Weight: 1 + wrng.Float64()}
+		oracle.observe(i%2, it)
+		pair.feed(t, i%2, it)
+	}
+	if pair.up != 200 {
+		t.Errorf("upstream %d, want exactly n=200 (width < s sends everything)", pair.up)
+	}
+	for _, st := range pair.sites {
+		if st.Clocks != 0 {
+			t.Errorf("site %d sent %d clock messages; item sends already carry the clock", st.ID(), st.Clocks)
+		}
+	}
+	if got, want := pair.coord.Query(), oracle.sample(); !sameEntries(got, want) {
+		t.Fatalf("width<s query diverged:\n got %v\nwant %v", got, want)
+	}
+	if len(pair.coord.Query()) != 2*3 {
+		t.Errorf("sample size %d, want full union window 6", len(pair.coord.Query()))
+	}
+}
+
+// TestWindowBoundaryExpiry pins expiry exactly at the window boundary:
+// a giant item is in every sample while its position is within the last
+// `width` arrivals of its sub-stream and gone at the first arrival that
+// pushes it out — even though its successors were all buffered unsent
+// until then (the clock message path).
+func TestWindowBoundaryExpiry(t *testing.T) {
+	const width = 5
+	pair, _ := newWindowPair(1, 2, width, 11)
+	giant := stream.Item{ID: 1000, Weight: 1e12}
+	pair.feed(t, 0, giant)
+	has := func() bool {
+		for _, e := range pair.coord.Query() {
+			if e.Item.ID == giant.ID {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 1; i < width; i++ {
+		pair.feed(t, 0, stream.Item{ID: uint64(i), Weight: 1})
+		if !has() {
+			t.Fatalf("giant missing at fill %d, window still contains position 0", i+1)
+		}
+	}
+	// Arrival number width+1 moves the window to [1, width]: position 0
+	// expires exactly now.
+	pair.feed(t, 0, stream.Item{ID: uint64(width), Weight: 1})
+	if has() {
+		t.Fatal("giant still sampled after its position left the window")
+	}
+	if pair.sites[0].Clocks == 0 {
+		t.Error("expiry of a dominant sent item with buffered successors must force a clock message")
+	}
+}
+
+// TestWindowCoordinatorAllExpired pins the all-items-expired query: a
+// clock advance far past every retained position empties the structure
+// (the Retention primitive tolerates arbitrary jumps), and the query
+// answers an empty sample instead of resurrecting expired items.
+func TestWindowCoordinatorAllExpired(t *testing.T) {
+	cfg := Config{K: 2, S: 3}
+	c := NewWindowCoordinator(cfg, 10, xrand.New(1))
+	for i := 0; i < 6; i++ {
+		c.HandleMessage(Message{
+			Kind: MsgWindow, Item: stream.Item{ID: uint64(i), Weight: 1},
+			Key: float64(i + 1), Level: WindowStamp(i, i%2, cfg.K),
+		}, nil)
+	}
+	if got := len(c.Query()); got != 3 {
+		t.Fatalf("pre-expiry sample size %d, want 3", got)
+	}
+	for site := 0; site < 2; site++ {
+		c.HandleMessage(Message{Kind: MsgClock, Level: WindowStamp(1000, site, cfg.K)}, nil)
+	}
+	if got := c.Query(); len(got) != 0 {
+		t.Fatalf("all-expired query returned %v, want empty", got)
+	}
+	if got := c.Retained(); got != 0 {
+		t.Fatalf("retained %d after full expiry, want 0", got)
+	}
+	_, cov := c.SnapshotWindow(nil)
+	if cov.Observed != 2*1001 {
+		t.Errorf("coverage observed %d, want 2002 (clock jumps advance the count)", cov.Observed)
+	}
+}
+
+// TestWindowCoordinatorIgnoresBadStamps pins that negative stamps are
+// counted and dropped, never a panic or a bogus sub-stream write.
+func TestWindowCoordinatorIgnoresBadStamps(t *testing.T) {
+	c := NewWindowCoordinator(Config{K: 2, S: 2}, 5, xrand.New(1))
+	c.HandleMessage(Message{Kind: MsgWindow, Key: 1, Level: -3, Item: stream.Item{ID: 1, Weight: 1}}, nil)
+	c.HandleMessage(Message{Kind: MsgClock, Level: -1}, nil)
+	if c.Stats.BadStamps != 2 {
+		t.Errorf("BadStamps = %d, want 2", c.Stats.BadStamps)
+	}
+	if got := len(c.Query()); got != 0 {
+		t.Errorf("bad stamps produced %d candidates", got)
+	}
+}
+
+// TestWindowStampOverflow pins the explicit overflow error: positions
+// are bounded so stamps always fit the wire format's int32 slot.
+func TestWindowStampOverflow(t *testing.T) {
+	site := NewWindowSite(1, Config{K: 4, S: 2}, 8, xrand.New(1))
+	site.n = (MaxWindowStamp-1)/4 + 1
+	err := site.Observe(stream.Item{ID: 1, Weight: 1}, func(Message) {})
+	if err == nil {
+		t.Fatal("no error at sequence stamp overflow")
+	}
+	// At the largest valid position the stamp must still round-trip
+	// through int32.
+	site2 := NewWindowSite(3, Config{K: 4, S: 2}, 8, xrand.New(1))
+	site2.n = (MaxWindowStamp - 3) / 4
+	var got Message
+	if err := site2.Observe(stream.Item{ID: 2, Weight: 1}, func(m Message) { got = m }); err != nil {
+		t.Fatal(err)
+	}
+	if got.Level > MaxWindowStamp || int32(got.Level) < 0 {
+		t.Fatalf("stamp %d does not fit int32", got.Level)
+	}
+}
+
+// TestWindowMessageWords pins the accounting of the new kinds.
+func TestWindowMessageWords(t *testing.T) {
+	if w := (Message{Kind: MsgWindow}).Words(); w != 5 {
+		t.Errorf("window message words = %d, want 5", w)
+	}
+	if w := (Message{Kind: MsgClock}).Words(); w != 2 {
+		t.Errorf("clock message words = %d, want 2", w)
+	}
+	for kind, want := range map[MsgKind]string{MsgWindow: "window", MsgClock: "window-clock"} {
+		if got := kind.String(); got != want {
+			t.Errorf("String(%d) = %q, want %q", kind, got, want)
+		}
+	}
+}
+
+// TestWindowSiteBatchBitEquivalence pins that feeding one item at a
+// time and feeding across a window boundary in any grouping are the
+// same machine: the site has no batch path, so equivalence is exact by
+// construction — this guards that no future batch "optimization"
+// changes stamping or key order.
+func TestWindowSiteBatchBitEquivalence(t *testing.T) {
+	const width = 7
+	mkSite := func() *WindowSite { return NewWindowSite(0, Config{K: 1, S: 3}, width, xrand.New(3)) }
+	a, b := mkSite(), mkSite()
+	var am, bm []Message
+	wrng := xrand.New(4)
+	items := make([]stream.Item, 3*width+2) // crosses the boundary twice
+	for i := range items {
+		items[i] = stream.Item{ID: uint64(i), Weight: 1 + wrng.Float64()}
+	}
+	for _, it := range items {
+		if err := a.Observe(it, func(m Message) { am = append(am, m) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for _, it := range items { // "batched": same order, one loop
+		if err := b.Observe(it, func(m Message) { bm = append(bm, m) }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if len(am) != len(bm) {
+		t.Fatalf("message counts diverged: %d vs %d", len(am), len(bm))
+	}
+	for i := range am {
+		if am[i] != bm[i] {
+			t.Fatalf("message %d diverged: %+v vs %+v", i, am[i], bm[i])
+		}
+	}
+}
+
+// TestWindowSiteRetentionLockstep pins that WindowSite's inlined
+// expire/dominance/trim pass is the same rule as window.Retention fed
+// the identical (pos, key) sequence: after every arrival the site's
+// retained (pos, key) set must equal the Retention's. The sandwich
+// exactness argument needs the site and coordinator structures to
+// agree on what is retainable, so a change to one rule without the
+// other must fail here.
+func TestWindowSiteRetentionLockstep(t *testing.T) {
+	const s, width, n = 3, 15, 400
+	site := NewWindowSite(0, Config{K: 1, S: s}, width, xrand.New(21))
+	mirror := xrand.New(21)
+	ret, err := window.NewRetention(s, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wrng := xrand.New(22)
+	for i := 0; i < n; i++ {
+		it := stream.Item{ID: uint64(i), Weight: 0.3 + 8*wrng.Float64()}
+		if err := site.Observe(it, func(Message) {}); err != nil {
+			t.Fatal(err)
+		}
+		ret.Add(i, mirror.ExpKey(it.Weight), it)
+		want := ret.AppendEntries(nil)
+		if site.Buffered() != len(want) {
+			t.Fatalf("step %d: site retains %d entries, Retention %d", i, site.Buffered(), len(want))
+		}
+		for j, e := range want {
+			if site.kept[j].pos != e.Pos || site.kept[j].key != e.Key {
+				t.Fatalf("step %d: entry %d diverged: site (%d, %v), Retention (%d, %v)",
+					i, j, site.kept[j].pos, site.kept[j].key, e.Pos, e.Key)
+			}
+		}
+	}
+}
+
+// TestWindowSiteRejectsBadWeights matches the validation contract of
+// every other site machine.
+func TestWindowSiteRejectsBadWeights(t *testing.T) {
+	site := NewWindowSite(0, Config{K: 1, S: 2}, 4, xrand.New(1))
+	for _, w := range []float64{0, -1, math.Inf(1), math.NaN()} {
+		if err := site.Observe(stream.Item{ID: 1, Weight: w}, func(Message) {}); err == nil {
+			t.Errorf("weight %v accepted", w)
+		}
+	}
+	if site.N() != 0 {
+		t.Errorf("invalid weights advanced the clock to %d", site.N())
+	}
+}
+
+// TestWindowConstructorValidation pins the panic contract shared with
+// NewSite/NewCoordinator.
+func TestWindowConstructorValidation(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewWindowSite(0, Config{K: 1, S: 1}, 0, xrand.New(1)) },
+		func() { NewWindowCoordinator(Config{K: 1, S: 1}, 0, xrand.New(1)) },
+		func() { NewWindowSite(0, Config{K: 0, S: 1}, 4, xrand.New(1)) },
+		func() { NewWindowCoordinator(Config{K: 1, S: 0}, 4, xrand.New(1)) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("invalid windowed configuration did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// TestWindowCoordinatorInertCore pins the transport contract: Core()
+// exposes an inert sampler whose control plane is empty, so a TCP
+// join snapshot for a windowed shard replays nothing.
+func TestWindowCoordinatorInertCore(t *testing.T) {
+	c := NewWindowCoordinator(Config{K: 2, S: 2}, 5, xrand.New(1))
+	for i := 0; i < 10; i++ {
+		c.HandleMessage(Message{
+			Kind: MsgWindow, Item: stream.Item{ID: uint64(i), Weight: 1e6},
+			Key: 1e6 / float64(i+1), Level: WindowStamp(i, 0, 2),
+		}, nil)
+	}
+	core := c.Core()
+	if th := core.CurrentThreshold(); th != 0 {
+		t.Errorf("inert core threshold %v, want 0", th)
+	}
+	if lv := core.SaturatedLevels(); len(lv) != 0 {
+		t.Errorf("inert core saturated levels %v, want none", lv)
+	}
+	if got := len(core.Query()); got != 0 {
+		t.Errorf("inert core sample has %d entries", got)
+	}
+}
+
+func ExampleWindowStamp() {
+	stamp := WindowStamp(7, 2, 4) // position 7 at site 2 of 4
+	pos, site := SplitWindowStamp(stamp, 4)
+	fmt.Println(stamp, pos, site)
+	// Output: 30 7 2
+}

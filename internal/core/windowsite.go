@@ -1,0 +1,254 @@
+package core
+
+import (
+	"fmt"
+
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// WindowSite is the per-site state machine of the distributed
+// sliding-window application: weighted SWOR of size s over the most
+// recent `width` items of each site's (shard-local) sub-stream. It is
+// the first site machine whose relevant state is non-monotone — items
+// expire — so it cannot use the epoch thresholds of Algorithm 1 (a
+// threshold that is safe now may discard an item that re-enters the
+// sample when heavier items expire). Instead it is push-only, built on
+// the dominance structure of internal/window:
+//
+//   - Every arrival is stamped with the site-local position pos
+//     (carried on the wire as WindowStamp(pos, site, k)) and keyed
+//     immediately (one ExpKey per arrival, so seeded runs replay on
+//     every runtime).
+//   - The site keeps its own windowed retention structure and
+//     maintains the invariant that every member of its *local window
+//     top-s* has been sent: the union window top-s is contained in the
+//     union of per-site top-s sets (any global top item has fewer than
+//     s dominators in the union window, hence fewer than s in its own
+//     site's window), so the coordinator always holds a superset of
+//     the true sample — the same sandwich argument that makes sharded
+//     merges exact. Items below the local top-s are buffered unsent;
+//     when expiries promote one into the top-s (which can only happen
+//     during a local arrival — the site's window only moves then), it
+//     is sent with its original stamp.
+//   - Exactness also needs the coordinator to *expire* what this site
+//     has sent: whenever a sent item falls out of the local window and
+//     no message of this arrival carries the current position, the
+//     site emits a MsgClock stamp (amortized at most one clock per
+//     sent item — each clock covers at least the expired minimum).
+//
+// No broadcasts exist in this protocol: HandleBroadcast ignores
+// everything, which is also what makes the machine trivially safe on
+// asynchronous runtimes (there is no control plane to go stale).
+type WindowSite struct {
+	id    int
+	cfg   Config
+	width int
+	rng   *xrand.RNG
+	n     int           // site-local (= shard-local per machine) arrivals
+	kept  []windowEntry // ascending pos, in-window, < s later dominators
+
+	frontier int   // highest pos stamped on any sent message; -1 before any
+	sentPos  []int // min-heap: sent positions the coordinator may retain
+	scratch  []float64
+
+	// Diagnostics.
+	Observed int64
+	Sent     int64 // total upstream messages (candidates + clocks)
+	Clocks   int64 // MsgClock messages within Sent
+	MaxKept  int   // high-water retained count
+}
+
+type windowEntry struct {
+	pos        int
+	key        float64
+	item       stream.Item
+	dominators int
+	sent       bool
+}
+
+// NewWindowSite returns the windowed state machine for site id. Each
+// site needs an independently seeded RNG (split order: see DESIGN.md
+// §10 and docs/PLUGINS.md).
+func NewWindowSite(id int, cfg Config, width int, rng *xrand.RNG) *WindowSite {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	if width < 1 {
+		panic(fmt.Sprintf("core: window width must be >= 1, got %d", width))
+	}
+	return &WindowSite{id: id, cfg: cfg, width: width, rng: rng, frontier: -1}
+}
+
+// ID returns the site's identifier.
+func (st *WindowSite) ID() int { return st.id }
+
+// Width returns the window width in sub-stream items.
+func (st *WindowSite) Width() int { return st.width }
+
+// N returns the number of items observed by this machine.
+func (st *WindowSite) N() int { return st.n }
+
+// Buffered returns the current retention size (sent and unsent).
+func (st *WindowSite) Buffered() int { return len(st.kept) }
+
+// Observe processes one local arrival, emitting any resulting
+// sequence-stamped messages through send.
+func (st *WindowSite) Observe(it stream.Item, send func(Message)) error {
+	if err := validWeight(it.Weight); err != nil {
+		return err
+	}
+	pos := st.n
+	if pos > (MaxWindowStamp-st.id)/st.cfg.K {
+		return fmt.Errorf("core: window sequence stamp overflow at position %d (site %d of %d)", pos, st.id, st.cfg.K)
+	}
+	st.n++
+	st.Observed++
+	key := st.rng.ExpKey(it.Weight)
+
+	// Slide the local window: expire, then update dominance against the
+	// new arrival, then append it. This is the window.Retention rule
+	// (in-order fast path) inlined so each entry can carry its sent
+	// flag; TestWindowSiteRetentionLockstep pins that the two stay the
+	// same rule — a change to one without the other breaks the
+	// site/coordinator sandwich invariant.
+	lo := st.n - st.width
+	trim := 0
+	for trim < len(st.kept) && st.kept[trim].pos < lo {
+		trim++
+	}
+	st.kept = st.kept[trim:]
+	dst := st.kept[:0]
+	for i := range st.kept {
+		e := st.kept[i]
+		if e.key < key {
+			e.dominators++
+		}
+		if e.dominators < st.cfg.S {
+			dst = append(dst, e)
+		}
+	}
+	st.kept = append(dst, windowEntry{pos: pos, key: key, item: it})
+	if len(st.kept) > st.MaxKept {
+		st.MaxKept = len(st.kept)
+	}
+
+	// Restore the invariant: every unsent member of the local window
+	// top-s goes out now (the new arrival, plus anything an expiry just
+	// promoted).
+	th := st.sthKey()
+	for i := range st.kept {
+		e := &st.kept[i]
+		if !e.sent && e.key >= th {
+			e.sent = true
+			st.Sent++
+			if e.pos > st.frontier {
+				st.frontier = e.pos
+			}
+			st.pushSent(e.pos)
+			send(Message{Kind: MsgWindow, Item: e.item, Key: e.key, Level: WindowStamp(e.pos, st.id, st.cfg.K)})
+		}
+	}
+	st.dropCovered()
+
+	// A sent item expired, but no message of this arrival carried the
+	// current position (a promotion's stamp is its original, older pos):
+	// advance the coordinator's clock explicitly so it can expire it.
+	if len(st.sentPos) > 0 && st.sentPos[0] < lo {
+		st.Sent++
+		st.Clocks++
+		st.frontier = pos
+		send(Message{Kind: MsgClock, Level: WindowStamp(pos, st.id, st.cfg.K)})
+		st.dropCovered()
+	}
+	return nil
+}
+
+// HandleBroadcast ignores every announcement: the windowed protocol is
+// push-only and has no coordinator-to-site control plane.
+func (st *WindowSite) HandleBroadcast(Message) {}
+
+// sthKey returns the s-th largest key among retained items, or -1 when
+// fewer than s are retained (everything is then in the local top-s; the
+// retained set always contains the local window top-s).
+func (st *WindowSite) sthKey() float64 {
+	if len(st.kept) <= st.cfg.S {
+		return -1
+	}
+	// Min-heap of the s largest keys; the root is the threshold.
+	h := st.scratch[:0]
+	for i := range st.kept {
+		k := st.kept[i].key
+		if len(h) < st.cfg.S {
+			h = append(h, k)
+			for c := len(h) - 1; c > 0; {
+				p := (c - 1) / 2
+				if h[p] <= h[c] {
+					break
+				}
+				h[p], h[c] = h[c], h[p]
+				c = p
+			}
+		} else if k > h[0] {
+			h[0] = k
+			for c := 0; ; {
+				l, r := 2*c+1, 2*c+2
+				m := c
+				if l < len(h) && h[l] < h[m] {
+					m = l
+				}
+				if r < len(h) && h[r] < h[m] {
+					m = r
+				}
+				if m == c {
+					break
+				}
+				h[m], h[c] = h[c], h[m]
+				c = m
+			}
+		}
+	}
+	st.scratch = h
+	return h[0]
+}
+
+// pushSent records a sent position in the min-heap of positions the
+// coordinator may still retain.
+func (st *WindowSite) pushSent(pos int) {
+	st.sentPos = append(st.sentPos, pos)
+	for c := len(st.sentPos) - 1; c > 0; {
+		p := (c - 1) / 2
+		if st.sentPos[p] <= st.sentPos[c] {
+			break
+		}
+		st.sentPos[p], st.sentPos[c] = st.sentPos[c], st.sentPos[p]
+		c = p
+	}
+}
+
+// dropCovered pops sent positions the coordinator has provably expired:
+// a stamp at frontier advances its clock to frontier+1, expiring
+// everything at or below frontier-width.
+func (st *WindowSite) dropCovered() {
+	bound := st.frontier - st.width
+	for len(st.sentPos) > 0 && st.sentPos[0] <= bound {
+		last := len(st.sentPos) - 1
+		st.sentPos[0] = st.sentPos[last]
+		st.sentPos = st.sentPos[:last]
+		for c := 0; ; {
+			l, r := 2*c+1, 2*c+2
+			m := c
+			if l < len(st.sentPos) && st.sentPos[l] < st.sentPos[m] {
+				m = l
+			}
+			if r < len(st.sentPos) && st.sentPos[r] < st.sentPos[m] {
+				m = r
+			}
+			if m == c {
+				break
+			}
+			st.sentPos[m], st.sentPos[c] = st.sentPos[c], st.sentPos[m]
+			c = m
+		}
+	}
+}

@@ -258,4 +258,30 @@ func TestIngestBenchHarness(t *testing.T) {
 	if live.Dropped != 0 {
 		t.Errorf("live workload dropped %d messages", live.Dropped)
 	}
+	// The window axis: sequence-stamped candidates into non-monotone
+	// windowed coordinators, sharded so the stamps cross shard-tagged
+	// frames too; nothing is pre-filterable and every message counts.
+	win, err := RunIngestBench(IngestBenchOpts{Conns: 2, Msgs: 8192, FrameMsgs: 512, Shards: 2, Window: 256})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if win.Msgs != 8192 {
+		t.Errorf("window workload ingested %d, want 8192", win.Msgs)
+	}
+	if win.Dropped != 0 {
+		t.Errorf("window workload dropped %d messages", win.Dropped)
+	}
+}
+
+// BenchmarkTCPWindowIngest is the window axis of the ingest matrix:
+// server-side cost of the non-monotone windowed retention (ordered
+// insert, dominance bookkeeping, expiry against advancing stamps) per
+// sequence-stamped message, across widths. Recorded by wrs-bench
+// -ingest as the window/width=N rows of BENCH_ingest.json.
+func BenchmarkTCPWindowIngest(b *testing.B) {
+	for _, width := range []int{1024, 65536} {
+		b.Run(fmt.Sprintf("width=%d", width), func(b *testing.B) {
+			benchIngest(b, IngestBenchOpts{Window: width}, runtime.GOMAXPROCS(0))
+		})
+	}
 }

@@ -2,7 +2,9 @@ package transport
 
 import (
 	"bufio"
+	"encoding/binary"
 	"fmt"
+	"math"
 	"net"
 	"runtime"
 	"sync"
@@ -44,6 +46,17 @@ type IngestBenchOpts struct {
 	// outside) is used. Measures how much a query stalls ingest.
 	QuerierHz  int
 	LockedSort bool
+
+	// Window > 0 selects the windowed workload: the server hosts
+	// WindowCoordinators of that width and every message is a
+	// sequence-stamped MsgWindow candidate (each connection is one
+	// site; per-connection stamps advance monotonically, so the
+	// coordinator's per-site retention slides a real window). Window
+	// messages can never be pre-filtered — like Live, ingest is
+	// bounded by lock-serialized handling, but the handler now pays
+	// the non-monotone retention update (ordered insert, dominance,
+	// expiry) instead of a heap offer.
+	Window int
 }
 
 func (o *IngestBenchOpts) fill() {
@@ -131,6 +144,30 @@ func (b *benchConn) sync() error {
 
 func (b *benchConn) close() { b.conn.Close() }
 
+// stampFrame rewrites every window message of a frame buffer in place:
+// sequence stamps advance from pos for site `site` of k (one per
+// message; the next position is returned), and each key is replaced by
+// a stamp-derived pseudo-random draw so the coordinator's retention
+// stays at its realistic O(s·log(width/s)) size — repeating a fixed key
+// cycle would pile up never-dominated maximal keys and benchmark an
+// adversarial retention instead. The field offsets are the wire
+// package's own layout constants, so the patch cannot drift from the
+// codec.
+func stampFrame(buf []byte, tagged bool, pos, site, k int) int {
+	off := 0
+	if tagged {
+		off = wire.ShardHeaderSize
+	}
+	for ; off+wire.MessageSize <= len(buf); off += wire.MessageSize {
+		stamp := uint64(core.WindowStamp(pos, site, k))
+		key := 1 + float64(xrand.SplitMix64(&stamp)>>11)*0x1p-53*1e6
+		binary.LittleEndian.PutUint64(buf[off+wire.AuxOffset:], math.Float64bits(key))
+		binary.LittleEndian.PutUint32(buf[off+wire.LevelOffset:], uint32(int32(core.WindowStamp(pos, site, k))))
+		pos++
+	}
+	return pos
+}
+
 // RunIngestBench measures coordinator ingest throughput for one
 // configuration. GOMAXPROCS is whatever the caller set.
 func RunIngestBench(o IngestBenchOpts) (IngestBenchResult, error) {
@@ -145,7 +182,11 @@ func RunIngestBench(o IngestBenchOpts) (IngestBenchResult, error) {
 	master := xrand.New(1)
 	protos := make([]Coordinator, o.Shards)
 	for p := range protos {
-		protos[p] = core.NewCoordinator(cfg, master.Split())
+		if o.Window > 0 {
+			protos[p] = core.NewWindowCoordinator(cfg, o.Window, master.Split())
+		} else {
+			protos[p] = core.NewCoordinator(cfg, master.Split())
+		}
 	}
 	srv, err := NewShardedCoordinatorServer(cfg, protos)
 	if err != nil {
@@ -161,7 +202,7 @@ func RunIngestBench(o IngestBenchOpts) (IngestBenchResult, error) {
 	srv.SetSerialIngest(o.Serial)
 
 	tagged := o.Shards > 1
-	if !o.Live {
+	if !o.Live && o.Window == 0 {
 		// Warm every shard's drop bound to ~1e12 so the regular-message
 		// workload below is entirely pre-filterable.
 		warm, err := dialBench(addr)
@@ -195,6 +236,9 @@ func RunIngestBench(o IngestBenchOpts) (IngestBenchResult, error) {
 
 	// Pre-encode one frame per shard; connections cycle through the
 	// shards frame by frame, so every shard sees Msgs/Shards messages.
+	// The windowed workload re-stamps each frame's sequence numbers per
+	// connection before sending (stampFrame), so per-site positions
+	// advance monotonically and the coordinator slides a real window.
 	frames := make([][]byte, o.Shards)
 	for p := range frames {
 		var payload []byte
@@ -203,9 +247,13 @@ func RunIngestBench(o IngestBenchOpts) (IngestBenchResult, error) {
 		}
 		for i := 0; i < o.FrameMsgs; i++ {
 			m := core.Message{Item: stream.Item{ID: uint64(i), Weight: 1}}
-			if o.Live {
+			switch {
+			case o.Window > 0:
+				m.Kind = core.MsgWindow
+				m.Key = 1 + float64(i%97)
+			case o.Live:
 				m.Kind = core.MsgEarly
-			} else {
+			default:
 				m.Kind = core.MsgRegular
 				m.Key = 1 + float64(i%97)
 			}
@@ -273,8 +321,17 @@ func RunIngestBench(o IngestBenchOpts) (IngestBenchResult, error) {
 		wg.Add(1)
 		go func(ci int, bc *benchConn) {
 			defer wg.Done()
+			var buf []byte
+			pos := make([]int, o.Shards) // per-shard sub-stream clock (window workload)
 			for f := 0; f < framesPerConn; f++ {
-				if err := wire.WriteFrame(bc.bw, frames[(ci+f)%o.Shards]); err != nil {
+				p := (ci + f) % o.Shards
+				payload := frames[p]
+				if o.Window > 0 {
+					buf = append(buf[:0], payload...)
+					pos[p] = stampFrame(buf, tagged, pos[p], ci, o.Conns)
+					payload = buf
+				}
+				if err := wire.WriteFrame(bc.bw, payload); err != nil {
 					errs <- err
 					return
 				}

@@ -1,0 +1,137 @@
+package window
+
+import (
+	"fmt"
+
+	"wrs/internal/stream"
+)
+
+// Retention is the dominance-pruned retention structure over one
+// position-stamped sub-stream, generalized for external sequence
+// sources: positions and keys are supplied by the caller instead of
+// being generated here, and the clock (how many positions the
+// sub-stream has advanced) can move independently of insertions. It is
+// the building block both of the centralized Sampler (which feeds it
+// in arrival order with keys from its own RNG) and of the distributed
+// windowed coordinator (which keeps one Retention per site, fed from
+// sequence-stamped protocol messages and clock announcements).
+//
+// Invariant: kept holds, in ascending position order, exactly the
+// added items that (a) are inside the current window
+// [count-width, count-1] and (b) have fewer than s *later* added items
+// with larger keys. Later items outlive earlier ones in every window
+// (windows are suffixes of the sub-stream), so an item with s later
+// dominators can never re-enter a top-s sample — discarding it is
+// safe, and the expected retained count is O(s·log(width/s)).
+//
+// core.WindowSite inlines the in-order fast path of this rule (its
+// entries additionally carry a sent flag); the exactness of the
+// distributed protocol depends on the two staying the same rule,
+// pinned by TestWindowSiteRetentionLockstep in internal/core.
+type Retention struct {
+	s     int
+	width int
+	count int     // positions observed: the window is [count-width, count-1]
+	kept  []entry // ascending by Pos
+}
+
+// NewRetention returns a retention structure for sample size s over a
+// window of width positions.
+func NewRetention(s, width int) (*Retention, error) {
+	if s < 1 || width < 1 {
+		return nil, fmt.Errorf("window: need s >= 1 and width >= 1, got %d, %d", s, width)
+	}
+	return &Retention{s: s, width: width}, nil
+}
+
+// Add inserts the item observed at position pos with the given key.
+// Positions need not arrive in order (the distributed protocol delivers
+// promoted items after newer ones); an already-expired position is
+// dropped. Adding position p advances the clock to at least p+1.
+func (r *Retention) Add(pos int, key float64, it stream.Item) {
+	if pos < 0 {
+		return
+	}
+	if pos >= r.count {
+		r.count = pos + 1
+	}
+	lo := r.count - r.width
+	if pos < lo {
+		return // expired before it arrived; it can never be sampled again
+	}
+	// Insert in position order (tail scan: sub-streams are nearly sorted).
+	i := len(r.kept)
+	for i > 0 && r.kept[i-1].Pos > pos {
+		i--
+	}
+	r.kept = append(r.kept, entry{})
+	copy(r.kept[i+1:], r.kept[i:])
+	e := entry{Entry: Entry{Pos: pos, Key: key, Item: it}}
+	for j := i + 1; j < len(r.kept); j++ {
+		if r.kept[j].Key > key {
+			e.dominators++
+		}
+	}
+	r.kept[i] = e
+	for j := 0; j < i; j++ {
+		if r.kept[j].Key < key {
+			r.kept[j].dominators++
+		}
+	}
+	r.trim(lo)
+}
+
+// Advance raises the clock to count positions observed (no-op if the
+// clock is already there or past), expiring items that left the window.
+// A jump past every retained position empties the structure — the
+// all-items-expired case.
+func (r *Retention) Advance(count int) {
+	if count <= r.count {
+		return
+	}
+	r.count = count
+	r.trim(count - r.width)
+}
+
+// trim drops expired and dominated entries in one pass.
+func (r *Retention) trim(lo int) {
+	dst := r.kept[:0]
+	for _, e := range r.kept {
+		if e.Pos >= lo && e.dominators < r.s {
+			dst = append(dst, e)
+		}
+	}
+	r.kept = dst
+}
+
+// Count returns the clock: the number of positions observed.
+func (r *Retention) Count() int { return r.count }
+
+// Live returns how many positions are currently inside the window:
+// min(count, width).
+func (r *Retention) Live() int {
+	if r.count < r.width {
+		return r.count
+	}
+	return r.width
+}
+
+// Retained returns the number of items currently stored.
+func (r *Retention) Retained() int { return len(r.kept) }
+
+// AppendEntries appends every retained entry (all inside the current
+// window, unsorted beyond ascending position) to dst and returns it —
+// the O(retained) read path; sort outside any lock.
+func (r *Retention) AppendEntries(dst []Entry) []Entry {
+	for _, e := range r.kept {
+		dst = append(dst, e.Entry)
+	}
+	return dst
+}
+
+// Sample returns the weighted SWOR of the current window: the retained
+// items with the top min(s, live) keys, largest first.
+func (r *Retention) Sample() []Entry {
+	out := r.AppendEntries(make([]Entry, 0, len(r.kept)))
+	return TopEntries(out, r.s)
+}

@@ -1,0 +1,126 @@
+package window
+
+import (
+	"testing"
+
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+func re(t *testing.T, s, width int) *Retention {
+	t.Helper()
+	r, err := NewRetention(s, width)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
+}
+
+func TestRetentionValidation(t *testing.T) {
+	if _, err := NewRetention(0, 5); err == nil {
+		t.Error("s=0 accepted")
+	}
+	if _, err := NewRetention(2, 0); err == nil {
+		t.Error("width=0 accepted")
+	}
+}
+
+// TestRetentionMatchesSamplerBruteForce cross-checks the generalized
+// structure against a brute-force window top-s when fed in order with
+// external keys.
+func TestRetentionMatchesSamplerBruteForce(t *testing.T) {
+	const s, width, n = 3, 12, 400
+	r := re(t, s, width)
+	rng := xrand.New(5)
+	var all []Entry
+	for i := 0; i < n; i++ {
+		it := stream.Item{ID: uint64(i), Weight: 1 + 10*rng.Float64()}
+		key := rng.ExpKey(it.Weight)
+		all = append(all, Entry{Pos: i, Key: key, Item: it})
+		r.Add(i, key, it)
+
+		lo := len(all) - width
+		if lo < 0 {
+			lo = 0
+		}
+		want := TopEntries(append([]Entry(nil), all[lo:]...), s)
+		got := r.Sample()
+		if len(got) != len(want) {
+			t.Fatalf("step %d: sample sizes %d vs %d", i, len(got), len(want))
+		}
+		for j := range got {
+			if got[j] != want[j] {
+				t.Fatalf("step %d: sample[%d] = %+v, want %+v", i, j, got[j], want[j])
+			}
+		}
+	}
+	if r.Retained() >= width {
+		t.Errorf("retained %d items, want far below width %d", r.Retained(), width)
+	}
+}
+
+// TestRetentionOutOfOrderAdd pins the distributed delivery shape:
+// promoted items arrive after newer positions and must slot into
+// position order with correct dominance counts in both directions.
+func TestRetentionOutOfOrderAdd(t *testing.T) {
+	r := re(t, 2, 10)
+	r.Add(0, 5, stream.Item{ID: 0, Weight: 1})
+	r.Add(3, 9, stream.Item{ID: 3, Weight: 1})
+	r.Add(1, 7, stream.Item{ID: 1, Weight: 1}) // late promotion between them
+	got := r.Sample()
+	if len(got) != 2 || got[0].Pos != 3 || got[1].Pos != 1 {
+		t.Fatalf("sample after out-of-order add: %+v", got)
+	}
+	// Position 0 now has two later dominators (keys 7 and 9): pruned.
+	if r.Retained() != 2 {
+		t.Errorf("retained %d, want 2 (pos 0 dominance-pruned by the late insert)", r.Retained())
+	}
+	// A stale position (already expired on arrival) is dropped outright.
+	r.Advance(20)
+	r.Add(5, 100, stream.Item{ID: 5, Weight: 1})
+	if r.Retained() != 0 {
+		t.Errorf("expired-on-arrival position retained (%d entries)", r.Retained())
+	}
+	// Negative positions are ignored.
+	r.Add(-1, 100, stream.Item{ID: 9, Weight: 1})
+	if r.Retained() != 0 || r.Count() != 20 {
+		t.Errorf("negative position mutated the structure: retained %d count %d", r.Retained(), r.Count())
+	}
+}
+
+// TestRetentionAdvance pins clock semantics: jumps expire exactly the
+// positions that left the window, including all of them, and never move
+// backwards.
+func TestRetentionAdvance(t *testing.T) {
+	r := re(t, 2, 4)
+	for i := 0; i < 4; i++ {
+		r.Add(i, float64(10-i), stream.Item{ID: uint64(i), Weight: 1})
+	}
+	r.Advance(5) // window [1,4]: position 0 exactly at the boundary
+	if got := r.Sample(); len(got) != 2 || got[0].Pos != 1 {
+		t.Fatalf("post-boundary sample %+v, want top keys from positions 1..3", got)
+	}
+	r.Advance(3) // stale clock: no-op
+	if r.Count() != 5 {
+		t.Errorf("clock moved backwards to %d", r.Count())
+	}
+	r.Advance(1000) // all items expired
+	if r.Retained() != 0 || len(r.Sample()) != 0 {
+		t.Errorf("all-expired structure still holds %d items", r.Retained())
+	}
+	if r.Live() != 4 {
+		t.Errorf("Live() = %d, want width 4 once count >= width", r.Live())
+	}
+}
+
+func TestRetentionLiveRampUp(t *testing.T) {
+	r := re(t, 3, 10)
+	if r.Live() != 0 || r.Count() != 0 {
+		t.Fatal("fresh structure not empty")
+	}
+	r.Add(0, 1, stream.Item{ID: 0, Weight: 1})
+	r.Add(1, 2, stream.Item{ID: 1, Weight: 1})
+	if r.Live() != 2 {
+		t.Errorf("Live() = %d during ramp-up, want 2", r.Live())
+	}
+}

@@ -13,6 +13,12 @@
 // item also contains all later items (windows are suffixes). The expected
 // number of retained items is O(s·log(width/s)) — the classic bound for
 // such dominance lists.
+//
+// The retention logic is factored into Retention, which is generalized
+// for external sequence sources (caller-supplied positions, keys, and
+// clock advances): the distributed windowed application (internal/core's
+// WindowCoordinator) keeps one Retention per site sub-stream, fed from
+// sequence-stamped protocol messages.
 package window
 
 import (
@@ -24,21 +30,38 @@ import (
 	"wrs/internal/xrand"
 )
 
-// Entry is a retained item with its key and global arrival position.
+// Entry is a retained item with its key and arrival position within its
+// sub-stream.
 type Entry struct {
 	Pos  int
 	Key  float64
 	Item stream.Item
 }
 
+// TopEntries sorts entries by descending key in place — ties, which
+// have measure zero, break by item ID so every windowed query path is
+// a deterministic function of its candidate set — and truncates to s.
+// It is the finishing step for AppendEntries results, always run
+// outside any ingest lock.
+func TopEntries(entries []Entry, s int) []Entry {
+	sort.Slice(entries, func(i, j int) bool {
+		if entries[i].Key != entries[j].Key {
+			return entries[i].Key > entries[j].Key
+		}
+		return entries[i].Item.ID < entries[j].Item.ID
+	})
+	if len(entries) > s {
+		entries = entries[:s]
+	}
+	return entries
+}
+
 // Sampler maintains a weighted SWOR of size s over the last `width`
-// arrivals.
+// arrivals of a single stream: it draws a key per arrival from its own
+// RNG and feeds the shared Retention structure in arrival order.
 type Sampler struct {
-	s     int
-	width int
-	rng   *xrand.RNG
-	n     int
-	kept  []entry // ascending by Pos
+	ret *Retention
+	rng *xrand.RNG
 
 	// KeyHook, when set, receives every generated key (tests).
 	KeyHook func(id uint64, key float64)
@@ -52,10 +75,11 @@ type entry struct {
 // New returns a sliding-window sampler with sample size s and window
 // width in items.
 func New(s, width int, rng *xrand.RNG) (*Sampler, error) {
-	if s < 1 || width < 1 {
-		return nil, fmt.Errorf("window: need s >= 1 and width >= 1, got %d, %d", s, width)
+	ret, err := NewRetention(s, width)
+	if err != nil {
+		return nil, err
 	}
-	return &Sampler{s: s, width: width, rng: rng}, nil
+	return &Sampler{ret: ret, rng: rng}, nil
 }
 
 // Observe feeds one item; weights must be positive and finite.
@@ -63,53 +87,21 @@ func (w *Sampler) Observe(it stream.Item) error {
 	if !(it.Weight > 0) || math.IsInf(it.Weight, 0) || math.IsNaN(it.Weight) {
 		return fmt.Errorf("window: weight must be positive and finite, got %v", it.Weight)
 	}
-	pos := w.n
-	w.n++
 	key := w.rng.ExpKey(it.Weight)
 	if w.KeyHook != nil {
 		w.KeyHook(it.ID, key)
 	}
-	// Expire items that left the window: window = [n-width, n-1].
-	lo := w.n - w.width
-	trim := 0
-	for trim < len(w.kept) && w.kept[trim].Pos < lo {
-		trim++
-	}
-	w.kept = w.kept[trim:]
-	// The new arrival dominates every retained item with a smaller key;
-	// an item with s dominators can never re-enter a sample (all its
-	// dominators live in every window that still contains it).
-	dst := w.kept[:0]
-	for i := range w.kept {
-		e := w.kept[i]
-		if e.Key < key {
-			e.dominators++
-		}
-		if e.dominators < w.s {
-			dst = append(dst, e)
-		}
-	}
-	w.kept = append(dst, entry{Entry: Entry{Pos: pos, Key: key, Item: it}})
+	w.ret.Add(w.ret.Count(), key, it)
 	return nil
 }
 
 // Sample returns the weighted SWOR of the current window: the items with
 // the top min(s, window size) keys, largest first.
-func (w *Sampler) Sample() []Entry {
-	out := make([]Entry, 0, len(w.kept))
-	for _, e := range w.kept {
-		out = append(out, e.Entry)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].Key > out[j].Key })
-	if len(out) > w.s {
-		out = out[:w.s]
-	}
-	return out
-}
+func (w *Sampler) Sample() []Entry { return w.ret.Sample() }
 
 // Retained returns the number of items currently stored — expected
 // O(s·log(width/s)), far below width.
-func (w *Sampler) Retained() int { return len(w.kept) }
+func (w *Sampler) Retained() int { return w.ret.Retained() }
 
 // N returns the number of items observed so far.
-func (w *Sampler) N() int { return w.n }
+func (w *Sampler) N() int { return w.ret.Count() }

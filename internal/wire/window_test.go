@@ -1,0 +1,79 @@
+package wire
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"wrs/internal/core"
+	"wrs/internal/stream"
+)
+
+// window_test.go pins the sequence-stamped frames of the windowed
+// application: MsgWindow and MsgClock ride the standard 29-byte layout
+// with the shard-local sequence stamp in the int32 level slot, so they
+// batch and shard-tag exactly like every other message.
+
+func TestWindowMessageRoundTrip(t *testing.T) {
+	msgs := []core.Message{
+		{Kind: core.MsgWindow, Item: stream.Item{ID: 42, Weight: 3.5}, Key: 17.25,
+			Level: core.WindowStamp(1000, 3, 8)},
+		{Kind: core.MsgWindow, Item: stream.Item{ID: 7, Weight: 1e-9}, Key: 1e12,
+			Level: core.MaxWindowStamp},
+		{Kind: core.MsgClock, Level: core.WindowStamp(0, 0, 1)},
+		{Kind: core.MsgClock, Level: core.WindowStamp(123456, 6, 7)},
+	}
+	for _, m := range msgs {
+		got, err := ParseMessage(AppendMessage(nil, m))
+		if err != nil {
+			t.Fatalf("%v: %v", m, err)
+		}
+		if got != m {
+			t.Errorf("round trip changed message: sent %+v, got %+v", m, got)
+		}
+		if pos, site := core.SplitWindowStamp(got.Level, 8); m.Level == core.WindowStamp(1000, 3, 8) && (pos != 1000 || site != 3) {
+			t.Errorf("stamp did not survive the wire: pos %d site %d", pos, site)
+		}
+	}
+}
+
+func TestWindowBatchAndShardFrames(t *testing.T) {
+	batch := []core.Message{
+		{Kind: core.MsgWindow, Item: stream.Item{ID: 1, Weight: 2}, Key: 9, Level: core.WindowStamp(5, 1, 2)},
+		{Kind: core.MsgClock, Level: core.WindowStamp(6, 0, 2)},
+		{Kind: core.MsgRegular, Item: stream.Item{ID: 2, Weight: 4}, Key: 8},
+	}
+	payload := AppendMessages(nil, batch)
+	var got []core.Message
+	if err := ForEachMessage(payload, func(m core.Message) { got = append(got, m) }); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(batch) {
+		t.Fatalf("decoded %d of %d messages", len(got), len(batch))
+	}
+	for i := range got {
+		if got[i] != batch[i] {
+			t.Errorf("batch[%d]: sent %+v, got %+v", i, batch[i], got[i])
+		}
+	}
+
+	tagged := AppendMessages(AppendShardHeader(nil, 11), batch)
+	shard, msgs, err := ParseShardFrame(tagged)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if shard != 11 {
+		t.Errorf("shard = %d, want 11", shard)
+	}
+	if !bytes.Equal(msgs, payload) {
+		t.Error("shard-tagged window batch does not match the untagged encoding")
+	}
+}
+
+func TestUnknownKindAfterWindowRejected(t *testing.T) {
+	raw := AppendMessage(nil, core.Message{Kind: core.MsgClock, Level: 1})
+	raw[0] = byte(core.MsgClock) + 1
+	if _, err := ParseMessage(raw); err == nil || !strings.Contains(err.Error(), "unknown message kind") {
+		t.Fatalf("kind %d accepted: %v", raw[0], err)
+	}
+}

@@ -22,7 +22,15 @@ import (
 //	offset 1  : item ID (8 bytes)
 //	offset 9  : item weight (8 bytes, IEEE-754)
 //	offset 17 : key / threshold (8 bytes, IEEE-754; kind-dependent)
-//	offset 25 : level (4 bytes, int32; kind-dependent)
+//	offset 25 : level / sequence stamp (4 bytes, int32; kind-dependent)
+//
+// Sequence-stamped frames: the windowed application's messages
+// (core.MsgWindow, core.MsgClock) carry a shard-local sequence stamp —
+// core.WindowStamp packing the site-local arrival position with the
+// site id — in the int32 level slot, so sliding-window candidates and
+// clock advances ride the same 29-byte layout, the same batch frames,
+// and the same shard tags as every other message; stamps are bounded
+// by core.MaxWindowStamp and the site errors before overflowing.
 //
 // A frame whose payload length is a positive multiple of MessageSize is
 // a batch frame: the concatenation of one or more encoded messages in
@@ -39,6 +47,16 @@ const (
 	payloadLen = 29
 	// MessageSize is the fixed encoded size of one protocol message.
 	MessageSize = payloadLen
+
+	// Field offsets within an encoded message. Exported so in-place
+	// frame rewriting (the ingest benchmark harness re-stamps window
+	// messages without re-encoding) shares the layout with
+	// AppendMessage/ParseMessage instead of duplicating magic offsets.
+	KindOffset   = 0  // 1 byte
+	IDOffset     = 1  // 8 bytes
+	WeightOffset = 9  // 8 bytes, IEEE-754
+	AuxOffset    = 17 // 8 bytes, IEEE-754: key or threshold
+	LevelOffset  = 25 // 4 bytes, int32: level or sequence stamp
 	// MaxFrameSize bounds incoming frames; anything larger is a protocol
 	// violation.
 	MaxFrameSize = 1 << 16
@@ -54,15 +72,15 @@ const (
 // AppendMessage appends the encoded message to dst and returns it.
 func AppendMessage(dst []byte, m core.Message) []byte {
 	var buf [payloadLen]byte
-	buf[0] = byte(m.Kind)
-	binary.LittleEndian.PutUint64(buf[1:], m.Item.ID)
-	binary.LittleEndian.PutUint64(buf[9:], math.Float64bits(m.Item.Weight))
+	buf[KindOffset] = byte(m.Kind)
+	binary.LittleEndian.PutUint64(buf[IDOffset:], m.Item.ID)
+	binary.LittleEndian.PutUint64(buf[WeightOffset:], math.Float64bits(m.Item.Weight))
 	aux := m.Key
 	if m.Kind == core.MsgEpochUpdate {
 		aux = m.Threshold
 	}
-	binary.LittleEndian.PutUint64(buf[17:], math.Float64bits(aux))
-	binary.LittleEndian.PutUint32(buf[25:], uint32(int32(m.Level)))
+	binary.LittleEndian.PutUint64(buf[AuxOffset:], math.Float64bits(aux))
+	binary.LittleEndian.PutUint32(buf[LevelOffset:], uint32(int32(m.Level)))
 	return append(dst, buf[:]...)
 }
 
@@ -71,19 +89,19 @@ func ParseMessage(b []byte) (core.Message, error) {
 	if len(b) != payloadLen {
 		return core.Message{}, fmt.Errorf("wire: payload length %d, want %d", len(b), payloadLen)
 	}
-	kind := core.MsgKind(b[0])
-	if kind > core.MsgEpochUpdate {
-		return core.Message{}, fmt.Errorf("wire: unknown message kind %d", b[0])
+	kind := core.MsgKind(b[KindOffset])
+	if kind > core.MsgClock {
+		return core.Message{}, fmt.Errorf("wire: unknown message kind %d", b[KindOffset])
 	}
 	m := core.Message{
 		Kind: kind,
 		Item: stream.Item{
-			ID:     binary.LittleEndian.Uint64(b[1:]),
-			Weight: math.Float64frombits(binary.LittleEndian.Uint64(b[9:])),
+			ID:     binary.LittleEndian.Uint64(b[IDOffset:]),
+			Weight: math.Float64frombits(binary.LittleEndian.Uint64(b[WeightOffset:])),
 		},
-		Level: int(int32(binary.LittleEndian.Uint32(b[25:]))),
+		Level: int(int32(binary.LittleEndian.Uint32(b[LevelOffset:]))),
 	}
-	aux := math.Float64frombits(binary.LittleEndian.Uint64(b[17:]))
+	aux := math.Float64frombits(binary.LittleEndian.Uint64(b[AuxOffset:]))
 	if kind == core.MsgEpochUpdate {
 		m.Threshold = aux
 	} else {

@@ -1,0 +1,382 @@
+package wrs
+
+import (
+	"fmt"
+	"testing"
+
+	"wrs/internal/fabric"
+	"wrs/internal/window"
+	"wrs/internal/xrand"
+)
+
+// windowedOracle is the brute-force oracle for the Windowed app: it
+// mirrors the descriptor's RNG split order exactly (per shard
+// ascending: coordinator first, then sites 0..k-1), routes items with
+// the same shard hash, remembers every (pos, key, item) per
+// (shard, site) sub-stream, and answers the top-s over the union of
+// the last `width` items of every sub-stream — sorted with the app's
+// comparator, so a correct implementation matches bit for bit.
+type windowedOracle struct {
+	k, s, width, shards int
+	rngs                [][]*xrand.RNG // [shard][site]
+	subs                [][][]window.Entry
+}
+
+func newWindowedOracle(k, s, width, shards int, seed uint64) *windowedOracle {
+	o := &windowedOracle{k: k, s: s, width: width, shards: shards}
+	master := xrand.New(seed)
+	for p := 0; p < shards; p++ {
+		master.Split() // the coordinator's split (inert in the windowed app)
+		var rngs []*xrand.RNG
+		for i := 0; i < k; i++ {
+			rngs = append(rngs, master.Split())
+		}
+		o.rngs = append(o.rngs, rngs)
+		o.subs = append(o.subs, make([][]window.Entry, k))
+	}
+	return o
+}
+
+func (o *windowedOracle) observe(site int, it Item) {
+	p := fabric.ShardOf(it.ID, o.shards)
+	key := o.rngs[p][site].ExpKey(it.Weight)
+	sub := o.subs[p][site]
+	o.subs[p][site] = append(sub, window.Entry{Pos: len(sub), Key: key, Item: it.internal()})
+}
+
+func (o *windowedOracle) sample() []Sampled {
+	var live []window.Entry
+	var n int
+	for p := range o.subs {
+		for site := range o.subs[p] {
+			sub := o.subs[p][site]
+			lo := len(sub) - o.width
+			if lo < 0 {
+				lo = 0
+			}
+			live = append(live, sub[lo:]...)
+			n += len(sub) - lo
+		}
+	}
+	// The app's comparator: key descending, ties by item ID.
+	for i := 1; i < len(live); i++ {
+		for j := i; j > 0; j-- {
+			a, b := live[j-1], live[j]
+			if a.Key > b.Key || (a.Key == b.Key && a.Item.ID < b.Item.ID) {
+				break
+			}
+			live[j-1], live[j] = live[j], live[j-1]
+		}
+	}
+	if len(live) > o.s {
+		live = live[:o.s]
+	}
+	out := make([]Sampled, len(live))
+	for i, e := range live {
+		out[i] = Sampled{Item: fromInternal(e.Item), Key: e.Key}
+	}
+	return out
+}
+
+// windowFill returns the oracle's union window size.
+func (o *windowedOracle) windowFill() int {
+	n := 0
+	for p := range o.subs {
+		for site := range o.subs[p] {
+			if l := len(o.subs[p][site]); l < o.width {
+				n += l
+			} else {
+				n += o.width
+			}
+		}
+	}
+	return n
+}
+
+// equivMatrixSpecs names the three runtimes for matrix subtests.
+func equivMatrixSpecs() []struct {
+	name string
+	spec func() RuntimeSpec
+} {
+	return []struct {
+		name string
+		spec func() RuntimeSpec
+	}{
+		{"sequential", Sequential},
+		{"goroutines", Goroutines},
+		{"tcp", func() RuntimeSpec { return TCP("") }},
+	}
+}
+
+func sameSamples(a, b []Sampled) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// TestWindowedOracleBitExact is the acceptance pin: at shards=1 on the
+// sequential runtime, the Windowed app matches the brute-force windowed
+// SWOR oracle bit for bit — same items, same keys, same order — at
+// every instant of the stream.
+func TestWindowedOracleBitExact(t *testing.T) {
+	const k, s, width, n, seed = 3, 5, 40, 700, 23
+	h, err := Open(Windowed(k, s, width), WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	oracle := newWindowedOracle(k, s, width, 1, seed)
+	wrng := xrand.New(1)
+	for i := 0; i < n; i++ {
+		it := Item{ID: uint64(i), Weight: 0.1 + 50*wrng.Float64()}
+		site := i % k
+		oracle.observe(site, it)
+		if err := h.Observe(site, it); err != nil {
+			t.Fatal(err)
+		}
+		got := h.Query()
+		if want := oracle.sample(); !sameSamples(got.Items, want) {
+			t.Fatalf("step %d: sample diverged from oracle\n got %+v\nwant %+v", i, got.Items, want)
+		}
+		if got.Window != oracle.windowFill() {
+			// The coordinator's window view may trail only when recent
+			// arrivals were buffered unsent; with these parameters verify
+			// it never overcounts.
+			if got.Window > oracle.windowFill() {
+				t.Fatalf("step %d: coverage overcounts: %d > %d", i, got.Window, oracle.windowFill())
+			}
+		}
+	}
+}
+
+// TestWindowedMatrix pins set-exactness across every runtime × shards
+// {1, 2, 7}: after a flush, the merged sample equals the shard-aware
+// oracle exactly (the deterministic comparator makes ordered equality
+// the right check).
+func TestWindowedMatrix(t *testing.T) {
+	const k, s, width, n = 3, 6, 30, 800
+	for _, rtc := range equivMatrixSpecs() {
+		for _, shards := range []int{1, 2, 7} {
+			for _, seed := range []uint64{1, 9} {
+				t.Run(fmt.Sprintf("%s/shards=%d/seed=%d", rtc.name, shards, seed), func(t *testing.T) {
+					h, err := Open(Windowed(k, s, width),
+						WithSeed(seed), WithRuntime(rtc.spec()), WithShards(shards))
+					if err != nil {
+						t.Fatal(err)
+					}
+					defer h.Close()
+					if h.Shards() != shards || h.K() != k {
+						t.Fatalf("Shards/K = %d/%d, want %d/%d", h.Shards(), h.K(), shards, k)
+					}
+					oracle := newWindowedOracle(k, s, width, shards, seed)
+					wrng := xrand.New(seed ^ 0xABCD)
+					for i := 0; i < n; i++ {
+						it := Item{ID: uint64(i)*2654435761 + seed, Weight: 0.2 + 20*wrng.Float64()}
+						site := i % k
+						oracle.observe(site, it)
+						if err := h.Observe(site, it); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if err := h.Flush(); err != nil {
+						t.Fatal(err)
+					}
+					got := h.Query()
+					if want := oracle.sample(); !sameSamples(got.Items, want) {
+						t.Fatalf("sample diverged from oracle\n got %+v\nwant %+v", got.Items, want)
+					}
+					if got.Retained < len(got.Items) {
+						t.Errorf("retained %d < sample size %d", got.Retained, len(got.Items))
+					}
+					if st := h.Stats(); st.Downstream != 0 {
+						t.Errorf("windowed protocol broadcast %d messages; it is push-only", st.Downstream)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestWindowedBatchCrossesBoundary pins bit-equivalence of batched and
+// item-at-a-time ingest on batches that straddle window boundaries:
+// identical samples, coverage, and traffic.
+func TestWindowedBatchCrossesBoundary(t *testing.T) {
+	const k, s, width, n, seed = 2, 4, 10, 95, 31
+	single, err := Open(Windowed(k, s, width), WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer single.Close()
+	batched, err := Open(Windowed(k, s, width), WithSeed(seed))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer batched.Close()
+
+	perSite := make([][]Item, k)
+	wrng := xrand.New(seed)
+	for i := 0; i < n; i++ {
+		it := Item{ID: uint64(i), Weight: 1 + 5*wrng.Float64()}
+		perSite[i%k] = append(perSite[i%k], it)
+	}
+	for site, items := range perSite {
+		for _, it := range items {
+			if err := single.Observe(site, it); err != nil {
+				t.Fatal(err)
+			}
+		}
+		// Batch sizes 2·width+3: every call crosses at least two window
+		// boundaries of the sub-stream.
+		for off := 0; off < len(items); off += 2*width + 3 {
+			end := off + 2*width + 3
+			if end > len(items) {
+				end = len(items)
+			}
+			if err := batched.ObserveBatch(site, items[off:end]); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	a, b := single.Query(), batched.Query()
+	if !sameSamples(a.Items, b.Items) || a.Observed != b.Observed || a.Window != b.Window || a.Retained != b.Retained {
+		t.Fatalf("batch ingest diverged from item-at-a-time:\n single %+v\nbatched %+v", a, b)
+	}
+	if sa, sb := single.Stats(), batched.Stats(); sa != sb {
+		t.Fatalf("traffic diverged: single %+v, batched %+v", sa, sb)
+	}
+}
+
+// TestWindowedCoverageExact pins the coverage fields in the regime
+// where the coordinator's view provably cannot trail (width < s sends
+// every arrival, so the clocks are always current).
+func TestWindowedCoverageExact(t *testing.T) {
+	const k, s, width, n = 2, 8, 3, 40
+	h, err := Open(Windowed(k, s, width), WithSeed(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	for i := 0; i < n; i++ {
+		if err := h.Observe(i%k, Item{ID: uint64(i), Weight: 1 + float64(i%7)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got := h.Query()
+	if got.Observed != n {
+		t.Errorf("Observed = %d, want %d", got.Observed, n)
+	}
+	if want := k * width; got.Window != want {
+		t.Errorf("Window = %d, want %d", got.Window, want)
+	}
+	if len(got.Items) != k*width {
+		t.Errorf("sample size %d, want the full union window %d (width < s)", len(got.Items), k*width)
+	}
+	if got.Retained != got.Window {
+		t.Errorf("Retained = %d, want %d: nothing is prunable at width < s", got.Retained, got.Window)
+	}
+}
+
+// TestWindowedEmptyAndValidation pins construction errors, the empty
+// query, and the one-shot descriptor binding.
+func TestWindowedEmptyAndValidation(t *testing.T) {
+	if _, err := Open(Windowed(2, 4, 0)); err == nil {
+		t.Error("width=0 accepted")
+	}
+	if _, err := Open(Windowed(0, 4, 10)); err == nil {
+		t.Error("k=0 accepted")
+	}
+	if _, err := Open(Windowed(2, 0, 10)); err == nil {
+		t.Error("s=0 accepted")
+	}
+	if _, err := Open(Windowed(2, 4, 10), WithShards(0)); err == nil {
+		t.Error("0 shards accepted")
+	}
+
+	app := Windowed(2, 4, 10)
+	h, err := Open(app)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if _, err := Open(app); err == nil {
+		t.Error("second Open of the same Windowed descriptor succeeded")
+	}
+	q := h.Query()
+	if len(q.Items) != 0 || q.Observed != 0 || q.Window != 0 || q.Retained != 0 {
+		t.Errorf("empty-stream query not empty: %+v", q)
+	}
+}
+
+// TestWindowedForgets pins the behavioral point of the application: a
+// giant that dominated every sample disappears once `width` newer items
+// arrive on its sub-stream, with no broadcast machinery involved.
+func TestWindowedForgets(t *testing.T) {
+	const width = 25
+	h, err := Open(Windowed(1, 3, width), WithSeed(8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	if err := h.Observe(0, Item{ID: 999, Weight: 1e12}); err != nil {
+		t.Fatal(err)
+	}
+	holds := func() bool {
+		for _, e := range h.Query().Items {
+			if e.Item.ID == 999 {
+				return true
+			}
+		}
+		return false
+	}
+	for i := 0; i < width-1; i++ {
+		if err := h.Observe(0, Item{ID: uint64(i), Weight: 1}); err != nil {
+			t.Fatal(err)
+		}
+		if !holds() {
+			t.Fatalf("giant evicted early, after only %d successors", i+1)
+		}
+	}
+	if err := h.Observe(0, Item{ID: 500, Weight: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if holds() {
+		t.Fatal("giant still sampled after width newer items")
+	}
+}
+
+// TestWindowedMessageCountsPinned pins the windowed protocol's exact
+// traffic on a fixed stream — the windowed analogue of
+// TestSequentialMessageCountsPinned, guarding the push-only protocol
+// (zero downstream) and the send-filtering against drift.
+func TestWindowedMessageCountsPinned(t *testing.T) {
+	const k, s, width, n = 4, 8, 200, 20000
+	h, err := Open(Windowed(k, s, width), WithSeed(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Close()
+	wrng := xrand.New(17)
+	for i := 0; i < n; i++ {
+		if err := h.Observe(i%k, Item{ID: uint64(i), Weight: 0.5 + 10*wrng.Float64()}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st := h.Stats()
+	if st.Downstream != 0 || st.DownWords != 0 {
+		t.Errorf("downstream traffic %d msgs / %d words, want 0 (push-only)", st.Downstream, st.DownWords)
+	}
+	const wantUp, wantUpWords = 2283, 8127 // 0.11 msgs/update at n=20000
+	if st.Upstream != wantUp || st.UpWords != wantUpWords {
+		t.Errorf("upstream traffic drifted: %d msgs / %d words, pinned %d / %d",
+			st.Upstream, st.UpWords, wantUp, wantUpWords)
+	}
+	if st.Upstream >= n/2 {
+		t.Errorf("upstream %d for n=%d: windowed filtering is not engaging", st.Upstream, n)
+	}
+}
