@@ -1,0 +1,278 @@
+// Command wrs-lint runs the wrs static-analysis suite (internal/lint):
+// five analyzers that mechanically enforce the protocol's concurrency
+// and determinism invariants (DESIGN.md §12, docs/LINTS.md).
+//
+// Standalone (the usual way — it drives `go vet` under the hood so
+// packages load exactly as the toolchain sees them):
+//
+//	go run ./cmd/wrs-lint ./...
+//	go run ./cmd/wrs-lint -json ./...
+//	go run ./cmd/wrs-lint -only nolockio,wirekinds ./internal/transport
+//
+// As a vet tool (the same binary speaks the cmd/go vet protocol):
+//
+//	go build -o /tmp/wrs-lint ./cmd/wrs-lint
+//	go vet -vettool=/tmp/wrs-lint ./...
+//
+// Exit status: 0 clean, 1 findings, 2 operational error. Suppress an
+// intentional finding with `//wrslint:allow <analyzer> <reason>` on
+// the flagged line or the line above it.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"crypto/sha256"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"runtime"
+	"strings"
+
+	"wrs/internal/lint"
+)
+
+func main() {
+	os.Exit(run(os.Args[1:]))
+}
+
+func run(args []string) int {
+	// Protocol handshakes from cmd/go come first and take no flags.
+	if len(args) == 1 {
+		switch args[0] {
+		case "-V=full":
+			// cmd/go keys its vet-result cache on this ID; hashing the
+			// binary's own contents makes the cache exactly as stale as
+			// the analyzers themselves.
+			fmt.Printf("wrs-lint version %s buildID=%s\n", runtime.Version(), selfHash())
+			return 0
+		case "-flags":
+			printFlagDefs()
+			return 0
+		}
+	}
+
+	fs := flag.NewFlagSet("wrs-lint", flag.ContinueOnError)
+	jsonOut := fs.Bool("json", false, "emit findings as JSON on stdout")
+	only := fs.String("only", "", "comma-separated analyzer subset to run (standalone mode)")
+	enabled := map[string]*bool{}
+	for _, a := range lint.Analyzers {
+		enabled[a.Name] = fs.Bool(a.Name, false, "run only the "+a.Name+" analyzer: "+a.Doc)
+	}
+	if err := fs.Parse(args); err != nil {
+		return 2
+	}
+	selected := map[string]bool{}
+	for name, on := range enabled {
+		if *on {
+			selected[name] = true
+		}
+	}
+
+	rest := fs.Args()
+	if len(rest) == 1 && strings.HasSuffix(rest[0], ".cfg") {
+		return runUnitMode(rest[0], selected, *jsonOut)
+	}
+	return runStandalone(rest, selected, *only, *jsonOut)
+}
+
+// runUnitMode is one cmd/go vet-protocol invocation: analyze a single
+// package unit described by cfgPath.
+func runUnitMode(cfgPath string, selected map[string]bool, jsonOut bool) int {
+	diags, pkgPath, err := lint.RunUnit(cfgPath, selected)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wrs-lint:", err)
+		return 1
+	}
+	if jsonOut {
+		// The unitchecker JSON shape: pkg -> analyzer -> diagnostics.
+		type jsonDiag struct {
+			Posn    string `json:"posn"`
+			Message string `json:"message"`
+		}
+		byAnalyzer := map[string][]jsonDiag{}
+		for _, d := range diags {
+			byAnalyzer[d.Analyzer] = append(byAnalyzer[d.Analyzer], jsonDiag{
+				Posn:    fmt.Sprintf("%s:%d:%d", d.Pos.Filename, d.Pos.Line, d.Pos.Column),
+				Message: d.Message,
+			})
+		}
+		out, _ := json.MarshalIndent(map[string]map[string][]jsonDiag{pkgPath: byAnalyzer}, "", "\t")
+		fmt.Println(string(out))
+		return 0
+	}
+	for _, d := range diags {
+		fmt.Fprintln(os.Stderr, lint.FindingLine(d))
+	}
+	if len(diags) > 0 {
+		// Nonzero keeps cmd/go from caching the unit, so findings
+		// resurface on every run until fixed or annotated.
+		return 2
+	}
+	return 0
+}
+
+// runStandalone loads and analyzes packages by re-invoking the
+// toolchain with this binary as the vet tool: `go vet` computes the
+// exact per-unit file and export-data sets, so wrs-lint sees packages
+// precisely as the compiler does (test files, build tags, module
+// graph) without reimplementing a loader.
+func runStandalone(patterns []string, selected map[string]bool, only string, jsonOut bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	for _, name := range strings.Split(only, ",") {
+		if name = strings.TrimSpace(name); name != "" {
+			if !lint.KnownAnalyzers()[name] {
+				fmt.Fprintf(os.Stderr, "wrs-lint: unknown analyzer %q (have", name)
+				for _, a := range lint.Analyzers {
+					fmt.Fprintf(os.Stderr, " %s", a.Name)
+				}
+				fmt.Fprintln(os.Stderr, ")")
+				return 2
+			}
+			selected[name] = true
+		}
+	}
+
+	self, err := os.Executable()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "wrs-lint:", err)
+		return 2
+	}
+	vetArgs := []string{"vet", "-vettool=" + self}
+	for name := range selected {
+		vetArgs = append(vetArgs, "-"+name)
+	}
+	vetArgs = append(vetArgs, patterns...)
+	cmd := exec.Command("go", vetArgs...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = &out
+	runErr := cmd.Run()
+
+	findings, other := parseVetOutput(out.Bytes())
+	switch {
+	case jsonOut:
+		enc, _ := json.MarshalIndent(struct {
+			Findings []lint.Finding `json:"findings"`
+			Count    int            `json:"count"`
+		}{Findings: findings, Count: len(findings)}, "", "\t")
+		fmt.Println(string(enc))
+	default:
+		for _, f := range findings {
+			fmt.Printf("%s: %s [wrslint:%s]\n", f.Pos, f.Message, f.Analyzer)
+		}
+	}
+	if len(findings) > 0 {
+		fmt.Fprintf(os.Stderr, "wrs-lint: %d finding(s)\n", len(findings))
+		return 1
+	}
+	if runErr != nil {
+		// The toolchain failed without producing findings: a build
+		// error or protocol problem. Surface its output verbatim.
+		os.Stderr.Write(other)
+		fmt.Fprintln(os.Stderr, "wrs-lint:", runErr)
+		return 2
+	}
+	if !jsonOut {
+		fmt.Fprintf(os.Stderr, "wrs-lint: ok (%s)\n", analyzerList(selected))
+	}
+	return 0
+}
+
+// parseVetOutput splits the child `go vet` output into parsed findings
+// and everything else (cmd/go package headers, build errors). Package
+// headers (`# path`) attribute the findings that follow; absolute file
+// paths are relativized to the working directory.
+func parseVetOutput(out []byte) (findings []lint.Finding, other []byte) {
+	cwd, _ := os.Getwd()
+	var rest bytes.Buffer
+	pkg := ""
+	sc := bufio.NewScanner(bytes.NewReader(out))
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		if p, ok := strings.CutPrefix(line, "# "); ok {
+			// "# wrs/internal/wire [wrs/internal/wire.test]" — the base
+			// import path is the useful attribution.
+			pkg, _, _ = strings.Cut(p, " ")
+			continue
+		}
+		if f, ok := lint.ParseFindingLine(line); ok {
+			f.Pkg = pkg
+			if cwd != "" {
+				if rel, err := filepath.Rel(cwd, posFile(f.Pos)); err == nil && !strings.HasPrefix(rel, "..") {
+					f.Pos = rel + f.Pos[len(posFile(f.Pos)):]
+				}
+			}
+			findings = append(findings, f)
+			continue
+		}
+		if strings.HasPrefix(line, "exit status ") {
+			continue
+		}
+		rest.WriteString(line)
+		rest.WriteByte('\n')
+	}
+	return findings, rest.Bytes()
+}
+
+// posFile returns the file part of a file:line:col position.
+func posFile(pos string) string {
+	// The line:col suffix never contains a path separator; scan from
+	// the end past two colons.
+	rest := pos
+	for range 2 {
+		i := strings.LastIndexByte(rest, ':')
+		if i < 0 {
+			return pos
+		}
+		rest = rest[:i]
+	}
+	return rest
+}
+
+func analyzerList(selected map[string]bool) string {
+	var names []string
+	for _, a := range lint.Analyzers {
+		if len(selected) == 0 || selected[a.Name] {
+			names = append(names, a.Name)
+		}
+	}
+	return strings.Join(names, ", ")
+}
+
+// printFlagDefs answers the cmd/go `-flags` handshake: the JSON list
+// of flags the tool accepts, so `go vet -vettool=wrs-lint -nolockio`
+// passes validation.
+func printFlagDefs() {
+	type flagDef struct {
+		Name  string `json:"Name"`
+		Bool  bool   `json:"Bool"`
+		Usage string `json:"Usage"`
+	}
+	defs := []flagDef{{Name: "json", Bool: true, Usage: "emit JSON"}}
+	for _, a := range lint.Analyzers {
+		defs = append(defs, flagDef{Name: a.Name, Bool: true, Usage: a.Doc})
+	}
+	out, _ := json.Marshal(defs)
+	fmt.Println(string(out))
+}
+
+// selfHash is the content hash of this executable, reported as the
+// vet buildID so cmd/go's result cache invalidates exactly when the
+// analyzers change.
+func selfHash() string {
+	self, err := os.Executable()
+	if err == nil {
+		if data, err := os.ReadFile(self); err == nil {
+			sum := sha256.Sum256(data)
+			return fmt.Sprintf("%x", sum[:12])
+		}
+	}
+	return "unknown"
+}

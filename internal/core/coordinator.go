@@ -26,6 +26,7 @@ type CoordStats struct {
 	EpochAdvances  int64 // threshold broadcasts
 	LateEarlyMsgs  int64 // early messages for already-saturated levels (async runtimes only)
 	DroppedRegular int64 // regular messages below u on arrival (stale site threshold)
+	IgnoredMsgs    int64 // messages of kinds that are not coordinator input
 }
 
 // Broadcasts returns the number of coordinator broadcasts performed.
@@ -124,6 +125,12 @@ func (c *Coordinator) HandleMessage(m Message, bcast func(Message)) {
 		}
 		c.addToSample(m.Key, m.Item)
 		c.maybeAdvanceEpoch(bcast)
+	default:
+		// MsgLevelSaturated and MsgEpochUpdate are coordinator *output*
+		// (broadcasts), and the window kinds belong to
+		// WindowCoordinator; none is valid coordinator input. Dropping
+		// them here keeps a confused or malicious site harmless.
+		c.Stats.IgnoredMsgs++
 	}
 }
 
@@ -256,6 +263,7 @@ func (c *Coordinator) WithheldCount() int { return c.pool.Len() }
 // SaturatedLevels returns the indices of saturated levels, ascending.
 func (c *Coordinator) SaturatedLevels() []int {
 	var out []int
+	//wrslint:allow detrand order-insensitive traversal: the levels map holds no order and out is sorted below
 	for j, lv := range c.levels {
 		if lv.saturated {
 			out = append(out, j)

@@ -165,5 +165,9 @@ func (st *Site) HandleBroadcast(m Message) {
 		if m.Threshold > st.threshold {
 			st.threshold = m.Threshold
 		}
+	default:
+		// Upstream kinds (MsgEarly, MsgRegular) and the window kinds
+		// are never broadcast; a sampler site ignores them rather than
+		// corrupting its filter state.
 	}
 }

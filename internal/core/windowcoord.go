@@ -9,9 +9,10 @@ import (
 
 // WindowCoordStats counts windowed-protocol events at the coordinator.
 type WindowCoordStats struct {
-	WindowMsgs int64 // sequence-stamped candidates received
-	ClockMsgs  int64 // clock advances received
-	BadStamps  int64 // messages with negative stamps (dropped)
+	WindowMsgs  int64 // sequence-stamped candidates received
+	ClockMsgs   int64 // clock advances received
+	BadStamps   int64 // messages with negative stamps (dropped)
+	IgnoredMsgs int64 // messages of non-window kinds (dropped)
 }
 
 // WindowCoverage aggregates the coordinator's view of the sub-stream
@@ -115,6 +116,12 @@ func (c *WindowCoordinator) HandleMessage(m Message, bcast func(Message)) {
 		pos, site := SplitWindowStamp(m.Level, c.cfg.K)
 		c.Stats.ClockMsgs++
 		c.sites[site].Advance(pos + 1)
+	default:
+		// Infinite-horizon kinds (early/regular/broadcasts) are not
+		// part of the windowed protocol; count and drop them so a
+		// misrouted frame surfaces in Stats instead of corrupting
+		// window state.
+		c.Stats.IgnoredMsgs++
 	}
 }
 

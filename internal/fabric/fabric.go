@@ -60,6 +60,7 @@ func MergeCoordStats(stats []core.CoordStats) core.CoordStats {
 		out.EpochAdvances += st.EpochAdvances
 		out.LateEarlyMsgs += st.LateEarlyMsgs
 		out.DroppedRegular += st.DroppedRegular
+		out.IgnoredMsgs += st.IgnoredMsgs
 	}
 	return out
 }

@@ -1,0 +1,128 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix is the suppression directive: a comment of the form
+//
+//	//wrslint:allow <analyzer> <one-line justification>
+//
+// suppresses that analyzer's findings on the directive's own line
+// (trailing comment) or on the line directly below it (comment line).
+// The justification is mandatory: a directive without one suppresses
+// nothing and is reported as a finding of its own, so every
+// intentional violation in the tree documents *why* it is allowed.
+const allowPrefix = "//wrslint:allow"
+
+// allowDirective is one parsed //wrslint:allow comment.
+type allowDirective struct {
+	analyzer string
+	reason   string
+	pos      token.Pos
+	line     int  // source line the comment sits on
+	used     bool // a finding matched it (unused directives are not an error, stale ones are cheap)
+}
+
+// allowSet indexes the directives of one unit: (filename, line,
+// analyzer) -> directive.
+type allowSet struct {
+	fset *token.FileSet
+	byID map[string]*allowDirective
+	bad  []Diagnostic // malformed directives, reported under "wrslint"
+}
+
+func allowKey(file string, line int, analyzer string) string {
+	// line is small; the separator cannot appear in analyzer names.
+	return file + "\x00" + itoa(line) + "\x00" + analyzer
+}
+
+func itoa(n int) string {
+	if n == 0 {
+		return "0"
+	}
+	var b [12]byte
+	i := len(b)
+	for n > 0 {
+		i--
+		b[i] = byte('0' + n%10)
+		n /= 10
+	}
+	return string(b[i:])
+}
+
+// collectAllows parses every //wrslint:allow directive in the unit's
+// files, including test files — a directive in a test file is simply
+// never matched, since analyzers skip test files.
+func collectAllows(fset *token.FileSet, files []*ast.File, known map[string]bool) *allowSet {
+	as := &allowSet{fset: fset, byID: map[string]*allowDirective{}}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text, ok := strings.CutPrefix(c.Text, allowPrefix)
+				if !ok {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				fields := strings.Fields(text)
+				if len(fields) == 0 {
+					as.bad = append(as.bad, Diagnostic{
+						Analyzer: "wrslint",
+						Pos:      pos,
+						Message:  "wrslint:allow directive names no analyzer",
+					})
+					continue
+				}
+				name := fields[0]
+				if !known[name] {
+					as.bad = append(as.bad, Diagnostic{
+						Analyzer: "wrslint",
+						Pos:      pos,
+						Message:  "wrslint:allow names unknown analyzer " + quote(name),
+					})
+					continue
+				}
+				reason := strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(text), name))
+				if reason == "" {
+					as.bad = append(as.bad, Diagnostic{
+						Analyzer: "wrslint",
+						Pos:      pos,
+						Message:  "wrslint:allow " + name + " needs a one-line justification",
+					})
+					continue
+				}
+				d := &allowDirective{analyzer: name, reason: reason, pos: c.Pos(), line: pos.Line}
+				as.byID[allowKey(pos.Filename, pos.Line, name)] = d
+			}
+		}
+	}
+	return as
+}
+
+func quote(s string) string { return "\"" + s + "\"" }
+
+// allowed reports whether a finding is suppressed: a matching
+// directive on the finding's line, or on the line directly above it.
+func (as *allowSet) allowed(d Diagnostic) bool {
+	for _, line := range [2]int{d.Pos.Line, d.Pos.Line - 1} {
+		if dir, ok := as.byID[allowKey(d.Pos.Filename, line, d.Analyzer)]; ok {
+			dir.used = true
+			return true
+		}
+	}
+	return false
+}
+
+// filterAllowed drops suppressed findings and appends the diagnostics
+// for malformed directives.
+func (as *allowSet) filterAllowed(diags []Diagnostic) []Diagnostic {
+	out := diags[:0]
+	for _, d := range diags {
+		if !as.allowed(d) {
+			out = append(out, d)
+		}
+	}
+	return append(out, as.bad...)
+}

@@ -1,0 +1,163 @@
+// Package lint is wrs-lint: a static-analysis suite that mechanically
+// enforces the protocol's concurrency and determinism invariants
+// (DESIGN.md §12). The five analyzers — nolockio, lockorder,
+// snapshotmath, detrand, wirekinds — each guard a rule that exists
+// because breaking it has already cost a debugging session or would
+// silently void one of the paper's guarantees.
+//
+// The suite is deliberately built on the standard library only
+// (go/ast, go/types): it mirrors the golang.org/x/tools/go/analysis
+// API shape — Analyzer, Pass, Reportf — so analyzers read like any
+// go/analysis checker and could be ported to the upstream framework
+// mechanically, but it carries no dependency. The driver speaks the
+// cmd/go vet-tool protocol by hand (see unitchecker.go), so the same
+// binary works standalone (`go run ./cmd/wrs-lint ./...`) and as
+// `go vet -vettool`.
+//
+// Escape hatch: a finding that is intentional is suppressed with
+//
+//	//wrslint:allow <analyzer> <one-line justification>
+//
+// on the flagged line or the line directly above it. A directive
+// without a justification suppresses nothing and is itself reported.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named invariant checker. It mirrors the shape of
+// golang.org/x/tools/go/analysis.Analyzer so the checkers read
+// idiomatically and port mechanically.
+type Analyzer struct {
+	Name string // flag-name of the analyzer, e.g. "nolockio"
+	Doc  string // one-paragraph description of the invariant it guards
+	Run  func(*Pass)
+}
+
+// Pass carries one type-checked package unit through an analyzer.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	Files    []*ast.File // the unit's files, test files included
+	Pkg      *types.Package
+	Info     *types.Info
+
+	report func(Diagnostic)
+}
+
+// Diagnostic is one finding, positioned in the fileset of its Pass.
+type Diagnostic struct {
+	Analyzer string
+	Pos      token.Position
+	Message  string
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	p.report(Diagnostic{
+		Analyzer: p.Analyzer.Name,
+		Pos:      p.Fset.Position(pos),
+		Message:  fmt.Sprintf(format, args...),
+	})
+}
+
+// IsTestFile reports whether the file is a _test.go file. The
+// analyzers enforce production invariants; tests routinely hold locks
+// around assertions, iterate maps, and call time.Now, so every
+// analyzer skips test files.
+func (p *Pass) IsTestFile(f *ast.File) bool {
+	return strings.HasSuffix(p.Fset.Position(f.Package).Filename, "_test.go")
+}
+
+// TypeName returns the named-type name of t (pointers dereferenced),
+// or "" when t is unnamed.
+func typeName(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	// Unalias through type aliases so `type C = net.Conn` still names
+	// the underlying type's package.
+	t = types.Unalias(t)
+	if n, ok := t.(*types.Named); ok {
+		return n.Obj().Name()
+	}
+	return ""
+}
+
+// typePkgPath returns the import path of the package declaring t's
+// named type (pointers dereferenced), or "" for unnamed types and
+// universe types like error.
+func typePkgPath(t types.Type) string {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	t = types.Unalias(t)
+	n, ok := t.(*types.Named)
+	if !ok || n.Obj().Pkg() == nil {
+		return ""
+	}
+	return n.Obj().Pkg().Path()
+}
+
+// calleeFunc resolves the *types.Func a call expression statically
+// invokes — a package function, a method, or nil for dynamic calls
+// (function values, interface methods resolve to the interface
+// method's object, which is still useful for name/package checks).
+func calleeFunc(info *types.Info, call *ast.CallExpr) *types.Func {
+	switch fun := ast.Unparen(call.Fun).(type) {
+	case *ast.Ident:
+		f, _ := info.Uses[fun].(*types.Func)
+		return f
+	case *ast.SelectorExpr:
+		f, _ := info.Uses[fun.Sel].(*types.Func)
+		return f
+	}
+	return nil
+}
+
+// funcPkgPath returns the import path of the package declaring f, or
+// "" when f is nil or has no package.
+func funcPkgPath(f *types.Func) string {
+	if f == nil || f.Pkg() == nil {
+		return ""
+	}
+	return f.Pkg().Path()
+}
+
+// recvType returns the receiver type of the method a selector call
+// invokes (the static type of the receiver expression), or nil for
+// non-method calls.
+func recvType(info *types.Info, call *ast.CallExpr) types.Type {
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return nil
+	}
+	if s, ok := info.Selections[sel]; ok {
+		return s.Recv()
+	}
+	return nil
+}
+
+// sortDiagnostics orders findings by file, line, column, analyzer for
+// stable output.
+func sortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		if a.Pos.Column != b.Pos.Column {
+			return a.Pos.Column < b.Pos.Column
+		}
+		return a.Analyzer < b.Analyzer
+	})
+}

@@ -1,0 +1,60 @@
+package lint
+
+import (
+	"go/token"
+	"testing"
+)
+
+func TestFindingLineRoundTrip(t *testing.T) {
+	d := Diagnostic{
+		Analyzer: "nolockio",
+		Pos:      token.Position{Filename: "internal/transport/transport.go", Line: 42, Column: 7},
+		Message:  "Write on a net value while holding client.mu: conn I/O must run off the locked path",
+	}
+	line := FindingLine(d)
+	f, ok := ParseFindingLine(line)
+	if !ok {
+		t.Fatalf("ParseFindingLine rejected its own format: %q", line)
+	}
+	if f.Analyzer != d.Analyzer {
+		t.Errorf("analyzer = %q, want %q", f.Analyzer, d.Analyzer)
+	}
+	if f.Message != d.Message {
+		t.Errorf("message = %q, want %q", f.Message, d.Message)
+	}
+	if want := "internal/transport/transport.go:42:7"; f.Pos != want {
+		t.Errorf("pos = %q, want %q", f.Pos, want)
+	}
+}
+
+func TestParseFindingLineRejectsNonFindings(t *testing.T) {
+	for _, line := range []string{
+		"",
+		"# wrs/internal/transport",
+		"exit status 2",
+		"internal/core/site.go:10:2: undefined: frobnicate",
+		"a [wrslint:nolockio", // no closing bracket
+	} {
+		if _, ok := ParseFindingLine(line); ok {
+			t.Errorf("ParseFindingLine accepted %q", line)
+		}
+	}
+}
+
+func TestKnownAnalyzers(t *testing.T) {
+	known := KnownAnalyzers()
+	if !known["wrslint"] {
+		t.Error("the wrslint pseudo-analyzer (malformed allow directives) must be allow-able")
+	}
+	if len(Analyzers) != 5 {
+		t.Fatalf("suite has %d analyzers, want 5", len(Analyzers))
+	}
+	for _, a := range Analyzers {
+		if !known[a.Name] {
+			t.Errorf("analyzer %s missing from KnownAnalyzers", a.Name)
+		}
+		if a.Doc == "" || a.Run == nil {
+			t.Errorf("analyzer %s lacks doc or run function", a.Name)
+		}
+	}
+}

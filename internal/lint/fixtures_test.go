@@ -1,0 +1,20 @@
+package lint_test
+
+import (
+	"testing"
+
+	"wrs/internal/lint/linttest"
+)
+
+// Each fixture package under testdata/src deliberately violates one
+// analyzer's invariant: the test fails if the analyzer misses a
+// violation (the fixture "fails without it") or flags a sanctioned
+// shape. The nolockio fixture reproduces the historical PR 1
+// mutex-held-across-write bug verbatim; the wirekinds fixture replays
+// the PR 5 new-kind hazard.
+
+func TestNoLockIOFixtures(t *testing.T)     { linttest.Run(t, "nolockio", "nolockio") }
+func TestLockOrderFixtures(t *testing.T)    { linttest.Run(t, "lockorder", "lockorder") }
+func TestSnapshotMathFixtures(t *testing.T) { linttest.Run(t, "snapshotmath", "snapshotmath") }
+func TestDetRandFixtures(t *testing.T)      { linttest.Run(t, "detrand", "detrand") }
+func TestWireKindsFixtures(t *testing.T)    { linttest.Run(t, "wirekinds", "wirekinds") }

@@ -1,0 +1,221 @@
+// Package linttest is the analysistest-style harness for the wrs-lint
+// suite: it builds cmd/wrs-lint once per test process, points it at
+// one fixture package under internal/lint/testdata/src, and checks
+// the reported findings against the fixture's // want comments in
+// both directions — every finding must be wanted, every want found.
+//
+// Fixtures live under testdata, invisible to the go tool's ./...
+// wildcards, so the repo-wide lint run stays clean while each fixture
+// deliberately violates one invariant. Because the harness runs the
+// real binary in standalone mode (which re-execs `go vet -vettool`),
+// a fixture test exercises the entire stack: the vet protocol
+// handshakes, unit analysis, allow filtering, and -json output.
+package linttest
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+// Expectation comments in fixture files:
+//
+//	conn.Write(b) // want "substring of the finding message"
+//	// want-above "substring"   — applies to the previous source line
+//	// want-above2 "substring"  — two lines up (etc.)
+//
+// Several quoted substrings after one marker expect several findings
+// on the same line. want-above exists for findings on lines that
+// cannot carry a trailing comment — //wrslint:allow directives consume
+// the whole line comment, so their own malformed-directive findings
+// are annotated from below.
+var (
+	wantRe    = regexp.MustCompile(`// want(-above[0-9]*)? ((?:"[^"]*"\s*)+)`)
+	wantArgRe = regexp.MustCompile(`"([^"]*)"`)
+)
+
+// finding mirrors the -json output record of cmd/wrs-lint.
+type finding struct {
+	Analyzer string `json:"analyzer"`
+	Pkg      string `json:"pkg"`
+	Pos      string `json:"pos"`
+	Message  string `json:"message"`
+}
+
+// Run checks one analyzer against one fixture package (a directory
+// name under internal/lint/testdata/src).
+func Run(t *testing.T, analyzer, fixture string) {
+	t.Helper()
+	root := modRoot(t)
+	bin, err := buildBinary(root)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgDir := filepath.Join("internal", "lint", "testdata", "src", fixture)
+
+	wants := collectWants(t, filepath.Join(root, pkgDir))
+	if len(wants) == 0 {
+		t.Fatalf("fixture %s has no // want comments: every fixture must fail without its analyzer", fixture)
+	}
+
+	cmd := exec.Command(bin, "-only", analyzer, "-json", "./"+filepath.ToSlash(pkgDir))
+	cmd.Dir = root
+	var stdout, stderr strings.Builder
+	cmd.Stdout = &stdout
+	cmd.Stderr = &stderr
+	runErr := cmd.Run()
+	if code := exitCode(runErr); code != 0 && code != 1 {
+		// 0 and 1 (findings present) are both valid analysis outcomes;
+		// anything else is a build or protocol failure.
+		t.Fatalf("wrs-lint -only %s failed (%v):\n%s%s", analyzer, runErr, stdout.String(), stderr.String())
+	}
+
+	var res struct {
+		Findings []finding `json:"findings"`
+	}
+	if err := json.Unmarshal([]byte(stdout.String()), &res); err != nil {
+		t.Fatalf("parsing wrs-lint -json output: %v\n%s", err, stdout.String())
+	}
+
+	for _, f := range res.Findings {
+		k, ok := posKey(f.Pos)
+		if !ok {
+			t.Errorf("unparseable finding position %q", f.Pos)
+			continue
+		}
+		ws := wants[k]
+		matched := -1
+		for i, w := range ws {
+			if strings.Contains(f.Message, w) {
+				matched = i
+				break
+			}
+		}
+		if matched < 0 {
+			t.Errorf("%s: unexpected finding [%s] %s", f.Pos, f.Analyzer, f.Message)
+			continue
+		}
+		wants[k] = append(ws[:matched], ws[matched+1:]...)
+	}
+	for k, ws := range wants {
+		for _, w := range ws {
+			t.Errorf("%s:%d: no finding matching %q", k.file, k.line, w)
+		}
+	}
+}
+
+// lineKey addresses one fixture source line by base filename.
+type lineKey struct {
+	file string
+	line int
+}
+
+// posKey extracts the (file, line) key from a file:line:col position.
+func posKey(pos string) (lineKey, bool) {
+	parts := strings.Split(pos, ":")
+	if len(parts) < 2 {
+		return lineKey{}, false
+	}
+	line, err := strconv.Atoi(parts[len(parts)-2])
+	if err != nil {
+		return lineKey{}, false
+	}
+	file := strings.Join(parts[:len(parts)-2], ":")
+	return lineKey{file: filepath.Base(file), line: line}, true
+}
+
+// collectWants scans the fixture's non-test .go files for expectation
+// comments.
+func collectWants(t *testing.T, dir string) map[lineKey][]string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.go"))
+	if err != nil || len(files) == 0 {
+		t.Fatalf("no fixture files in %s (%v)", dir, err)
+	}
+	wants := map[lineKey][]string{}
+	for _, file := range files {
+		if strings.HasSuffix(file, "_test.go") {
+			continue
+		}
+		data, err := os.ReadFile(file)
+		if err != nil {
+			t.Fatal(err)
+		}
+		base := filepath.Base(file)
+		for i, line := range strings.Split(string(data), "\n") {
+			m := wantRe.FindStringSubmatch(line)
+			if m == nil {
+				continue
+			}
+			target := i + 1
+			if above := m[1]; above != "" {
+				up := 1
+				if d := strings.TrimPrefix(above, "-above"); d != "" {
+					up, _ = strconv.Atoi(d)
+				}
+				target -= up
+			}
+			k := lineKey{file: base, line: target}
+			for _, arg := range wantArgRe.FindAllStringSubmatch(m[2], -1) {
+				wants[k] = append(wants[k], arg[1])
+			}
+		}
+	}
+	return wants
+}
+
+func exitCode(err error) int {
+	if err == nil {
+		return 0
+	}
+	if ee, ok := err.(*exec.ExitError); ok {
+		return ee.ExitCode()
+	}
+	return -1
+}
+
+func modRoot(t *testing.T) string {
+	t.Helper()
+	out, err := exec.Command("go", "env", "GOMOD").Output()
+	if err != nil {
+		t.Fatalf("go env GOMOD: %v", err)
+	}
+	gomod := strings.TrimSpace(string(out))
+	if gomod == "" || gomod == os.DevNull {
+		t.Fatal("linttest: not inside a module")
+	}
+	return filepath.Dir(gomod)
+}
+
+var (
+	buildOnce sync.Once
+	binPath   string
+	binErr    error
+)
+
+// buildBinary compiles cmd/wrs-lint once per test process. The temp
+// directory is intentionally not cleaned up mid-process: later tests
+// share the binary, and the OS reclaims temp space.
+func buildBinary(root string) (string, error) {
+	buildOnce.Do(func() {
+		dir, err := os.MkdirTemp("", "wrs-lint-test-")
+		if err != nil {
+			binErr = err
+			return
+		}
+		binPath = filepath.Join(dir, "wrs-lint")
+		cmd := exec.Command("go", "build", "-o", binPath, "./cmd/wrs-lint")
+		cmd.Dir = root
+		if out, err := cmd.CombinedOutput(); err != nil {
+			binErr = fmt.Errorf("building wrs-lint: %v\n%s", err, out)
+		}
+	})
+	return binPath, binErr
+}

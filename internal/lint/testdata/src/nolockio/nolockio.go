@@ -1,0 +1,118 @@
+// Package nolockio is the wrs-lint fixture for the nolockio analyzer.
+//
+// The bad* methods reproduce the historical PR 1 bug verbatim: a
+// transport holding one mutex over both protocol state and the
+// connection list, writing broadcast frames to every site connection
+// while the lock is held — so one slow site stalled every observer
+// and the paper's sublinear message bound collapsed to O(n) under
+// contention. The good* methods are the repaired shapes.
+package nolockio
+
+import (
+	"bufio"
+	"net"
+	"sync"
+
+	"wrs/internal/wire"
+)
+
+// client mirrors the original PR 1 transport: one mutex guarding both
+// the protocol state and the connection list.
+type client struct {
+	mu    sync.Mutex
+	seq   int
+	conns []net.Conn
+}
+
+// badBroadcast is the PR 1 bug: conn writes on the locked path.
+func (c *client) badBroadcast(frame []byte) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.seq++
+	for _, conn := range c.conns {
+		conn.Write(frame) // want "Write on a net value while holding client.mu"
+	}
+}
+
+// badFlush flushes a buffered writer under the state mutex.
+func (c *client) badFlush(bw *bufio.Writer) {
+	c.mu.Lock()
+	bw.Flush() // want "Flush on a bufio value while holding client.mu"
+	c.mu.Unlock()
+}
+
+// badFrame writes a wire frame (which blocks on the conn) under the
+// state mutex.
+func (c *client) badFrame(conn net.Conn, payload []byte) {
+	c.mu.Lock()
+	wire.WriteFrame(conn, payload) // want "wire.WriteFrame while holding client.mu"
+	c.mu.Unlock()
+}
+
+// badSend parks on a mailbox channel while holding the mutex: a full
+// channel blocks every path into the lock.
+func (c *client) badSend(ch chan []byte, b []byte) {
+	c.mu.Lock()
+	ch <- b // want "channel send while holding client.mu"
+	c.mu.Unlock()
+}
+
+// badRecv blocks on a receive while holding the mutex.
+func (c *client) badRecv(ch chan []byte) []byte {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return <-ch // want "channel receive while holding client.mu"
+}
+
+// goodBroadcast is the PR 1 fix shape: snapshot the connection list
+// under the lock, write outside it.
+func (c *client) goodBroadcast(frame []byte) {
+	c.mu.Lock()
+	conns := append([]net.Conn(nil), c.conns...)
+	c.mu.Unlock()
+	for _, conn := range conns {
+		conn.Write(frame)
+	}
+}
+
+// goodTrySend: a select with a default never blocks, locked or not.
+func (c *client) goodTrySend(ch chan []byte, b []byte) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	select {
+	case ch <- b:
+		return true
+	default:
+		return false
+	}
+}
+
+// writer has a dedicated writer mutex guarding only the bufio.Writer —
+// the sanctioned exception, annotated with its justification.
+type writer struct {
+	wmu sync.Mutex
+	bw  *bufio.Writer
+}
+
+func (w *writer) flush() error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	//wrslint:allow nolockio wmu is the dedicated writer mutex; it guards only bw
+	return w.bw.Flush()
+}
+
+// flushNoReason shows that a directive without a justification
+// suppresses nothing: the bare directive is reported, and so is the
+// flush it failed to cover.
+func (w *writer) flushNoReason() error {
+	w.wmu.Lock()
+	defer w.wmu.Unlock()
+	//wrslint:allow nolockio
+	return w.bw.Flush() // want "Flush on a bufio value while holding writer.wmu"
+	// want-above2 "needs a one-line justification"
+}
+
+// A typo'd analyzer name is reported, not silently inert.
+//
+//wrslint:allow nolockioo typos in analyzer names must not hide findings
+// want-above "unknown analyzer"

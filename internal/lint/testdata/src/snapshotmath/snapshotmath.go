@@ -1,0 +1,77 @@
+// Package snapshotmath is the wrs-lint fixture for the snapshotmath
+// analyzer: sorting and query math inside mutex regions and
+// locked-view callbacks, violating the locked-snapshot/unlocked-math
+// contract (DESIGN.md §10).
+package snapshotmath
+
+import (
+	"sort"
+	"sync"
+
+	"wrs/internal/core"
+)
+
+type shard struct {
+	mu   sync.Mutex
+	keys []float64
+}
+
+// badSortLocked sorts while holding the ingest mutex: a querier
+// stalls ingest for the whole O(n log n) pass.
+func (s *shard) badSortLocked() []float64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sort.Float64s(s.keys) // want "sort.Float64s while holding shard.mu"
+	return s.keys
+}
+
+// badMergeLocked runs top-s selection while holding the mutex.
+func (s *shard) badMergeLocked(entries []core.SampleEntry) []core.SampleEntry {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return core.TopSample(entries, 4) // want "TopSample while holding shard.mu"
+}
+
+// goodSnapshot is the contract: O(s) copy under the lock, sort
+// outside it.
+func (s *shard) goodSnapshot() []float64 {
+	s.mu.Lock()
+	out := append([]float64(nil), s.keys...)
+	s.mu.Unlock()
+	sort.Float64s(out)
+	return out
+}
+
+// snaps mimics the runtime's locked-view primitive: the callback runs
+// under the shard's ingest lock.
+type snaps struct{}
+
+func (snaps) View(i int, f func()) { f() }
+
+// badViewCallback sorts inside the locked-view callback.
+func badViewCallback(s snaps, xs []int) {
+	s.View(0, func() {
+		sort.Ints(xs) // want "sort.Ints inside a View callback"
+	})
+}
+
+// goodViewCallback copies inside the callback and sorts after it
+// returns.
+func goodViewCallback(s snaps, xs []int) []int {
+	var out []int
+	s.View(0, func() {
+		out = append(out, xs...)
+	})
+	sort.Ints(out)
+	return out
+}
+
+// goodNestedLit: a nested literal is a separate goroutine-able value,
+// not part of the locked region.
+func goodNestedLit(s snaps, xs []int) {
+	s.View(0, func() {
+		go func() {
+			sort.Ints(xs)
+		}()
+	})
+}

@@ -1,0 +1,63 @@
+// Package wirekinds is the wrs-lint fixture for the wirekinds
+// analyzer: non-exhaustive switches over message-kind types. kind
+// replays the PR 5 hazard — a kind set gaining a new member after
+// dispatch sites were written — and badRoute does the same over the
+// real core.MsgKind.
+package wirekinds
+
+import "wrs/internal/core"
+
+// kind is a local message-kind type; MsgTrace is the newly added kind
+// that the dispatch below predates.
+type kind uint8
+
+const (
+	MsgPing kind = iota
+	MsgPong
+	MsgTrace
+)
+
+// badDispatch was written before MsgTrace existed and silently drops
+// it.
+func badDispatch(k kind) string {
+	switch k { // want "does not handle MsgTrace"
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
+	}
+	return ""
+}
+
+// badRoute covers only the upstream kinds of the real wire type.
+func badRoute(k core.MsgKind) bool {
+	switch k { // want "does not handle MsgClock, MsgEpochUpdate, MsgLevelSaturated, MsgWindow"
+	case core.MsgEarly, core.MsgRegular:
+		return true
+	}
+	return false
+}
+
+// goodDefault documents what happens to the kinds it ignores.
+func goodDefault(k core.MsgKind) bool {
+	switch k {
+	case core.MsgEarly, core.MsgRegular:
+		return true
+	default:
+		// Broadcast and window kinds are not input here; drop them.
+		return false
+	}
+}
+
+// goodFull lists every declared kind.
+func goodFull(k kind) string {
+	switch k {
+	case MsgPing:
+		return "ping"
+	case MsgPong:
+		return "pong"
+	case MsgTrace:
+		return "trace"
+	}
+	return ""
+}

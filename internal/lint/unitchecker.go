@@ -1,0 +1,190 @@
+package lint
+
+import (
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"go/version"
+	"io"
+	"os"
+	"strings"
+)
+
+// This file is the driver: a hand-rolled implementation of the cmd/go
+// vet-tool protocol (the same contract golang.org/x/tools'
+// unitchecker speaks), built on the standard library so the suite
+// carries no dependency. cmd/go hands the tool one JSON config per
+// package unit naming the unit's files and the export-data files of
+// everything it imports; the tool type-checks the unit with the
+// stdlib gc importer, runs the analyzers, and reports diagnostics on
+// stderr with a nonzero exit (which cmd/go relays and — importantly —
+// never caches, so findings always resurface on re-runs).
+
+// Analyzers is the wrs-lint suite, in reporting order.
+var Analyzers = []*Analyzer{NoLockIO, LockOrder, SnapshotMath, DetRand, WireKinds}
+
+// KnownAnalyzers is the name set, including the driver's own
+// pseudo-analyzer for malformed allow directives.
+func KnownAnalyzers() map[string]bool {
+	m := map[string]bool{"wrslint": true}
+	for _, a := range Analyzers {
+		m[a.Name] = true
+	}
+	return m
+}
+
+// vetConfig is the JSON unit description cmd/go passes to a vet tool
+// (the fields of unitchecker.Config; unknown fields are ignored).
+type vetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes the selected analyzers over one vet unit. It
+// returns the diagnostics (already allow-filtered and sorted) and the
+// unit's import path; a nil error with no diagnostics is a clean unit.
+func RunUnit(cfgPath string, enabled map[string]bool) (diags []Diagnostic, pkgPath string, err error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return nil, "", err
+	}
+	var cfg vetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return nil, "", fmt.Errorf("parsing vet config %s: %w", cfgPath, err)
+	}
+	// The facts file must exist even though wrs-lint exports no facts:
+	// cmd/go treats a missing output as a tool failure.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return nil, "", err
+		}
+	}
+	if cfg.VetxOnly {
+		return nil, cfg.ImportPath, nil
+	}
+
+	fset := token.NewFileSet()
+	var files []*ast.File
+	for _, name := range cfg.GoFiles {
+		f, err := parser.ParseFile(fset, name, nil, parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, cfg.ImportPath, err
+		}
+		files = append(files, f)
+	}
+
+	pkg, info, err := typecheckUnit(fset, files, &cfg)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return nil, cfg.ImportPath, nil
+		}
+		return nil, cfg.ImportPath, err
+	}
+
+	for _, a := range Analyzers {
+		if len(enabled) > 0 && !enabled[a.Name] {
+			continue
+		}
+		pass := &Pass{
+			Analyzer: a,
+			Fset:     fset,
+			Files:    files,
+			Pkg:      pkg,
+			Info:     info,
+			report:   func(d Diagnostic) { diags = append(diags, d) },
+		}
+		a.Run(pass)
+	}
+
+	allows := collectAllows(fset, files, KnownAnalyzers())
+	diags = allows.filterAllowed(diags)
+	sortDiagnostics(diags)
+	return diags, cfg.ImportPath, nil
+}
+
+// typecheckUnit type-checks the unit's files, resolving imports
+// through the export-data files cmd/go listed in the config.
+func typecheckUnit(fset *token.FileSet, files []*ast.File, cfg *vetConfig) (*types.Package, *types.Info, error) {
+	lookup := func(path string) (io.ReadCloser, error) {
+		if mapped, ok := cfg.ImportMap[path]; ok {
+			path = mapped
+		}
+		file, ok := cfg.PackageFile[path]
+		if !ok {
+			return nil, fmt.Errorf("wrs-lint: no export data for import %q", path)
+		}
+		return os.Open(file)
+	}
+	compiler := cfg.Compiler
+	if compiler == "" {
+		compiler = "gc"
+	}
+	tc := types.Config{
+		Importer: importer.ForCompiler(fset, compiler, lookup),
+		Sizes:    types.SizesFor(compiler, "amd64"),
+	}
+	// types.Config wants a language version ("go1.24"), not a full
+	// toolchain version ("go1.24.0").
+	tc.GoVersion = version.Lang(cfg.GoVersion)
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	pkg, err := tc.Check(cfg.ImportPath, fset, files, info)
+	if err != nil {
+		return nil, nil, fmt.Errorf("wrs-lint: type-checking %s: %w", cfg.ImportPath, err)
+	}
+	return pkg, info, nil
+}
+
+// Finding is the machine-readable diagnostic record of the -json
+// output: one finding, positioned relative to the working directory
+// when possible.
+type Finding struct {
+	Analyzer string `json:"analyzer"`
+	Pkg      string `json:"pkg"`
+	Pos      string `json:"pos"`
+	Message  string `json:"message"`
+}
+
+// FindingLine formats one diagnostic in the fixed single-line form
+// both humans and the standalone driver parse:
+//
+//	file:line:col: message [wrslint:analyzer]
+func FindingLine(d Diagnostic) string {
+	return fmt.Sprintf("%s:%d:%d: %s [wrslint:%s]", d.Pos.Filename, d.Pos.Line, d.Pos.Column, d.Message, d.Analyzer)
+}
+
+// ParseFindingLine inverts FindingLine; ok is false for lines that are
+// not findings (build errors, cmd/go package headers).
+func ParseFindingLine(line string) (Finding, bool) {
+	tail := strings.LastIndex(line, " [wrslint:")
+	if tail < 0 || !strings.HasSuffix(line, "]") {
+		return Finding{}, false
+	}
+	analyzer := line[tail+len(" [wrslint:") : len(line)-1]
+	head := line[:tail]
+	// pos is file:line:col: — split off the first ": " after the column.
+	i := strings.Index(head, ": ")
+	if i < 0 {
+		return Finding{}, false
+	}
+	return Finding{Analyzer: analyzer, Pos: head[:i], Message: head[i+2:]}, true
+}

@@ -1,0 +1,118 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// WireKinds checks exhaustiveness of switches over wire message-kind
+// types. Adding MsgWindow/MsgClock in PR 5 meant finding every
+// dispatch site by grep; a missed one silently drops or misroutes a
+// kind. The rule: every switch whose tag is a message-kind type — a
+// named type with two or more Msg*-prefixed constants declared in its
+// package — either lists every declared kind as a case or carries an
+// explicit default clause stating what happens to the kinds it
+// ignores (state machines that deliberately handle a subset document
+// that subset with `default:`; frame decoders drop the conn).
+var WireKinds = &Analyzer{
+	Name: "wirekinds",
+	Doc:  "requires switches over Msg* kind types to cover every declared kind or carry an explicit default",
+	Run:  runWireKinds,
+}
+
+func runWireKinds(pass *Pass) {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f) {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sw, ok := n.(*ast.SwitchStmt)
+			if !ok || sw.Tag == nil {
+				return true
+			}
+			checkKindSwitch(pass, sw)
+			return true
+		})
+	}
+}
+
+func checkKindSwitch(pass *Pass, sw *ast.SwitchStmt) {
+	tagType := pass.Info.TypeOf(sw.Tag)
+	declared := kindConstants(tagType)
+	if len(declared) < 2 {
+		return
+	}
+	covered := map[*types.Const]bool{}
+	hasDefault := false
+	for _, c := range sw.Body.List {
+		cc, ok := c.(*ast.CaseClause)
+		if !ok {
+			continue
+		}
+		if cc.List == nil {
+			hasDefault = true
+			continue
+		}
+		for _, e := range cc.List {
+			var id *ast.Ident
+			switch x := ast.Unparen(e).(type) {
+			case *ast.Ident:
+				id = x
+			case *ast.SelectorExpr:
+				id = x.Sel
+			default:
+				continue
+			}
+			if k, ok := pass.Info.Uses[id].(*types.Const); ok {
+				covered[k] = true
+			}
+		}
+	}
+	if hasDefault {
+		return
+	}
+	var missing []string
+	for _, k := range declared {
+		if !covered[k] {
+			missing = append(missing, k.Name())
+		}
+	}
+	if len(missing) == 0 {
+		return
+	}
+	sort.Strings(missing)
+	pass.Reportf(sw.Switch, "switch on %s does not handle %s and has no default: cover every kind or add an explicit default stating what happens to ignored kinds (new kinds were found by grep in PR 5)",
+		types.TypeString(tagType, types.RelativeTo(pass.Pkg)), strings.Join(missing, ", "))
+}
+
+// kindConstants returns the Msg*-prefixed constants of type t declared
+// in t's own package, sorted by constant value — the declared wire
+// kinds. Fewer than two means t is not a kind type.
+func kindConstants(t types.Type) []*types.Const {
+	if t == nil {
+		return nil
+	}
+	t = types.Unalias(t)
+	named, ok := t.(*types.Named)
+	if !ok || named.Obj().Pkg() == nil {
+		return nil
+	}
+	scope := named.Obj().Pkg().Scope()
+	var out []*types.Const
+	for _, name := range scope.Names() {
+		c, ok := scope.Lookup(name).(*types.Const)
+		if !ok || !strings.HasPrefix(name, "Msg") {
+			continue
+		}
+		if types.Identical(c.Type(), t) {
+			out = append(out, c)
+		}
+	}
+	if len(out) < 2 {
+		return nil
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name() < out[j].Name() })
+	return out
+}
