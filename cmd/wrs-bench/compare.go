@@ -1,0 +1,89 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+)
+
+// compareIngest runs a fresh ingest matrix and gates it against the
+// committed baseline at path: every row whose fresh ns/msg exceeds the
+// baseline's by more than the tolerance fails the run. Improvements
+// always pass — the baseline is a ceiling, not a pin.
+//
+// When the current host matches the baseline's (same cpus and
+// gomaxprocs), rows are compared on absolute ns/msg. On a different
+// host absolute times are meaningless, so each row is normalized by
+// the drop/prefilter row of its own run — the cheapest fixed-work row,
+// serving as the host-speed yardstick — and the *relative* costs are
+// gated instead. Either way a genuine algorithmic regression (one row
+// slowing down while the yardstick does not) is caught.
+func compareIngest(path string, quick bool, rounds int, tol float64) error {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return fmt.Errorf("baseline: %w", err)
+	}
+	var base []ingestRecord
+	if err := json.Unmarshal(data, &base); err != nil {
+		return fmt.Errorf("baseline %s: %w", path, err)
+	}
+	if len(base) == 0 {
+		return fmt.Errorf("baseline %s: no rows", path)
+	}
+	fresh, err := collectIngestMatrixBest(quick, rounds)
+	if err != nil {
+		return err
+	}
+
+	baseByName := make(map[string]ingestRecord, len(base))
+	for _, r := range base {
+		baseByName[r.Name] = r
+	}
+
+	const anchorName = "drop/prefilter"
+	hostMatch := base[0].CPUs == runtime.NumCPU() && base[0].GOMAXPROCS == runtime.GOMAXPROCS(0)
+	baseAnchor, freshAnchor := baseByName[anchorName].NsPerMsg, 0.0
+	for _, r := range fresh {
+		if r.Name == anchorName {
+			freshAnchor = r.NsPerMsg
+		}
+	}
+	normalized := !hostMatch && baseAnchor > 0 && freshAnchor > 0
+	mode := "absolute ns/msg (host matches baseline)"
+	if normalized {
+		mode = fmt.Sprintf("normalized by %s (baseline host: %d cpus, procs=%d; this host: %d cpus, procs=%d)",
+			anchorName, base[0].CPUs, base[0].GOMAXPROCS, runtime.NumCPU(), runtime.GOMAXPROCS(0))
+	}
+	fmt.Printf("\ncomparing against %s — %s, tolerance %.0f%%\n", path, mode, 100*tol)
+
+	failed := 0
+	for _, r := range fresh {
+		b, ok := baseByName[r.Name]
+		if !ok {
+			fmt.Printf("%-36s %10s  (no baseline row — skipped)\n", r.Name, "-")
+			continue
+		}
+		bv, fv := b.NsPerMsg, r.NsPerMsg
+		if normalized {
+			if r.Name == anchorName {
+				fmt.Printf("%-36s %10s  (yardstick row)\n", r.Name, "-")
+				continue
+			}
+			bv /= baseAnchor
+			fv /= freshAnchor
+		}
+		ratio := fv / bv
+		verdict := "ok"
+		if ratio > 1+tol {
+			verdict = "FAIL"
+			failed++
+		}
+		fmt.Printf("%-36s base %10.2f  fresh %10.2f  ratio %5.2f  %s\n", r.Name, bv, fv, ratio, verdict)
+	}
+	if failed > 0 {
+		return fmt.Errorf("%d row(s) regressed beyond %.0f%% tolerance", failed, 100*tol)
+	}
+	fmt.Println("bench gate: all rows within tolerance")
+	return nil
+}

@@ -5,20 +5,26 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/debug"
 	"time"
 
 	"wrs/internal/transport"
 )
 
 // ingestRecord is one row of BENCH_ingest.json: the fields the ingest
-// perf trajectory is tracked by, stable across PRs.
+// perf trajectory is tracked by, stable across PRs. CPUs, GOARCH, and
+// Commit identify the host and tree the row was measured on, so a
+// later -compare run can tell a real regression from a host change.
 type ingestRecord struct {
 	Name       string  `json:"name"`
-	Workload   string  `json:"workload"` // "drop" or "live"
+	Workload   string  `json:"workload"` // "drop", "live", or "window"
 	Mode       string  `json:"mode"`     // "prefilter", "serial", "snapshot", "lockedsort"
 	Shards     int     `json:"shards"`
 	Conns      int     `json:"conns"`
 	GOMAXPROCS int     `json:"gomaxprocs"`
+	CPUs       int     `json:"cpus"`
+	GOARCH     string  `json:"goarch,omitempty"`
+	Commit     string  `json:"commit,omitempty"`
 	Msgs       int64   `json:"msgs"`
 	NsPerMsg   float64 `json:"ns_per_msg"`
 	MmsgPerSec float64 `json:"mmsg_per_s"`
@@ -28,9 +34,35 @@ type ingestRecord struct {
 	Date       string  `json:"date"`
 }
 
-// runIngestMatrix runs the coordinator-ingest benchmark matrix — the
-// same harness the Go benchmarks wrap — and writes the rows as a JSON
-// array to path. The matrix:
+// buildCommit returns the short VCS revision stamped into the binary,
+// or "" when built outside a checkout (go run from a tarball, -buildvcs
+// off).
+func buildCommit() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" && dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+// collectIngestMatrix runs the coordinator-ingest benchmark matrix —
+// the same harness the Go benchmarks wrap — and returns the rows. The
+// matrix:
 //
 //   - drop workload, shards=1: prefilter vs serial (the PR 2 axes);
 //   - live workload (never-filterable early messages), shards ∈
@@ -42,14 +74,16 @@ type ingestRecord struct {
 //     pre-snapshot read path);
 //   - window workload, width ∈ {1024, 65536}: sequence-stamped
 //     MsgWindow candidates into windowed coordinators — the
-//     non-monotone retention update (ordered insert, dominance,
-//     expiry) per message, the PR 5 axis.
-func runIngestMatrix(path string, quick bool) error {
+//     non-monotone retention update (ordered insert, lazy dominance,
+//     in-place expiry) per message, the PR 5 axis reworked in §13.
+func collectIngestMatrix(quick bool) ([]ingestRecord, error) {
 	msgs := int64(4 << 20)
 	if quick {
 		msgs = 1 << 19
 	}
 	date := time.Now().UTC().Format("2006-01-02")
+	cpus := runtime.NumCPU()
+	commit := buildCommit()
 	var records []ingestRecord
 	add := func(name, workload, mode string, res transport.IngestBenchResult) {
 		records = append(records, ingestRecord{
@@ -59,6 +93,9 @@ func runIngestMatrix(path string, quick bool) error {
 			Shards:     res.Opts.Shards,
 			Conns:      res.Opts.Conns,
 			GOMAXPROCS: res.GOMAXPROCS,
+			CPUs:       cpus,
+			GOARCH:     runtime.GOARCH,
+			Commit:     commit,
 			Msgs:       res.Msgs,
 			NsPerMsg:   res.NsPerMsg(),
 			MmsgPerSec: res.MmsgPerSec(),
@@ -67,8 +104,8 @@ func runIngestMatrix(path string, quick bool) error {
 			Window:     res.Opts.Window,
 			Date:       date,
 		})
-		fmt.Printf("%-36s %8.1f ns/msg  %7.2f Mmsg/s  (shards=%d procs=%d)\n",
-			name, res.NsPerMsg(), res.MmsgPerSec(), res.Opts.Shards, res.GOMAXPROCS)
+		fmt.Printf("%-36s %8.1f ns/msg  %7.2f Mmsg/s  (shards=%d procs=%d cpus=%d)\n",
+			name, res.NsPerMsg(), res.MmsgPerSec(), res.Opts.Shards, res.GOMAXPROCS, cpus)
 	}
 
 	for _, mode := range []struct {
@@ -77,14 +114,18 @@ func runIngestMatrix(path string, quick bool) error {
 	}{{"prefilter", false}, {"serial", true}} {
 		res, err := transport.RunIngestBench(transport.IngestBenchOpts{Msgs: msgs, Serial: mode.serial})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		add("drop/"+mode.name, "drop", mode.name, res)
 	}
 	for _, shards := range []int{1, 2, 4, 8} {
+		if shards > cpus {
+			fmt.Printf("warning: live/shards=%d oversubscribes %d CPUs — shards serialize, the row measures contention, not scaling\n",
+				shards, cpus)
+		}
 		res, err := transport.RunIngestBench(transport.IngestBenchOpts{Msgs: msgs, Live: true, Shards: shards})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		add(fmt.Sprintf("live/shards=%d", shards), "live", "prefilter", res)
 	}
@@ -96,7 +137,7 @@ func runIngestMatrix(path string, quick bool) error {
 			Msgs: msgs, Live: true, SampleSize: 4096, QuerierHz: 100, LockedSort: q.locked,
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		add("querier/"+q.name+"/100Hz", "live", q.name, res)
 	}
@@ -104,13 +145,52 @@ func runIngestMatrix(path string, quick bool) error {
 	for _, width := range []int{1024, 65536} {
 		res, err := transport.RunIngestBench(transport.IngestBenchOpts{Msgs: msgs, Window: width})
 		if err != nil {
-			return err
+			return nil, err
 		}
 		add(fmt.Sprintf("window/width=%d", width), "window", "prefilter", res)
 	}
 
-	if runtime.NumCPU() < 8 {
-		fmt.Printf("note: %d CPUs — the live shards axis needs >= 8 cores to show scaling\n", runtime.NumCPU())
+	if cpus < 8 {
+		fmt.Printf("note: %d CPUs — the live shards axis needs >= 8 cores to show scaling\n", cpus)
+	}
+	return records, nil
+}
+
+// collectIngestMatrixBest runs the matrix `rounds` times and keeps each
+// row's fastest round. Timings on shared or single-CPU hosts suffer
+// bursty contention that inflates arbitrary rows by 1.5-2x; the
+// per-row minimum converges on the machine's true throughput, which is
+// what both the committed baseline and the CI gate should record.
+func collectIngestMatrixBest(quick bool, rounds int) ([]ingestRecord, error) {
+	if rounds < 1 {
+		rounds = 1
+	}
+	best, err := collectIngestMatrix(quick)
+	if err != nil {
+		return nil, err
+	}
+	for round := 1; round < rounds; round++ {
+		fmt.Printf("--- round %d/%d\n", round+1, rounds)
+		next, err := collectIngestMatrix(quick)
+		if err != nil {
+			return nil, err
+		}
+		for i := range best {
+			if i < len(next) && next[i].Name == best[i].Name && next[i].NsPerMsg < best[i].NsPerMsg {
+				best[i] = next[i]
+			}
+		}
+	}
+	return best, nil
+}
+
+// runIngestMatrix runs the matrix and writes the rows as a JSON array
+// to path (the committed BENCH_ingest.json, whose git history is the
+// perf trajectory across PRs).
+func runIngestMatrix(path string, quick bool, rounds int) error {
+	records, err := collectIngestMatrixBest(quick, rounds)
+	if err != nil {
+		return err
 	}
 	data, err := json.MarshalIndent(records, "", "  ")
 	if err != nil {

@@ -13,10 +13,17 @@
 //	wrs-bench -ingest -out BENCH_ingest.json
 //	    # run the coordinator-ingest benchmark matrix (the same harness
 //	    # as BenchmarkTCPParallelIngest and BenchmarkTCPIngestWithQuerier:
-//	    # prefilter vs serial, the live-workload shards axis, and the
-//	    # 100 Hz-querier pair) and write the results as JSON — ns/op,
-//	    # msgs, shards, GOMAXPROCS. The file is committed, so the perf
+//	    # prefilter vs serial, the live-workload shards axis, the
+//	    # 100 Hz-querier pair, and the windowed-retention widths) and
+//	    # write the results as JSON — ns/op, msgs, shards, GOMAXPROCS,
+//	    # cpus, goarch, commit. The file is committed, so the perf
 //	    # trajectory across PRs lives in its git history.
+//
+//	wrs-bench -ingest -quick -compare BENCH_ingest.json -tolerance 0.25
+//	    # CI bench gate: run a fresh quick matrix and fail if any row
+//	    # regresses past the tolerance vs the committed baseline
+//	    # (normalized by the drop/prefilter yardstick when the host
+//	    # differs from the one that produced the baseline).
 package main
 
 import (
@@ -36,10 +43,19 @@ func main() {
 	list := flag.Bool("list", false, "list available experiments")
 	ingest := flag.Bool("ingest", false, "run the coordinator-ingest benchmark matrix instead of the paper experiments")
 	out := flag.String("out", "BENCH_ingest.json", "output path for -ingest results")
+	compare := flag.String("compare", "", "with -ingest: gate a fresh run against this baseline JSON instead of writing")
+	tolerance := flag.Float64("tolerance", 0.25, "with -compare: per-row slowdown tolerance (0.25 = 25%)")
+	rounds := flag.Int("rounds", 1, "with -ingest: run the matrix N times, keep each row's fastest (rides out host contention bursts)")
 	flag.Parse()
 
 	if *ingest {
-		if err := runIngestMatrix(*out, *quick); err != nil {
+		var err error
+		if *compare != "" {
+			err = compareIngest(*compare, *quick, *rounds, *tolerance)
+		} else {
+			err = runIngestMatrix(*out, *quick, *rounds)
+		}
+		if err != nil {
 			fmt.Fprintln(os.Stderr, "wrs-bench:", err)
 			os.Exit(1)
 		}

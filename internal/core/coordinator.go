@@ -1,15 +1,12 @@
 package core
 
 import (
-	"math"
 	"sort"
 
 	"wrs/internal/sample"
 	"wrs/internal/stream"
 	"wrs/internal/xrand"
 )
-
-func expm1Neg(x float64) float64 { return math.Expm1(-x) }
 
 // SampleEntry is one sampled item together with its precision-sampling
 // key.

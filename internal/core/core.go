@@ -136,6 +136,17 @@ type Config struct {
 	// DisableEpochs turns off threshold broadcasts (ablation A2): sites
 	// send every key, reproducing the naive O(n) protocol.
 	DisableEpochs bool
+
+	// SkipAhead switches sites to the A-ExpJ exponential-jump filter
+	// (xrand.Jump): one armed jump per threshold epoch skips whole runs
+	// of sub-threshold arrivals with zero RNG draws, instead of one lazy
+	// threshold comparison per arrival. Distributionally identical to
+	// the default path — same sample law, same message bound — but a
+	// different realization of the randomness, so it is opt-in: the
+	// bit-exact legacy suites and recorded-oracle tests pin the lazy
+	// path. Sites with a Recorder attached fall back to the lazy path
+	// regardless (skipped items have no key to record).
+	SkipAhead bool
 }
 
 // Validate reports whether the configuration is usable.

@@ -17,12 +17,14 @@ type Site struct {
 	threshold float64
 	saturated map[int]bool
 	rec       *Recorder
+	jump      xrand.Jump // armed A-ExpJ jump (Config.SkipAhead only)
 
 	// Diagnostics.
 	DecisionBits int64 // random bits used by threshold comparisons
 	TotalBits    int64 // all random bits, including key materialization
 	Observed     int64
 	Sent         int64
+	Skipped      int64 // arrivals consumed by an armed jump with no RNG draw
 	Applied      int64 // broadcasts applied via HandleBroadcast
 }
 
@@ -53,7 +55,9 @@ func (st *Site) Threshold() float64 { return st.threshold }
 // Observe processes one local arrival, emitting any resulting message
 // through send. It is the hot path: one lazy threshold comparison
 // (expected O(1) random bits) and, only if the key passes, one key
-// materialization.
+// materialization. With Config.SkipAhead the comparison is replaced by
+// an armed exponential jump (xrand.Jump): sub-threshold arrivals cost
+// one float subtraction and no RNG draws at all.
 func (st *Site) Observe(it stream.Item, send func(Message)) error {
 	if err := validWeight(it.Weight); err != nil {
 		return err
@@ -69,6 +73,21 @@ func (st *Site) Observe(it stream.Item, send func(Message)) error {
 	if st.cfg.DisableEpochs {
 		th = 0
 	}
+	if st.cfg.SkipAhead && st.rec == nil && th > 0 {
+		// ArmedAt re-arms whenever a broadcast moved the threshold since
+		// the last arrival: the old jump targeted the old threshold, and
+		// by memorylessness a fresh exponential at the new one is exact.
+		if !st.jump.ArmedAt(th) {
+			st.jump.Arm(st.rng, th)
+		}
+		if !st.jump.Offer(it.Weight) {
+			st.Skipped++
+			return nil
+		}
+		st.Sent++
+		send(Message{Kind: MsgRegular, Item: it, Key: xrand.KeyAbove(st.rng, it.Weight, th)})
+		return nil
+	}
 	te := xrand.NewThresholdExp(st.rng, it.Weight)
 	above := te.Above(th)
 	if above || st.rec != nil {
@@ -83,6 +102,68 @@ func (st *Site) Observe(it stream.Item, send func(Message)) error {
 	}
 	st.DecisionBits += int64(te.DecisionBits())
 	st.TotalBits += int64(te.TotalBits())
+	return nil
+}
+
+// ObserveBatch processes a run of local arrivals, equivalent to calling
+// Observe on each in order. Under Config.SkipAhead it is the intended
+// ingest entry point: the armed jump is carried across the whole run in
+// a local, so a run of sub-threshold arrivals costs one branch and one
+// subtraction each with no per-item state traffic. The threshold is
+// re-read after every send — a send can advance the epoch synchronously
+// — which re-arms the jump exactly as the one-by-one path would.
+func (st *Site) ObserveBatch(items []stream.Item, send func(Message)) error {
+	if !st.cfg.SkipAhead || st.rec != nil {
+		for _, it := range items {
+			if err := st.Observe(it, send); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	for i := 0; i < len(items); {
+		it := items[i]
+		if err := validWeight(it.Weight); err != nil {
+			return err
+		}
+		th := st.threshold
+		if st.cfg.DisableEpochs {
+			th = 0
+		}
+		if th <= 0 || (!st.cfg.DisableLevelSets && !st.saturated[levelOf(it.Weight, st.r)]) {
+			// Early and no-epoch arrivals take the one-by-one path
+			// verbatim, keeping the batch bit-identical to an Observe
+			// loop (same RNG draws in the same order).
+			if err := st.Observe(it, send); err != nil {
+				return err
+			}
+			i++
+			continue
+		}
+		if !st.jump.ArmedAt(th) {
+			st.jump.Arm(st.rng, th)
+		}
+		// Consume the run under this jump until it lands, the run ends,
+		// or an item diverts to the early/naive path above.
+		for i < len(items) {
+			it = items[i]
+			if validWeight(it.Weight) != nil {
+				break // surface the error through the outer re-check
+			}
+			if !st.cfg.DisableLevelSets && !st.saturated[levelOf(it.Weight, st.r)] {
+				break
+			}
+			i++
+			st.Observed++
+			if !st.jump.Offer(it.Weight) {
+				st.Skipped++
+				continue
+			}
+			st.Sent++
+			send(Message{Kind: MsgRegular, Item: it, Key: xrand.KeyAbove(st.rng, it.Weight, th)})
+			break // send may have advanced the epoch; re-read threshold
+		}
+	}
 	return nil
 }
 
@@ -122,10 +203,14 @@ func (st *Site) ObserveRepeated(it stream.Item, count int, send func(Message)) e
 		count--
 	}
 	// Remaining copies are regular. Walk from one passing copy to the
-	// next with a geometric skip (a copy passes with p = 1 - e^(-w/th)),
-	// re-reading the threshold after every send — a send can advance the
-	// epoch synchronously, so this is exactly equivalent to the
-	// one-by-one loop while doing O(1 + messages sent) work.
+	// next with an exponential jump over the run of identical weights
+	// (xrand.Jump.SkipIdentical realizes the geometric skip law — a copy
+	// passes with p = 1 - e^(-w/th)), re-reading the threshold after
+	// every send — a send can advance the epoch synchronously, so this
+	// is exactly equivalent to the one-by-one loop while doing
+	// O(1 + messages sent) work. The jump is re-armed per iteration
+	// rather than carried in st.jump so the copies of one call never
+	// share randomness with surrounding Observe arrivals.
 	for count > 0 {
 		th := st.threshold
 		if st.cfg.DisableEpochs {
@@ -138,17 +223,18 @@ func (st *Site) ObserveRepeated(it stream.Item, count int, send func(Message)) e
 			send(Message{Kind: MsgRegular, Item: it, Key: st.rng.ExpKey(it.Weight)})
 			continue
 		}
-		p := -expm1Neg(it.Weight / th)
-		skip := st.rng.Geometric(p)
+		var jp xrand.Jump
+		jp.Arm(st.rng, th)
+		skip := jp.SkipIdentical(it.Weight, count)
+		st.Skipped += int64(skip)
 		if skip >= count {
 			st.Observed += int64(count)
 			return nil
 		}
 		st.Observed += int64(skip + 1)
 		count -= skip + 1
-		t := st.rng.TruncExpBelow(it.Weight / th)
 		st.Sent++
-		send(Message{Kind: MsgRegular, Item: it, Key: it.Weight / t})
+		send(Message{Kind: MsgRegular, Item: it, Key: xrand.KeyAbove(st.rng, it.Weight, th)})
 	}
 	return nil
 }

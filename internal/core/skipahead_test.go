@@ -1,0 +1,201 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// TestSkipAheadFixedThresholdStatistics pins the jump filter's law
+// against the analytic pass probability: at a fixed threshold u, an
+// arrival of weight w must be forwarded with probability exactly
+// p = 1 - e^(-w/u), the same Bernoulli the lazy ThresholdExp
+// comparison realizes. Heterogeneous weights exercise the jump's
+// cumulative-weight accounting (the skip run ends at different depths
+// depending on which weights it crosses).
+func TestSkipAheadFixedThresholdStatistics(t *testing.T) {
+	const th = 10.0
+	weights := []float64{0.5, 2, 7.5, 30}
+	const n = 80000
+	cfg := Config{K: 1, S: 2, SkipAhead: true, DisableLevelSets: true}
+	st := NewSite(0, cfg, xrand.New(11))
+	st.HandleBroadcast(Message{Kind: MsgEpochUpdate, Threshold: th})
+
+	sent := make([]int, len(weights))
+	for i := 0; i < n; i++ {
+		w := i % len(weights)
+		err := st.Observe(stream.Item{ID: uint64(i), Weight: weights[w]}, func(m Message) {
+			if m.Kind != MsgRegular {
+				t.Fatalf("unexpected message kind %v", m.Kind)
+			}
+			if m.Key <= th {
+				t.Fatalf("forwarded key %v not above threshold %v", m.Key, th)
+			}
+			sent[w]++
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	trials := n / len(weights)
+	for w, wt := range weights {
+		p := -math.Expm1(-wt / th)
+		mean := float64(trials) * p
+		se := math.Sqrt(float64(trials) * p * (1 - p))
+		if d := math.Abs(float64(sent[w]) - mean); d > 4.5*se {
+			t.Errorf("weight %v: %d of %d forwarded, want %.0f +- %.0f (4.5 SE)",
+				wt, sent[w], trials, mean, 4.5*se)
+		}
+	}
+	if st.Skipped == 0 {
+		t.Error("no arrivals were skipped: the jump never engaged")
+	}
+	if st.Skipped+st.Sent != st.Observed {
+		t.Errorf("counter mismatch: skipped %d + sent %d != observed %d",
+			st.Skipped, st.Sent, st.Observed)
+	}
+	if st.TotalBits != 0 {
+		t.Errorf("jump path consumed %d lazy comparison bits, want 0", st.TotalBits)
+	}
+}
+
+// TestSkipAheadRearmOnThresholdChange pins the re-arm rule: a jump
+// armed at one threshold is abandoned the moment a broadcast raises
+// it (memorylessness makes the fresh exponential exact), while a
+// stale lower broadcast leaves the armed jump untouched.
+func TestSkipAheadRearmOnThresholdChange(t *testing.T) {
+	cfg := Config{K: 1, S: 2, SkipAhead: true, DisableLevelSets: true}
+	st := NewSite(0, cfg, xrand.New(7))
+	st.HandleBroadcast(Message{Kind: MsgEpochUpdate, Threshold: 50})
+	drop := func(Message) {}
+
+	for st.Skipped == 0 {
+		if err := st.Observe(stream.Item{ID: 1, Weight: 0.01}, drop); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !st.jump.ArmedAt(50) {
+		t.Fatal("jump not armed at the active threshold after a skip")
+	}
+	// Monotone guard: a stale lower threshold must not disturb the jump.
+	st.HandleBroadcast(Message{Kind: MsgEpochUpdate, Threshold: 10})
+	if !st.jump.ArmedAt(50) {
+		t.Fatal("stale lower broadcast disturbed the armed jump")
+	}
+	// A real epoch advance invalidates the armed jump...
+	st.HandleBroadcast(Message{Kind: MsgEpochUpdate, Threshold: 80})
+	if st.jump.ArmedAt(80) {
+		t.Fatal("jump claims to target the new threshold before any arrival")
+	}
+	// ...and the next arrival re-arms at the new threshold (or lands and
+	// disarms, the only other legal outcome).
+	sentBefore := st.Sent
+	if err := st.Observe(stream.Item{ID: 2, Weight: 0.01}, drop); err != nil {
+		t.Fatal(err)
+	}
+	if st.Sent == sentBefore && !st.jump.ArmedAt(80) {
+		t.Fatal("arrival after a threshold change neither re-armed the jump nor sent")
+	}
+}
+
+// TestObserveBatchBitEquality pins that ObserveBatch is bit-identical
+// to the equivalent Observe loop — same messages, same order, same RNG
+// draws — across all three arrival classes: early (unsaturated level),
+// jump-filtered, and jump-landing. A mid-run threshold bump (applied
+// from inside the send callback, as the synchronous runtime would)
+// exercises the re-read-after-send break.
+func TestObserveBatchBitEquality(t *testing.T) {
+	cfg := Config{K: 1, S: 3, SkipAhead: true}
+	r := cfg.R()
+	mkSite := func() *Site {
+		s := NewSite(0, cfg, xrand.New(23))
+		// Saturate the light class's level so it uses the jump path; the
+		// heavy class stays early, diverting batches mid-run.
+		s.HandleBroadcast(Message{Kind: MsgLevelSaturated, Level: levelOf(1.0, r)})
+		s.HandleBroadcast(Message{Kind: MsgEpochUpdate, Threshold: 4})
+		return s
+	}
+	collect := func(s *Site, out *[]Message) func(Message) {
+		return func(m Message) {
+			*out = append(*out, m)
+			if len(*out) == 5 {
+				s.HandleBroadcast(Message{Kind: MsgEpochUpdate, Threshold: 9})
+			}
+		}
+	}
+	items := make([]stream.Item, 400)
+	for i := range items {
+		w := 1.0
+		if i%7 == 3 {
+			w = 1000.0
+		}
+		items[i] = stream.Item{ID: uint64(i), Weight: w}
+	}
+
+	a, b := mkSite(), mkSite()
+	var ma, mb []Message
+	sendA, sendB := collect(a, &ma), collect(b, &mb)
+	for _, it := range items {
+		if err := a.Observe(it, sendA); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := b.ObserveBatch(items, sendB); err != nil {
+		t.Fatal(err)
+	}
+	if len(ma) != len(mb) {
+		t.Fatalf("message counts differ: loop %d, batch %d", len(ma), len(mb))
+	}
+	for i := range ma {
+		if ma[i] != mb[i] {
+			t.Fatalf("message %d differs: loop %+v, batch %+v", i, ma[i], mb[i])
+		}
+	}
+	if a.Observed != b.Observed || a.Sent != b.Sent || a.Skipped != b.Skipped {
+		t.Errorf("counters differ: loop (%d, %d, %d), batch (%d, %d, %d)",
+			a.Observed, a.Sent, a.Skipped, b.Observed, b.Sent, b.Skipped)
+	}
+	if a.Skipped == 0 {
+		t.Error("workload never engaged the jump: the equality is vacuous")
+	}
+}
+
+// TestSkipAheadInclusionExactS1 is the end-to-end distributional pin:
+// for s = 1, weighted SWOR reduces to single weighted selection, whose
+// inclusion probability is exactly w_i / W — no approximation, no
+// tuning. Running the full coordinator/site protocol with SkipAhead
+// over many independent seeds must reproduce it for every item.
+func TestSkipAheadInclusionExactS1(t *testing.T) {
+	weights := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 20, 40}
+	var W float64
+	for _, w := range weights {
+		W += w
+	}
+	const trials = 6000
+	cfg := Config{K: 2, S: 1, SkipAhead: true}
+	wins := make([]int, len(weights))
+	for tr := 0; tr < trials; tr++ {
+		cl, coord := newTestCluster(cfg, 1_000_000+uint64(tr), nil)
+		for i, w := range weights {
+			if err := cl.Feed(i%cfg.K, stream.Item{ID: uint64(i), Weight: w}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		q := coord.Query()
+		if len(q) != 1 {
+			t.Fatalf("trial %d: query size %d, want 1", tr, len(q))
+		}
+		wins[q[0].Item.ID]++
+	}
+	for i, w := range weights {
+		p := w / W
+		mean := trials * p
+		se := math.Sqrt(trials * p * (1 - p))
+		if d := math.Abs(float64(wins[i]) - mean); d > 4.5*se {
+			t.Errorf("item %d (weight %v): included %d of %d, want %.0f +- %.0f (4.5 SE)",
+				i, w, wins[i], trials, mean, 4.5*se)
+		}
+	}
+}

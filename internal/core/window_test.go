@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 	"math"
+	"sort"
 	"testing"
 
 	"wrs/internal/stream"
@@ -346,11 +347,14 @@ func TestWindowSiteBatchBitEquivalence(t *testing.T) {
 
 // TestWindowSiteRetentionLockstep pins that WindowSite's inlined
 // expire/dominance/trim pass is the same rule as window.Retention fed
-// the identical (pos, key) sequence: after every arrival the site's
-// retained (pos, key) set must equal the Retention's. The sandwich
-// exactness argument needs the site and coordinator structures to
-// agree on what is retainable, so a change to one rule without the
-// other must fail here.
+// the identical (pos, key) sequence: after every arrival — with both
+// sides' lazy dominance compaction forced, so the comparison is of the
+// eager rule both implement — the site's retained (pos, key) set must
+// equal the Retention's, and the site's incrementally maintained
+// threshold must equal the s-th largest retained key derived from the
+// Retention's view. The sandwich exactness argument needs the site and
+// coordinator structures to agree on what is retainable, so a change
+// to one rule without the other must fail here.
 func TestWindowSiteRetentionLockstep(t *testing.T) {
 	const s, width, n = 3, 15, 400
 	site := NewWindowSite(0, Config{K: 1, S: s}, width, xrand.New(21))
@@ -366,15 +370,32 @@ func TestWindowSiteRetentionLockstep(t *testing.T) {
 			t.Fatal(err)
 		}
 		ret.Add(i, mirror.ExpKey(it.Weight), it)
+		site.Compact()
+		ret.Compact()
 		want := ret.AppendEntries(nil)
 		if site.Buffered() != len(want) {
 			t.Fatalf("step %d: site retains %d entries, Retention %d", i, site.Buffered(), len(want))
 		}
 		for j, e := range want {
-			if site.kept[j].pos != e.Pos || site.kept[j].key != e.Key {
+			got := site.kept[site.start+j]
+			if got.pos != e.Pos || got.key != e.Key {
 				t.Fatalf("step %d: entry %d diverged: site (%d, %v), Retention (%d, %v)",
-					i, j, site.kept[j].pos, site.kept[j].key, e.Pos, e.Key)
+					i, j, got.pos, got.key, e.Pos, e.Key)
 			}
+		}
+		// The incremental threshold must match a from-scratch selection
+		// over the retained keys (-1 while at most s are live).
+		wantTh := -1.0
+		if len(want) > s {
+			keys := make([]float64, 0, len(want))
+			for _, e := range want {
+				keys = append(keys, e.Key)
+			}
+			sort.Float64s(keys)
+			wantTh = keys[len(keys)-s]
+		}
+		if got := site.Threshold(); got != wantTh {
+			t.Fatalf("step %d: incremental threshold %v, want %v", i, got, wantTh)
 		}
 	}
 }

@@ -43,6 +43,13 @@ type RepeatSite[M Msg] interface {
 	ObserveRepeated(it stream.Item, count int, send func(M)) error
 }
 
+// BatchSite is implemented by sites with a native batch ingest path
+// (core.Site's A-ExpJ skip-ahead keeps its armed jump in a register
+// across a batch). FeedBatch uses it when present.
+type BatchSite[M Msg] interface {
+	ObserveBatch(items []stream.Item, send func(M)) error
+}
+
 // Coordinator is the central protocol state machine.
 type Coordinator[M Msg] interface {
 	// HandleMessage processes one site message and may broadcast
@@ -117,11 +124,18 @@ func (c *Cluster[M]) Feed(siteID int, it stream.Item) error {
 // FeedBatch delivers a slice of arrivals to a site in order — the
 // sequential-runtime counterpart of transport.SiteClient.ObserveBatch,
 // so code can be written against one feeding API and run on either
-// runtime. In the synchronous model batching changes nothing
-// observable; it exists for API parity.
+// runtime. Sites with a native batch path (BatchSite) get the whole
+// slice in one call; otherwise batching changes nothing observable and
+// exists for API parity.
 func (c *Cluster[M]) FeedBatch(siteID int, items []stream.Item) error {
+	if siteID < 0 || siteID >= len(c.Sites) {
+		return fmt.Errorf("netsim: site %d out of range [0,%d)", siteID, len(c.Sites))
+	}
+	if bs, ok := c.Sites[siteID].(BatchSite[M]); ok {
+		return bs.ObserveBatch(items, c.send)
+	}
 	for _, it := range items {
-		if err := c.Feed(siteID, it); err != nil {
+		if err := c.Sites[siteID].Observe(it, c.send); err != nil {
 			return err
 		}
 	}

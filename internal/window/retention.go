@@ -16,23 +16,46 @@ import (
 // windowed coordinator (which keeps one Retention per site, fed from
 // sequence-stamped protocol messages and clock announcements).
 //
-// Invariant: kept holds, in ascending position order, exactly the
-// added items that (a) are inside the current window
+// Invariant: kept[start:] holds, in ascending position order, a
+// superset of the added items that (a) are inside the current window
 // [count-width, count-1] and (b) have fewer than s *later* added items
 // with larger keys. Later items outlive earlier ones in every window
 // (windows are suffixes of the sub-stream), so an item with s later
 // dominators can never re-enter a top-s sample — discarding it is
 // safe, and the expected retained count is O(s·log(width/s)).
 //
-// core.WindowSite inlines the in-order fast path of this rule (its
-// entries additionally carry a sent flag); the exactness of the
-// distributed protocol depends on the two staying the same rule,
-// pinned by TestWindowSiteRetentionLockstep in internal/core.
+// The dominance rule is applied *lazily*: instead of updating dominator
+// counts on every Add (an O(retained) scan per arrival), Compact runs a
+// single backward pass with a suffix top-s min-heap whenever the live
+// count doubles past its post-compaction size. This is equivalent to
+// the eager rule — the s largest of any entry's later-larger arrivals
+// always survive every compaction (each is itself beaten only by even
+// larger, even later entries), so counting dominators among survivors
+// counts exactly the entries the eager rule would — while making the
+// per-arrival cost O(1) amortized plus O(log s) per compaction share.
+// Between compactions a dominated entry may linger; it is never in the
+// window top-s (its s live dominators outrank it), so Sample and
+// AppendEntries consumers are unaffected. Retained is therefore an
+// upper bound on the eager count, at most ~2x; call Compact first when
+// an exact dominance-pruned count is needed.
+//
+// Expiry is always a prefix drop (positions ascend), handled by
+// advancing start and compacting the array in place when the dead
+// prefix would force a reallocation — the steady state recycles one
+// backing array with zero allocations.
+//
+// core.WindowSite inlines the same lazy rule (its entries additionally
+// carry sent flags and an incremental top-s threshold); the exactness
+// of the distributed protocol depends on the two staying the same
+// rule, pinned by TestWindowSiteRetentionLockstep in internal/core.
 type Retention struct {
-	s     int
-	width int
-	count int     // positions observed: the window is [count-width, count-1]
-	kept  []entry // ascending by Pos
+	s       int
+	width   int
+	count   int     // positions observed: the window is [count-width, count-1]
+	start   int     // kept[start:] are the live entries
+	kept    []Entry // ascending by Pos from start
+	heap    []float64
+	pruneAt int // live count that triggers the next dominance compaction
 }
 
 // NewRetention returns a retention structure for sample size s over a
@@ -41,7 +64,21 @@ func NewRetention(s, width int) (*Retention, error) {
 	if s < 1 || width < 1 {
 		return nil, fmt.Errorf("window: need s >= 1 and width >= 1, got %d, %d", s, width)
 	}
-	return &Retention{s: s, width: width}, nil
+	r := &Retention{s: s, width: width}
+	r.setPruneAt(s)
+	return r, nil
+}
+
+// setPruneAt schedules the next dominance compaction at roughly double
+// the current live count n, clamped below width: the window never holds
+// width positions' worth of lazy slack, so small windows stay
+// near-eagerly pruned while large ones amortize the compaction cost.
+func (r *Retention) setPruneAt(n int) {
+	p := 2*n + r.s
+	if p >= r.width {
+		p = r.width - 1
+	}
+	r.pruneAt = p
 }
 
 // Add inserts the item observed at position pos with the given key.
@@ -59,26 +96,21 @@ func (r *Retention) Add(pos int, key float64, it stream.Item) {
 	if pos < lo {
 		return // expired before it arrived; it can never be sampled again
 	}
+	r.expire(lo)
+	if len(r.kept) == cap(r.kept) && r.start > 0 {
+		r.compactFront()
+	}
 	// Insert in position order (tail scan: sub-streams are nearly sorted).
 	i := len(r.kept)
-	for i > 0 && r.kept[i-1].Pos > pos {
+	r.kept = append(r.kept, Entry{})
+	for i > r.start && r.kept[i-1].Pos > pos {
+		r.kept[i] = r.kept[i-1]
 		i--
 	}
-	r.kept = append(r.kept, entry{})
-	copy(r.kept[i+1:], r.kept[i:])
-	e := entry{Entry: Entry{Pos: pos, Key: key, Item: it}}
-	for j := i + 1; j < len(r.kept); j++ {
-		if r.kept[j].Key > key {
-			e.dominators++
-		}
+	r.kept[i] = Entry{Pos: pos, Key: key, Item: it}
+	if r.Retained() > r.pruneAt {
+		r.Compact()
 	}
-	r.kept[i] = e
-	for j := 0; j < i; j++ {
-		if r.kept[j].Key < key {
-			r.kept[j].dominators++
-		}
-	}
-	r.trim(lo)
 }
 
 // Advance raises the clock to count positions observed (no-op if the
@@ -90,18 +122,96 @@ func (r *Retention) Advance(count int) {
 		return
 	}
 	r.count = count
-	r.trim(count - r.width)
+	r.expire(count - r.width)
 }
 
-// trim drops expired and dominated entries in one pass.
-func (r *Retention) trim(lo int) {
-	dst := r.kept[:0]
-	for _, e := range r.kept {
-		if e.Pos >= lo && e.dominators < r.s {
-			dst = append(dst, e)
-		}
+// expire advances start past entries that left the window, zeroing the
+// dead slots so expired items are released immediately.
+func (r *Retention) expire(lo int) {
+	for r.start < len(r.kept) && r.kept[r.start].Pos < lo {
+		r.kept[r.start] = Entry{}
+		r.start++
 	}
-	r.kept = dst
+	if r.start == len(r.kept) {
+		r.kept = r.kept[:0]
+		r.start = 0
+	}
+}
+
+// compactFront slides the live entries to the front of the backing
+// array, reclaiming the expired prefix without reallocating.
+func (r *Retention) compactFront() {
+	n := copy(r.kept, r.kept[r.start:])
+	tail := r.kept[n:]
+	for i := range tail {
+		tail[i] = Entry{}
+	}
+	r.kept = r.kept[:n]
+	r.start = 0
+}
+
+// Compact eagerly applies the dominance rule now: one backward pass
+// maintaining the min-heap of the s largest keys seen so far (the live
+// suffix top-s), dropping every entry those keys dominate. Afterwards
+// Retained equals the eager dominance-pruned count exactly.
+func (r *Retention) Compact() {
+	live := r.kept[r.start:]
+	h := r.heap[:0]
+	out := len(live)
+	for i := len(live) - 1; i >= 0; i-- {
+		e := live[i]
+		if len(h) == r.s && h[0] > e.Key {
+			continue // >= s later live entries hold strictly larger keys
+		}
+		h = pushTopKey(h, e.Key, r.s)
+		out--
+		live[out] = e
+	}
+	n := copy(r.kept, live[out:])
+	tail := r.kept[n:]
+	for i := range tail {
+		tail[i] = Entry{}
+	}
+	r.kept = r.kept[:n]
+	r.start = 0
+	r.heap = h
+	r.setPruneAt(n)
+}
+
+// pushTopKey folds k into the min-heap h of the up-to-s largest keys.
+func pushTopKey(h []float64, k float64, s int) []float64 {
+	if len(h) < s {
+		h = append(h, k)
+		for c := len(h) - 1; c > 0; {
+			p := (c - 1) / 2
+			if h[p] <= h[c] {
+				break
+			}
+			h[p], h[c] = h[c], h[p]
+			c = p
+		}
+		return h
+	}
+	if k <= h[0] {
+		return h
+	}
+	h[0] = k
+	for c := 0; ; {
+		l, rr := 2*c+1, 2*c+2
+		m := c
+		if l < len(h) && h[l] < h[m] {
+			m = l
+		}
+		if rr < len(h) && h[rr] < h[m] {
+			m = rr
+		}
+		if m == c {
+			break
+		}
+		h[m], h[c] = h[c], h[m]
+		c = m
+	}
+	return h
 }
 
 // Count returns the clock: the number of positions observed.
@@ -116,22 +226,21 @@ func (r *Retention) Live() int {
 	return r.width
 }
 
-// Retained returns the number of items currently stored.
-func (r *Retention) Retained() int { return len(r.kept) }
+// Retained returns the number of items currently stored — with lazy
+// pruning, at most ~2x the eager dominance-pruned count (run Compact
+// for the exact count).
+func (r *Retention) Retained() int { return len(r.kept) - r.start }
 
 // AppendEntries appends every retained entry (all inside the current
 // window, unsorted beyond ascending position) to dst and returns it —
 // the O(retained) read path; sort outside any lock.
 func (r *Retention) AppendEntries(dst []Entry) []Entry {
-	for _, e := range r.kept {
-		dst = append(dst, e.Entry)
-	}
-	return dst
+	return append(dst, r.kept[r.start:]...)
 }
 
 // Sample returns the weighted SWOR of the current window: the retained
 // items with the top min(s, live) keys, largest first.
 func (r *Retention) Sample() []Entry {
-	out := r.AppendEntries(make([]Entry, 0, len(r.kept)))
+	out := r.AppendEntries(make([]Entry, 0, r.Retained()))
 	return TopEntries(out, r.s)
 }

@@ -1,0 +1,94 @@
+package xrand
+
+// Jump is the state of an A-ExpJ exponential jump (Efraimidis &
+// Spirakis' "exponential jumps" for weighted reservoir sampling,
+// adapted to the precision-sampling key v = w/t, t ~ Exp(1), used
+// throughout this library).
+//
+// An item of weight w beats a threshold u > 0 with probability
+// p = P(v > u) = 1 - e^(-w/u), independently across items. For a run of
+// items with cumulative weight C the probability that none beats u is
+// therefore e^(-C/u) — the same law as P(u·E > C) for a single
+// E ~ Exp(1). So instead of drawing one variate per item, arm a jump:
+// draw E once and set the landing target W* = u·E. The first item whose
+// cumulative weight reaches W* is exactly the first item whose key
+// exceeds u:
+//
+//	P(items 1..j-1 all fail, item j passes)
+//	  = P(C_{j-1} < W* <= C_j)
+//	  = e^(-C_{j-1}/u) · (1 - e^(-w_j/u)).
+//
+// Every skipped item costs one float subtraction — zero RNG draws, zero
+// key computations. The landing item's key is then drawn from the
+// conditional distribution {v | v > u} (KeyAbove), which is independent
+// of where inside the item the jump landed.
+//
+// Re-arming: by the memorylessness of the exponential, conditioned on
+// "not landed yet" the remaining distance rem is again Exp with mean u.
+// Discarding a partially consumed jump and arming a fresh one at any
+// item boundary is therefore distribution-exact — which is how a site
+// handles a threshold raise mid-run: the jump is only valid for the
+// threshold it was armed against (ArmedAt), and is re-armed whenever a
+// broadcast moves the threshold.
+//
+// The zero value is disarmed.
+type Jump struct {
+	th  float64 // threshold the jump was armed against; 0 = disarmed
+	rem float64 // remaining cumulative weight before the jump lands
+}
+
+// ArmedAt reports whether the jump is armed against threshold th.
+func (j *Jump) ArmedAt(th float64) bool { return j.th == th && j.th > 0 }
+
+// Arm draws a fresh landing target against threshold th > 0.
+func (j *Jump) Arm(r *RNG, th float64) {
+	j.th = th
+	j.rem = th * r.Exp()
+}
+
+// Disarm invalidates the jump (e.g. on a threshold change observed
+// outside Offer).
+func (j *Jump) Disarm() { j.th = 0 }
+
+// Offer consumes one item of weight w. A false return means the jump
+// flies past the item: its key is provably <= the armed threshold and
+// the item can be dropped with no RNG work. A true return means the
+// jump lands within the item — its key exceeds the threshold; the
+// caller must materialize the key with KeyAbove and re-arm before the
+// next item. Offer must only be called while armed.
+func (j *Jump) Offer(w float64) bool {
+	if j.rem > w {
+		j.rem -= w
+		return false
+	}
+	j.th = 0
+	return true
+}
+
+// SkipIdentical consumes up to n identical items of weight w and
+// returns how many the jump skips. A return of n means all copies fail
+// the threshold (the jump stays armed with its remaining distance); a
+// return m < n means copy m+1 is the first to pass — the jump disarms
+// and the caller draws its key with KeyAbove. The skip count floor(rem/w)
+// realizes the geometric law P(skip >= m) = e^(-m·w/u) = (1-p)^m, the
+// same distribution the per-copy geometric skip of ObserveRepeated used
+// before it was rebased on this sampler.
+func (j *Jump) SkipIdentical(w float64, n int) int {
+	if float64(n)*w < j.rem {
+		j.rem -= float64(n) * w
+		return n
+	}
+	m := int(j.rem / w)
+	if m >= n { // float edge: rem/w rounding up to n
+		m = n - 1
+	}
+	j.th = 0
+	return m
+}
+
+// KeyAbove returns a precision-sampling key for weight w conditioned on
+// exceeding the threshold u > 0: v = w/t with t ~ Exp(1) | t < w/u.
+// It is the materialization step after a jump lands.
+func KeyAbove(r *RNG, w, u float64) float64 {
+	return w / r.TruncExpBelow(w/u)
+}

@@ -1,0 +1,225 @@
+package xrand
+
+import (
+	"math"
+	"testing"
+)
+
+func TestJumpZeroValueDisarmed(t *testing.T) {
+	var j Jump
+	if j.ArmedAt(1.0) || j.ArmedAt(0) {
+		t.Fatal("zero-value Jump reports armed")
+	}
+	r := New(7)
+	j.Arm(r, 2.5)
+	if !j.ArmedAt(2.5) {
+		t.Fatal("armed jump does not report ArmedAt its threshold")
+	}
+	if j.ArmedAt(2.0) {
+		t.Fatal("jump reports armed at a threshold it was not armed against")
+	}
+	j.Disarm()
+	if j.ArmedAt(2.5) {
+		t.Fatal("Disarm did not disarm")
+	}
+}
+
+func TestJumpOfferDisarmsOnLanding(t *testing.T) {
+	r := New(11)
+	const th = 3.0
+	for trial := 0; trial < 1000; trial++ {
+		var j Jump
+		j.Arm(r, th)
+		for j.ArmedAt(th) {
+			if j.Offer(0.5) {
+				if j.ArmedAt(th) {
+					t.Fatal("jump still armed after landing")
+				}
+			}
+		}
+	}
+}
+
+// TestJumpPassProbability checks the per-item marginal: an item of
+// weight w offered to a jump armed at u passes with p = 1 - e^(-w/u),
+// including across heterogeneous weight sequences where the jump skips
+// runs of items between landings.
+func TestJumpPassProbability(t *testing.T) {
+	r := New(42)
+	const u = 10.0
+	weights := []float64{0.5, 2.0, 7.5, 30.0}
+	pass := make([]int, len(weights))
+	total := make([]int, len(weights))
+	const rounds = 200000
+	var j Jump
+	for i := 0; i < rounds; i++ {
+		w := weights[i%len(weights)]
+		if !j.ArmedAt(u) {
+			j.Arm(r, u)
+		}
+		total[i%len(weights)]++
+		if j.Offer(w) {
+			pass[i%len(weights)]++
+		}
+	}
+	for i, w := range weights {
+		p := -math.Expm1(-w / u)
+		got := float64(pass[i]) / float64(total[i])
+		se := math.Sqrt(p * (1 - p) / float64(total[i]))
+		if math.Abs(got-p) > 4.5*se {
+			t.Errorf("weight %v: pass rate %v, want %v (±%v)", w, got, p, 4.5*se)
+		}
+	}
+}
+
+// TestJumpRearmMemoryless re-arms the jump at every item boundary
+// (discarding the partially consumed jump) and checks the marginal pass
+// probability is unchanged — the re-arm rule a site applies when a
+// broadcast moves the threshold must be distribution-exact.
+func TestJumpRearmMemoryless(t *testing.T) {
+	r := New(1234)
+	const u, w = 5.0, 1.5
+	p := -math.Expm1(-w / u)
+	const rounds = 200000
+	pass := 0
+	for i := 0; i < rounds; i++ {
+		var j Jump
+		j.Arm(r, u) // fresh jump per item = maximal re-arming
+		if j.Offer(w) {
+			pass++
+		}
+	}
+	got := float64(pass) / float64(rounds)
+	se := math.Sqrt(p * (1 - p) / float64(rounds))
+	if math.Abs(got-p) > 4.5*se {
+		t.Errorf("re-armed pass rate %v, want %v (±%v)", got, p, 4.5*se)
+	}
+}
+
+// TestJumpSkipIdenticalMatchesGeometric checks SkipIdentical against
+// the geometric law it replaces: the number of skipped copies before
+// the first pass is Geometric(p) with p = 1 - e^(-w/u).
+func TestJumpSkipIdenticalMatchesGeometric(t *testing.T) {
+	rj := New(99)
+	rg := New(100)
+	const u, w = 20.0, 1.0
+	p := -math.Expm1(-w / u)
+	const rounds = 100000
+	const n = 1 << 30 // effectively unbounded
+	var sumJ, sumG, sqJ, sqG float64
+	for i := 0; i < rounds; i++ {
+		var j Jump
+		j.Arm(rj, u)
+		s := float64(j.SkipIdentical(w, n))
+		sumJ += s
+		sqJ += s * s
+		g := float64(rg.Geometric(p))
+		sumG += g
+		sqG += g * g
+	}
+	meanJ, meanG := sumJ/rounds, sumG/rounds
+	varJ := sqJ/rounds - meanJ*meanJ
+	varG := sqG/rounds - meanG*meanG
+	se := math.Sqrt((varJ + varG) / rounds)
+	if math.Abs(meanJ-meanG) > 4.5*se {
+		t.Errorf("skip mean %v vs geometric mean %v (se %v)", meanJ, meanG, se)
+	}
+	want := (1 - p) / p
+	if math.Abs(meanJ-want) > 4.5*math.Sqrt(varJ/rounds) {
+		t.Errorf("skip mean %v, want analytic %v", meanJ, want)
+	}
+}
+
+// TestJumpSkipIdenticalBounded: when all n copies fail, the jump stays
+// armed and charges exactly n·w of distance; when copy m+1 lands the
+// jump disarms and 0 <= m < n.
+func TestJumpSkipIdenticalBounded(t *testing.T) {
+	r := New(5)
+	const u, w = 1.0, 3.0 // heavy copies: lands almost immediately
+	for trial := 0; trial < 10000; trial++ {
+		var j Jump
+		j.Arm(r, u)
+		m := j.SkipIdentical(w, 4)
+		if m < 0 || m > 4 {
+			t.Fatalf("skip count %d out of range", m)
+		}
+		if m == 4 && !j.ArmedAt(u) {
+			t.Fatal("all-skipped jump disarmed itself")
+		}
+		if m < 4 && j.ArmedAt(u) {
+			t.Fatal("landed jump still armed")
+		}
+	}
+}
+
+// TestKeyAboveConditional: KeyAbove draws from {v = w/t : v > u}. Every
+// key must exceed u, and the log-key distribution must match a direct
+// rejection sampler for the same conditional law.
+func TestKeyAboveConditional(t *testing.T) {
+	rk := New(21)
+	rr := New(22)
+	const u, w = 4.0, 2.0
+	const rounds = 100000
+	var sumK, sqK float64
+	for i := 0; i < rounds; i++ {
+		v := KeyAbove(rk, w, u)
+		if v <= u {
+			t.Fatalf("KeyAbove returned %v <= threshold %v", v, u)
+		}
+		lt := math.Log(v)
+		sumK += lt
+		sqK += lt * lt
+	}
+	// Rejection reference: draw v = w/Exp(1) until v > u.
+	var sumR, sqR float64
+	for i := 0; i < rounds; i++ {
+		for {
+			v := rr.ExpKey(w)
+			if v > u {
+				lv := math.Log(v)
+				sumR += lv
+				sqR += lv * lv
+				break
+			}
+		}
+	}
+	meanK, meanR := sumK/rounds, sumR/rounds
+	varK := sqK/rounds - meanK*meanK
+	varR := sqR/rounds - meanR*meanR
+	se := math.Sqrt((varK + varR) / rounds)
+	if math.Abs(meanK-meanR) > 4.5*se {
+		t.Errorf("log-key mean %v vs rejection mean %v (se %v)", meanK, meanR, se)
+	}
+}
+
+// TestJumpFirstPassIndex pins the full landing law on a heterogeneous
+// run: P(first pass at item j) = e^(-C_{j-1}/u)·(1 - e^(-w_j/u)).
+func TestJumpFirstPassIndex(t *testing.T) {
+	r := New(2024)
+	const u = 8.0
+	weights := []float64{1, 4, 2, 9, 0.5}
+	counts := make([]int, len(weights)+1) // last bucket = no landing
+	const rounds = 200000
+	for i := 0; i < rounds; i++ {
+		var j Jump
+		j.Arm(r, u)
+		hit := len(weights)
+		for idx, w := range weights {
+			if j.Offer(w) {
+				hit = idx
+				break
+			}
+		}
+		counts[hit]++
+	}
+	cum := 0.0
+	for idx, w := range weights {
+		p := math.Exp(-cum/u) * -math.Expm1(-w/u)
+		got := float64(counts[idx]) / float64(rounds)
+		se := math.Sqrt(p * (1 - p) / float64(rounds))
+		if math.Abs(got-p) > 4.5*se {
+			t.Errorf("landing at item %d: rate %v, want %v (±%v)", idx, got, p, 4.5*se)
+		}
+		cum += w
+	}
+}
