@@ -8,6 +8,8 @@ import (
 	"runtime/debug"
 	"time"
 
+	"wrs/internal/core"
+	"wrs/internal/relay"
 	"wrs/internal/transport"
 )
 
@@ -31,6 +33,7 @@ type ingestRecord struct {
 	DroppedPct float64 `json:"dropped_pct"`
 	Queries    int64   `json:"queries,omitempty"`
 	Window     int     `json:"window,omitempty"`
+	Tree       string  `json:"tree,omitempty"` // "fanout=F,depth=D" for relayed rows
 	Date       string  `json:"date"`
 }
 
@@ -75,7 +78,11 @@ func buildCommit() string {
 //   - window workload, width ∈ {1024, 65536}: sequence-stamped
 //     MsgWindow candidates into windowed coordinators — the
 //     non-monotone retention update (ordered insert, lazy dominance,
-//     in-place expiry) per message, the PR 5 axis reworked in §13.
+//     in-place expiry) per message, the PR 5 axis reworked in §13;
+//   - live workload through a relay tree (fanout=4,depth=1 and
+//     fanout=2,depth=2): every message crosses 1 or 2 relay hops on its
+//     way to the server, so the delta against live/shards=1 is the
+//     per-hop relay overhead the hierarchical fabric (§14) adds.
 func collectIngestMatrix(quick bool) ([]ingestRecord, error) {
 	msgs := int64(4 << 20)
 	if quick {
@@ -85,6 +92,7 @@ func collectIngestMatrix(quick bool) ([]ingestRecord, error) {
 	cpus := runtime.NumCPU()
 	commit := buildCommit()
 	var records []ingestRecord
+	var tree string
 	add := func(name, workload, mode string, res transport.IngestBenchResult) {
 		records = append(records, ingestRecord{
 			Name:       name,
@@ -102,6 +110,7 @@ func collectIngestMatrix(quick bool) ([]ingestRecord, error) {
 			DroppedPct: 100 * float64(res.Dropped) / float64(res.Msgs),
 			Queries:    res.Queries,
 			Window:     res.Opts.Window,
+			Tree:       tree,
 			Date:       date,
 		})
 		fmt.Printf("%-36s %8.1f ns/msg  %7.2f Mmsg/s  (shards=%d procs=%d cpus=%d)\n",
@@ -148,6 +157,24 @@ func collectIngestMatrix(quick bool) ([]ingestRecord, error) {
 			return nil, err
 		}
 		add(fmt.Sprintf("window/width=%d", width), "window", "prefilter", res)
+	}
+
+	// Relay-tree axis: the live workload re-run behind relay tiers. The
+	// tier cfg mirrors what RunIngestBench builds for the live workload
+	// (K = conns, default s, epochs off), so the relays speak the same
+	// protocol the server hosts.
+	for _, shape := range []struct{ fanout, depth int }{{4, 1}, {2, 2}} {
+		treeCfg := core.Config{K: 8, S: 8, DisableEpochs: true}
+		tree = fmt.Sprintf("fanout=%d,depth=%d", shape.fanout, shape.depth)
+		res, err := transport.RunIngestBench(transport.IngestBenchOpts{
+			Msgs: msgs, Live: true,
+			TreeDial: relay.IngestTier(treeCfg, 1, shape.fanout, shape.depth, relay.Options{}),
+		})
+		if err != nil {
+			return nil, err
+		}
+		add("tree/live/"+tree, "live", "prefilter", res)
+		tree = ""
 	}
 
 	if cpus < 8 {

@@ -11,6 +11,7 @@
 //	wrs-tcp -app quantile -eps 0.15           # weight-CDF / rank quantiles
 //	wrs-tcp -app window -width 2000           # sliding-window SWOR
 //	wrs-tcp -shards 4                         # 4-way sharded fabric
+//	wrs-tcp -k 64 -tree fanout=4,depth=2      # hierarchical relay tree
 //
 // With -shards > 1 the one server hosts P protocol shards behind
 // per-shard ingest locks and each of the k connections multiplexes all
@@ -18,6 +19,13 @@
 // exactly. With -batch > 1 the sites feed through FeedBatch, coalescing
 // protocol messages into multi-message frames (the high-throughput
 // path); -batch 1 sends one frame per message.
+//
+// With -tree fanout=F,depth=D the sites connect through D tiers of
+// aggregation relays instead of directly to the coordinator: the root
+// terminates min(F, k) connections instead of k and each relay locally
+// pre-filters its subtree's candidates, so k scales to the thousands.
+// The answer is unchanged — relays only drop messages the coordinator
+// would drop on arrival.
 package main
 
 import (
@@ -25,6 +33,8 @@ import (
 	"fmt"
 	"math"
 	"os"
+	"strconv"
+	"strings"
 	"sync"
 	"time"
 
@@ -34,6 +44,7 @@ import (
 	"wrs/internal/l1track"
 	"wrs/internal/netsim"
 	"wrs/internal/quantile"
+	"wrs/internal/relay"
 	"wrs/internal/stream"
 	"wrs/internal/transport"
 	"wrs/internal/window"
@@ -56,11 +67,16 @@ func main() {
 	delta := flag.Float64("delta", 0.1, "failure probability (hh, l1 apps)")
 	width := flag.Int("width", 2000, "sub-stream window width in items (window app)")
 	shards := flag.Int("shards", 1, "protocol shards (parallel coordinator locks, exact merged query)")
+	tree := flag.String("tree", "", "relay tree shape, e.g. fanout=4,depth=2 (empty = flat)")
 	flag.Parse()
 	if *batch < 1 {
 		*batch = 1
 	}
 	if err := fabric.Validate(*shards); err != nil {
+		fatal(err)
+	}
+	fanout, depth, err := parseTree(*tree)
+	if err != nil {
 		fatal(err)
 	}
 
@@ -73,7 +89,7 @@ func main() {
 	var (
 		protos   []transport.Coordinator
 		machines [][]netsim.Site[core.Message]
-		report   func(cluster *transport.Cluster, totalW float64)
+		report   func(cluster cluster, totalW float64)
 		coreCfg  core.Config
 	)
 	switch *app {
@@ -90,7 +106,7 @@ func main() {
 			}
 			machines = append(machines, sites)
 		}
-		report = func(cluster *transport.Cluster, _ float64) {
+		report = func(cluster cluster, _ float64) {
 			fmt.Println("\nsample (id, weight, key):")
 			for _, e := range cluster.Server().Query() {
 				fmt.Printf("  %8d  w=%-12.3f key=%.4g\n", e.Item.ID, e.Item.Weight, e.Key)
@@ -112,7 +128,7 @@ func main() {
 			machines = append(machines, sites)
 			trackers = append(trackers, tr)
 		}
-		report = func(cluster *transport.Cluster, _ float64) {
+		report = func(cluster cluster, _ float64) {
 			var entries []core.SampleEntry
 			for p, tr := range trackers {
 				coord := tr.Coord
@@ -148,7 +164,7 @@ func main() {
 			machines = append(machines, sites)
 			coords = append(coords, dc)
 		}
-		report = func(cluster *transport.Cluster, totalW float64) {
+		report = func(cluster cluster, totalW float64) {
 			var est float64
 			for p, dc := range coords {
 				dc := dc
@@ -180,7 +196,7 @@ func main() {
 			machines = append(machines, sites)
 			coords = append(coords, coord)
 		}
-		report = func(cluster *transport.Cluster, totalW float64) {
+		report = func(cluster cluster, totalW float64) {
 			var entries []core.SampleEntry
 			for p, coord := range coords {
 				coord := coord
@@ -214,7 +230,7 @@ func main() {
 			machines = append(machines, sites)
 			coords = append(coords, coord)
 		}
-		report = func(cluster *transport.Cluster, _ float64) {
+		report = func(cluster cluster, _ float64) {
 			var entries []window.Entry
 			var cov core.WindowCoverage
 			for p, coord := range coords {
@@ -237,12 +253,28 @@ func main() {
 		os.Exit(2)
 	}
 
-	cluster, err := transport.NewShardedCluster(coreCfg, protos, machines, "127.0.0.1:0")
-	if err != nil {
-		fatal(err)
+	var cluster cluster
+	if depth > 0 {
+		merge := true
+		for _, proto := range protos {
+			merge = merge && relay.UnionMergeable(proto)
+		}
+		tc, err := relay.NewTreeCluster(coreCfg, protos, machines, "127.0.0.1:0", fanout, depth, relay.Options{Merge: merge})
+		if err != nil {
+			fatal(err)
+		}
+		cluster = tc
+		fmt.Printf("coordinator listening on %s, %d sites via relay tree fanout=%d depth=%d (root conns %d, union merge %v), app=%s, shards=%d\n",
+			tc.Addr(), *k, fanout, depth, tc.RootConns(), merge, *app, *shards)
+	} else {
+		fc, err := transport.NewShardedCluster(coreCfg, protos, machines, "127.0.0.1:0")
+		if err != nil {
+			fatal(err)
+		}
+		cluster = fc
+		fmt.Printf("coordinator listening on %s, %d sites connected, app=%s, shards=%d\n",
+			fc.Addr(), *k, *app, *shards)
 	}
-	fmt.Printf("coordinator listening on %s, %d sites connected, app=%s, shards=%d\n",
-		cluster.Addr(), *k, *app, *shards)
 
 	start := time.Now()
 	perSite := *n / *k
@@ -290,8 +322,16 @@ func main() {
 	total := *k * perSite
 	fmt.Printf("\nstreamed %d updates in %v (%.0f updates/sec)\n",
 		total, elapsed.Round(time.Millisecond), float64(total)/elapsed.Seconds())
-	fmt.Printf("traffic: %d upstream messages (%.4f/update), %d broadcast frames, %d flow pings\n",
+	fmt.Printf("traffic: %d upstream messages (%.4f/update), %d broadcast deliveries, %d flow pings\n",
 		stats.Upstream, float64(stats.Upstream)/float64(total), stats.Downstream, pings)
+	if tc, ok := cluster.(*relay.TreeCluster); ok {
+		fmt.Printf("tree: root edge %d messages (%.4f/update) over %d root conns\n",
+			tc.RootUpstream(), float64(tc.RootUpstream())/float64(total), tc.RootConns())
+		for t, ts := range tc.TierStats() {
+			fmt.Printf("  tier %d: %d relays, %d forwarded, %d filtered, %d fanned down\n",
+				t, ts.Nodes, ts.Forwarded, ts.Filtered, ts.DownMessages)
+		}
+	}
 	srv := cluster.Server()
 	st := srv.Stats()
 	fmt.Printf("coordinator: %d early, %d regular, %d saturations, %d epoch advances, %d pre-filtered\n",
@@ -302,4 +342,50 @@ func main() {
 	if err := cluster.Close(); err != nil {
 		fatal(err)
 	}
+}
+
+// cluster is the driving surface shared by the flat transport cluster
+// and the relay tree cluster, so one demo body serves both topologies.
+type cluster interface {
+	Addr() string
+	Server() *transport.CoordinatorServer
+	Client(siteID int) *transport.SiteClient
+	FeedBatch(siteID int, items []stream.Item) error
+	Flush() error
+	DoShard(p int, fn func())
+	Stats() netsim.Stats
+	Close() error
+}
+
+// parseTree parses the -tree flag: empty means flat, otherwise
+// "fanout=F,depth=D" in either order.
+func parseTree(s string) (fanout, depth int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	for _, part := range strings.Split(s, ",") {
+		key, val, ok := strings.Cut(part, "=")
+		if !ok {
+			return 0, 0, fmt.Errorf("bad -tree component %q (want fanout=F,depth=D)", part)
+		}
+		v, convErr := strconv.Atoi(val)
+		if convErr != nil {
+			return 0, 0, fmt.Errorf("bad -tree value %q: %v", part, convErr)
+		}
+		switch key {
+		case "fanout":
+			fanout = v
+		case "depth":
+			depth = v
+		default:
+			return 0, 0, fmt.Errorf("unknown -tree key %q (want fanout=F,depth=D)", key)
+		}
+	}
+	if depth == 0 {
+		return 0, 0, fmt.Errorf("-tree %q: depth must be >= 1 (omit -tree for the flat topology)", s)
+	}
+	if err := netsim.ValidateTree(fanout, depth); err != nil {
+		return 0, 0, err
+	}
+	return fanout, depth, nil
 }

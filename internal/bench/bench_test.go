@@ -8,7 +8,7 @@ import (
 
 func TestRegistryComplete(t *testing.T) {
 	want := []string{"E1", "E2", "E3", "E4", "E5", "E6", "E7", "E8", "E9",
-		"E10", "E11", "E12", "E13", "E14", "E15", "A1", "A2", "A3", "A4"}
+		"E10", "E11", "E12", "E13", "E14", "E15", "E17", "A1", "A2", "A3", "A4"}
 	for _, id := range want {
 		if Find(id) == nil {
 			t.Errorf("experiment %s not registered", id)

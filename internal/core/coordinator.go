@@ -101,6 +101,19 @@ func (c *Coordinator) DropBelow() float64 { return c.u }
 // CurrentThreshold returns the last broadcast epoch threshold.
 func (c *Coordinator) CurrentThreshold() float64 { return c.curTh }
 
+// UnionTopSMergeable declares that every answer built on this
+// coordinator depends only on the top-s keys (and their items) of the
+// released-message union plus the withheld pool — so an intermediate
+// aggregator (package relay) may drop a MsgRegular that already has s
+// forwarded dominators in its own substream: the global top-s of a
+// union is contained in the union of substream top-s sets, exactly the
+// argument the shard fabric's query merge rests on. Application
+// wrappers whose answer reads more than the top-s (the L1 tracker's
+// exact-prefix accumulator, the windowed coordinator's non-monotone
+// retention) must NOT expose this method — they wrap the coordinator in
+// a plain field, never by embedding, so the marker cannot leak through.
+func (c *Coordinator) UnionTopSMergeable() bool { return true }
+
 // Config returns the configuration.
 func (c *Coordinator) Config() Config { return c.cfg }
 

@@ -1,0 +1,45 @@
+package relay
+
+import (
+	"testing"
+
+	"wrs/internal/core"
+	"wrs/internal/stream"
+	"wrs/internal/wire"
+)
+
+// FuzzRelayFrames is the relay parsing robustness target: whatever
+// bytes arrive as a frame payload — from a child (ProcessUpFrame) or
+// from the parent (ProcessDownFrame) — the relay must either process
+// them or return an error so the connection is dropped. It must never
+// panic: a relay serves a whole subtree, so one malicious child taking
+// it down would sever every site beneath it.
+func FuzzRelayFrames(f *testing.F) {
+	valid := wire.AppendMessage(nil, core.Message{
+		Kind: core.MsgRegular, Item: stream.Item{ID: 7, Weight: 2}, Key: 3,
+	})
+	tagged := wire.AppendMessage(wire.AppendShardHeader(nil, 1), core.Message{
+		Kind: core.MsgEpochUpdate, Threshold: 1.5,
+	})
+	f.Add(1, valid)
+	f.Add(2, tagged)
+	f.Add(2, []byte{0xF5, 0x01})               // truncated shard header
+	f.Add(1, []byte{wire.PingByte})            // control byte as data frame
+	f.Add(3, wire.AppendShardHeader(nil, 200)) // shard far out of range
+	f.Add(1, []byte{})
+	f.Fuzz(func(t *testing.T, shards int, payload []byte) {
+		if shards < 1 {
+			shards = 1
+		}
+		if shards > 4 {
+			shards = 4
+		}
+		machines := make([]*Machine, shards)
+		for p := range machines {
+			machines[p] = NewMachine(4, true)
+		}
+		// Errors are expected on malformed input; panics never are.
+		_ = ProcessUpFrame(machines, payload, func(int, core.Message) {})
+		_, _, _ = ProcessDownFrame(machines, payload)
+	})
+}

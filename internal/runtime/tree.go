@@ -1,0 +1,98 @@
+package runtime
+
+import (
+	"wrs/internal/core"
+	"wrs/internal/fabric"
+	"wrs/internal/netsim"
+	"wrs/internal/relay"
+	"wrs/internal/stream"
+	"wrs/internal/transport"
+)
+
+// SequentialTree returns the deterministic synchronous runtime over a
+// hierarchical relay tree (netsim.TreeCluster with relay.Machine
+// nodes): identical delivery semantics to Sequential — messages climb
+// the tree and broadcasts fan down inline inside Feed — plus relay
+// pre-filtering on the way up. Because relays only drop messages the
+// coordinator would drop on arrival anyway, coordinator state, the
+// broadcast sequence, and site-edge Stats are bit-identical to
+// Sequential under the same seeds; depth 0 is exactly Sequential. The
+// top-s union merge engages only when the instance's coordinator has
+// opted in (relay.UnionMergeable). Single-goroutine use only.
+func SequentialTree(fanout, depth int) Factory {
+	return func(inst Instance) (Runtime, error) {
+		merge := relay.UnionMergeable(inst.Coord)
+		c, err := netsim.NewTreeCluster[core.Message](inst.Coord, inst.Sites, fanout, depth,
+			func(tier, node int) netsim.TreeRelay[core.Message] {
+				return relay.NewMachine(inst.Cfg.S, merge)
+			})
+		if err != nil {
+			return nil, err
+		}
+		return &seqTreeRuntime{c: c}, nil
+	}
+}
+
+// seqTreeRuntime adapts netsim.TreeCluster, mirroring seqRuntime.
+type seqTreeRuntime struct {
+	c      *netsim.TreeCluster[core.Message]
+	closed bool
+}
+
+func (r *seqTreeRuntime) Feed(site int, it stream.Item) error {
+	if r.closed {
+		return errClosed
+	}
+	return r.c.Feed(site, it)
+}
+func (r *seqTreeRuntime) FeedBatch(site int, items []stream.Item) error {
+	if r.closed {
+		return errClosed
+	}
+	return r.c.FeedBatch(site, items)
+}
+func (r *seqTreeRuntime) Flush() error        { return nil }
+func (r *seqTreeRuntime) Stats() netsim.Stats { return r.c.Stats }
+func (r *seqTreeRuntime) Do(fn func())        { fn() }
+func (r *seqTreeRuntime) Close() error        { r.closed = true; return nil }
+
+// Tree exposes the underlying cluster for tier-level accounting
+// (RootFanIn, RootUpstream, TierStats) in experiments and tests.
+func (r *seqTreeRuntime) Tree() *netsim.TreeCluster[core.Message] { return r.c }
+
+// TCPTree returns the deployment-shaped runtime over a hierarchical
+// relay tree: a CoordinatorServer on addr ("127.0.0.1:0" when empty),
+// depth tiers of relay.Relay nodes beneath it, and one SiteClient per
+// site attached to a leaf relay — the root terminates min(fanout, k)
+// connections instead of k. Depth 0 is the flat TCP topology.
+func TCPTree(addr string, fanout, depth int) Factory {
+	sharded := TCPTreeSharded(addr, fanout, depth)
+	return func(inst Instance) (Runtime, error) {
+		return sharded([]Instance{inst})
+	}
+}
+
+// TCPTreeSharded returns the sharded tree builder: one coordinator
+// server hosting all P shard coordinators, one relay tree carrying
+// every shard's traffic in shard-tagged frames, and one multiplexing
+// connection per site to its leaf relay. The top-s union merge engages
+// only when EVERY shard coordinator has opted in — one non-mergeable
+// shard disables it everywhere, because relays filter per shard but are
+// configured uniformly.
+func TCPTreeSharded(addr string, fanout, depth int) ShardedFactory {
+	return func(insts []Instance) (ShardedRuntime, error) {
+		if err := fabric.Validate(len(insts)); err != nil {
+			return nil, err
+		}
+		cfg := insts[0].Cfg
+		protos := make([]transport.Coordinator, len(insts))
+		machines := make([][]netsim.Site[core.Message], len(insts))
+		merge := true
+		for p, inst := range insts {
+			protos[p] = inst.Coord
+			machines[p] = inst.Sites
+			merge = merge && relay.UnionMergeable(inst.Coord)
+		}
+		return relay.NewTreeCluster(cfg, protos, machines, addr, fanout, depth, relay.Options{Merge: merge})
+	}
+}

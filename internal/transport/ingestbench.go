@@ -47,6 +47,17 @@ type IngestBenchOpts struct {
 	QuerierHz  int
 	LockedSort bool
 
+	// TreeDial, when non-nil, routes every bench connection through an
+	// aggregation tier (package relay) instead of straight at the
+	// server: it receives the server address, builds the tier, and
+	// returns a per-connection dial address plus a teardown. Only the
+	// Live and Window workloads compose with it — their messages are
+	// never relay-filtered, so the full-ingest barrier still holds at
+	// the server; the pre-filter (drop) workload would be swallowed at
+	// the first relay and is rejected. The transport package cannot
+	// import relay (relay builds on transport), hence the hook.
+	TreeDial func(serverAddr string) (dialAddr func(conn int) string, teardown func() error, err error)
+
 	// Window > 0 selects the windowed workload: the server hosts
 	// WindowCoordinators of that width and every message is a
 	// sequence-stamped MsgWindow candidate (each connection is one
@@ -201,6 +212,19 @@ func RunIngestBench(o IngestBenchOpts) (IngestBenchResult, error) {
 	addr := ln.Addr().String()
 	srv.SetSerialIngest(o.Serial)
 
+	dialAddr := func(int) string { return addr }
+	if o.TreeDial != nil {
+		if !o.Live && o.Window == 0 {
+			return IngestBenchResult{}, fmt.Errorf("transport: TreeDial requires the Live or Window workload (the drop workload is swallowed at the first relay)")
+		}
+		da, teardown, err := o.TreeDial(addr)
+		if err != nil {
+			return IngestBenchResult{}, err
+		}
+		defer teardown()
+		dialAddr = da
+	}
+
 	tagged := o.Shards > 1
 	if !o.Live && o.Window == 0 {
 		// Warm every shard's drop bound to ~1e12 so the regular-message
@@ -264,7 +288,7 @@ func RunIngestBench(o IngestBenchOpts) (IngestBenchResult, error) {
 
 	conns := make([]*benchConn, o.Conns)
 	for i := range conns {
-		if conns[i], err = dialBench(addr); err != nil {
+		if conns[i], err = dialBench(dialAddr(i)); err != nil {
 			for _, c := range conns[:i] {
 				c.close()
 			}

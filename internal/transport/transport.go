@@ -45,8 +45,8 @@ import (
 
 // Control frame payloads (distinct from 29-byte protocol messages).
 var (
-	pingPayload = []byte{200}
-	pongPayload = []byte{201}
+	pingPayload = []byte{wire.PingByte}
+	pongPayload = []byte{wire.PongByte}
 )
 
 // Coordinator is the coordinator-side protocol a server can host: the

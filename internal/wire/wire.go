@@ -67,7 +67,23 @@ const (
 	ShardHeaderSize = 3
 	// MaxShard is the largest encodable shard index.
 	MaxShard = 1<<16 - 1
+
+	// PingByte and PongByte are the 1-byte control frame payloads of the
+	// bounded-staleness flow control (DESIGN.md): a site (or relay) writes
+	// a ping frame after its staleness window fills, and the pong coming
+	// back proves the full upstream path has processed everything sent
+	// before it. They are unambiguous on the wire: a control frame is 1
+	// byte, a message frame is a multiple of MessageSize, and a
+	// shard-tagged frame starts with ShardMarker.
+	PingByte = 200
+	PongByte = 201
 )
+
+// IsPing reports whether a frame payload is the flow-control ping.
+func IsPing(payload []byte) bool { return len(payload) == 1 && payload[0] == PingByte }
+
+// IsPong reports whether a frame payload is the flow-control pong.
+func IsPong(payload []byte) bool { return len(payload) == 1 && payload[0] == PongByte }
 
 // AppendMessage appends the encoded message to dst and returns it.
 func AppendMessage(dst []byte, m core.Message) []byte {

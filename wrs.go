@@ -126,6 +126,42 @@ func TCP(addr string) RuntimeSpec {
 	return RuntimeSpec{name: "tcp(" + addr + ")", factory: rt.TCP(addr), sharded: rt.TCPSharded(addr)}
 }
 
+// SequentialTree is the deterministic synchronous runtime over a
+// hierarchical relay tree: depth tiers of aggregation relays of the
+// given fanout between the sites and the coordinator, each pre-filtering
+// upstream candidates and fanning broadcasts down. Relays only ever drop
+// messages the coordinator would drop on arrival, so results — and
+// site-edge Stats — are bit-identical to Sequential under the same
+// seed; depth 0 IS Sequential. Use it to pin tree semantics and message
+// counts without network timing.
+func SequentialTree(fanout, depth int) RuntimeSpec {
+	return RuntimeSpec{
+		name:    fmt.Sprintf("seqtree(fanout=%d,depth=%d)", fanout, depth),
+		factory: rt.SequentialTree(fanout, depth),
+	}
+}
+
+// TCPTree is the deployment-shaped runtime over a hierarchical relay
+// tree: a coordinator server on addr ("" for any free loopback port),
+// depth tiers of relay processes of the given fanout beneath it, and
+// one site client connection per site attached to a leaf relay. The
+// root terminates min(fanout, k) connections instead of k, so k scales
+// to the thousands without exhausting the coordinator's accept queue or
+// file descriptors; each relay locally filters its subtree's candidate
+// stream, so root ingest traffic shrinks too. Depth 0 is the flat TCP
+// topology. With WithShards, one relay tree carries every shard's
+// traffic in shard-tagged frames.
+func TCPTree(addr string, fanout, depth int) RuntimeSpec {
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	return RuntimeSpec{
+		name:    fmt.Sprintf("tcptree(%s,fanout=%d,depth=%d)", addr, fanout, depth),
+		factory: rt.TCPTree(addr, fanout, depth),
+		sharded: rt.TCPTreeSharded(addr, fanout, depth),
+	}
+}
+
 // Option configures an application handle or a centralized sampler.
 type Option func(*options)
 
