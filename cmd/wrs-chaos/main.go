@@ -1,0 +1,211 @@
+// Command wrs-chaos drives the deterministic chaos harness (package
+// workload): declarative fault scenarios — site crashes and late joins,
+// coordinator snapshot/restart, degrading links — run against a chosen
+// application under a virtual clock, with every run checked exactly
+// against the acknowledgment oracle. It also runs the wall-clock ingest
+// saturation sweep (package workload/saturate) and writes
+// BENCH_saturation.json.
+//
+// Usage:
+//
+//	wrs-chaos -list                         # catalog of built-in scenarios
+//	wrs-chaos -scenario churn               # one scenario, swor, 1 shard
+//	wrs-chaos -scenario restart -app hh -shards 2
+//	wrs-chaos -all                          # full catalog x apps x shards {1,2}
+//	wrs-chaos -scenario churn -seed 99      # reseed: new workload, same faults
+//	wrs-chaos -saturation                   # sweep, write BENCH_saturation.json
+//
+// Every scenario run is deterministic: the same seed reproduces the
+// same final sample, answer, and engine statistics bit for bit. A run
+// whose final query diverges from the oracle exits nonzero — wrs-chaos
+// doubles as an acceptance check.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"runtime/debug"
+	"time"
+
+	"wrs/internal/transport"
+	"wrs/internal/workload"
+	"wrs/internal/workload/saturate"
+)
+
+func fatal(v ...any) {
+	fmt.Fprintln(os.Stderr, append([]any{"wrs-chaos:"}, v...)...)
+	os.Exit(1)
+}
+
+func main() {
+	list := flag.Bool("list", false, "list built-in scenarios")
+	scenario := flag.String("scenario", "", "run one built-in scenario by name")
+	app := flag.String("app", "swor", "application: swor, hh, quantile")
+	shards := flag.Int("shards", 1, "protocol shards")
+	seed := flag.Uint64("seed", 0, "override the scenario's seed (0 keeps the built-in seed)")
+	n := flag.Int("n", 0, "override the scenario's stream length (0 keeps the built-in length)")
+	all := flag.Bool("all", false, "run every scenario x every app x shards {1,2}")
+	saturation := flag.Bool("saturation", false, "run the ingest saturation sweep instead of scenarios")
+	out := flag.String("out", "BENCH_saturation.json", "output path for -saturation results")
+	conns := flag.Int("conns", 4, "with -saturation: concurrent site connections")
+	flag.Parse()
+
+	switch {
+	case *list:
+		for _, sc := range workload.Builtin() {
+			fmt.Printf("%-8s k=%d s=%d n=%d seed=%d faults=%d\n         %s\n",
+				sc.Name, sc.K, sc.S, sc.N, sc.Seed, len(sc.Faults), sc.About)
+		}
+	case *saturation:
+		runSaturation(*out, *conns)
+	case *all:
+		failed := 0
+		for _, sc := range workload.Builtin() {
+			for _, appName := range workload.AppNames() {
+				for _, sh := range []int{1, 2} {
+					if !runOne(sc, appName, sh, *seed, *n) {
+						failed++
+					}
+				}
+			}
+		}
+		if failed > 0 {
+			fatal(failed, "runs diverged from the oracle")
+		}
+	case *scenario != "":
+		sc, ok := workload.Lookup(*scenario)
+		if !ok {
+			fatal("unknown scenario", *scenario, "(try -list)")
+		}
+		if !runOne(sc, *app, *shards, *seed, *n) {
+			os.Exit(1)
+		}
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+// runOne runs a single scenario x app x shard configuration and prints
+// the outcome; it returns false when the final query diverges from the
+// acknowledgment oracle.
+func runOne(sc workload.Scenario, appName string, shards int, seed uint64, n int) bool {
+	sc.Shards = shards
+	if seed != 0 {
+		sc.Seed = seed
+	}
+	if n != 0 {
+		sc.N = n
+	}
+	res, answer, err := workload.RunNamed(sc, appName)
+	if err != nil {
+		fatal(err)
+	}
+	st := res.Engine
+	fmt.Printf("%s app=%s shards=%d seed=%d: %d arrivals (%d to dead sites), up %d/%d lost, down %d/%d lost, crashes=%d joins=%d restarts=%d acks-rolled-back=%d, vtime=%.3fs\n",
+		sc.Name, appName, shards, sc.Seed,
+		st.Arrivals, st.DroppedArrivals,
+		st.UpLost, st.UpLost+st.UpDelivered,
+		st.DownLost, st.DownLost+st.DownDelivered,
+		st.Crashes, st.Joins, st.Restarts, st.AcksRolledBack, st.FinalVirtualTime)
+	for p, sh := range res.Shards {
+		fmt.Printf("  shard %d: sample %d, acked %d\n", p, len(sh.Query), sh.Acked)
+	}
+	fmt.Printf("  answer: %s\n", answer)
+	if err := res.Err(); err != nil {
+		fmt.Printf("  FAIL: %v\n", err)
+		return false
+	}
+	fmt.Printf("  exact: query == top-s over acknowledged updates, every shard\n")
+	return true
+}
+
+// saturationRecord is BENCH_saturation.json: one sweep plus the host
+// metadata needed to compare records across machines and commits.
+type saturationRecord struct {
+	Conns        int              `json:"conns"`
+	Shards       int              `json:"shards"`
+	GOMAXPROCS   int              `json:"gomaxprocs"`
+	CPUs         int              `json:"cpus"`
+	GOARCH       string           `json:"goarch,omitempty"`
+	Commit       string           `json:"commit,omitempty"`
+	Date         string           `json:"date"`
+	MaxUnpacedHz float64          `json:"max_unpaced_hz"`
+	KneeHz       float64          `json:"knee_hz"`
+	MinUtil      float64          `json:"min_util"`
+	Points       []saturate.Point `json:"points"`
+}
+
+// buildCommit returns the short VCS revision stamped into the binary,
+// or "" when built without stamping (note: `go run` skips it — build
+// the binary to get a commit into the record).
+func buildCommit() string {
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return ""
+	}
+	rev, dirty := "", false
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			rev = s.Value
+			if len(rev) > 12 {
+				rev = rev[:12]
+			}
+		case "vcs.modified":
+			dirty = s.Value == "true"
+		}
+	}
+	if rev != "" && dirty {
+		rev += "+dirty"
+	}
+	return rev
+}
+
+func runSaturation(out string, conns int) {
+	opts := saturate.Opts{
+		Bench: transport.IngestBenchOpts{
+			Conns: conns,
+			Msgs:  1 << 20,
+		},
+	}
+	res, err := saturate.Run(opts)
+	if err != nil {
+		fatal(err)
+	}
+	rec := saturationRecord{
+		Conns:        conns,
+		Shards:       1,
+		GOMAXPROCS:   runtime.GOMAXPROCS(0),
+		CPUs:         runtime.NumCPU(),
+		GOARCH:       runtime.GOARCH,
+		Commit:       buildCommit(),
+		Date:         time.Now().UTC().Format("2006-01-02"),
+		MaxUnpacedHz: res.MaxUnpacedHz,
+		KneeHz:       res.KneeHz,
+		MinUtil:      res.MinUtil,
+		Points:       res.Points,
+	}
+	fmt.Printf("unpaced service rate: %.3g msg/s\n", res.MaxUnpacedHz)
+	for _, pt := range res.Points {
+		marker := " "
+		if pt.OfferedHz == res.KneeHz {
+			marker = "*"
+		}
+		fmt.Printf("%s offered %.3g msg/s -> achieved %.3g (util %.2f, %.0f ns/msg)\n",
+			marker, pt.OfferedHz, pt.AchievedHz, pt.Utilization, pt.NsPerMsg)
+	}
+	fmt.Printf("knee: %.3g msg/s (highest offered rate served at >= %.0f%% utilization)\n",
+		res.KneeHz, res.MinUtil*100)
+	b, err := json.MarshalIndent(rec, "", "  ")
+	if err != nil {
+		fatal(err)
+	}
+	if err := os.WriteFile(out, append(b, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Println("wrote", out)
+}

@@ -43,6 +43,10 @@ var detrandPkgs = []string{
 	"wrs/internal/fabric",
 	"wrs/internal/wire",
 	"wrs/internal/xrand",
+	// The chaos scenario engine's whole contract is seed-reproducible
+	// runs; its wall-clock counterpart lives in workload/saturate,
+	// which is deliberately NOT listed.
+	"wrs/internal/workload",
 }
 
 func detrandApplies(path string) bool {

@@ -1,0 +1,66 @@
+package netsim
+
+import (
+	"fmt"
+
+	"wrs/internal/xrand"
+)
+
+// LinkModel describes the behavior of one simulated network direction:
+// a fixed propagation delay, uniform jitter on top of it, and an
+// independent per-message loss probability. Times are in abstract
+// seconds of the virtual clock used by the workload scenario engine —
+// no wall clock is involved, so runs under a LinkModel stay
+// deterministic for a fixed RNG.
+//
+// The protocol tolerates both effects by construction: reordered or
+// delayed broadcasts only leave sites filtering with a stale (lower)
+// threshold, which costs extra messages but never correctness, and a
+// lost upstream message removes its update from the set of arrivals the
+// coordinator acknowledged — the exactness oracle is defined over
+// exactly that set.
+type LinkModel struct {
+	BaseDelay float64 // fixed one-way delay added to every delivery
+	Jitter    float64 // extra delay drawn uniformly from [0, Jitter)
+	LossProb  float64 // probability in [0, 1) that a message is dropped
+}
+
+// Validate rejects models the virtual clock cannot schedule.
+func (l LinkModel) Validate() error {
+	if l.BaseDelay < 0 || l.Jitter < 0 {
+		return fmt.Errorf("netsim: link delay/jitter must be nonnegative, got %v/%v", l.BaseDelay, l.Jitter)
+	}
+	if l.LossProb < 0 || l.LossProb >= 1 {
+		return fmt.Errorf("netsim: link loss probability %v outside [0, 1)", l.LossProb)
+	}
+	return nil
+}
+
+// Delay draws the one-way latency for a single message.
+func (l LinkModel) Delay(rng *xrand.RNG) float64 {
+	d := l.BaseDelay
+	if l.Jitter > 0 {
+		d += l.Jitter * rng.Float64()
+	}
+	return d
+}
+
+// Lose reports whether a single message is dropped. A zero LossProb
+// never consumes randomness, so lossless models stay bit-compatible
+// with runs that predate loss simulation.
+func (l LinkModel) Lose(rng *xrand.RNG) bool {
+	if l.LossProb <= 0 {
+		return false
+	}
+	return rng.Float64() < l.LossProb
+}
+
+// PerfectLink is instant, lossless delivery — the synchronous model of
+// the paper's Section 2.1.
+func PerfectLink() LinkModel { return LinkModel{} }
+
+// WANLink approximates a wide-area hop: 40ms base, 20ms jitter, no loss.
+func WANLink() LinkModel { return LinkModel{BaseDelay: 0.040, Jitter: 0.020} }
+
+// LossyLink is a degraded wide-area hop: WAN latency plus 5% loss.
+func LossyLink() LinkModel { return LinkModel{BaseDelay: 0.040, Jitter: 0.020, LossProb: 0.05} }

@@ -1,0 +1,72 @@
+package netsim
+
+import (
+	"testing"
+
+	"wrs/internal/xrand"
+)
+
+func TestLinkModelValidate(t *testing.T) {
+	for _, l := range []LinkModel{PerfectLink(), WANLink(), LossyLink()} {
+		if err := l.Validate(); err != nil {
+			t.Errorf("preset %+v rejected: %v", l, err)
+		}
+	}
+	bad := []LinkModel{
+		{BaseDelay: -1},
+		{Jitter: -0.5},
+		{LossProb: -0.1},
+		{LossProb: 1},
+	}
+	for _, l := range bad {
+		if err := l.Validate(); err == nil {
+			t.Errorf("invalid model %+v accepted", l)
+		}
+	}
+}
+
+func TestLinkModelDelayBounds(t *testing.T) {
+	l := LinkModel{BaseDelay: 0.01, Jitter: 0.02}
+	rng := xrand.New(1)
+	for i := 0; i < 10000; i++ {
+		d := l.Delay(rng)
+		if d < 0.01 || d >= 0.03 {
+			t.Fatalf("delay %v outside [base, base+jitter)", d)
+		}
+	}
+}
+
+func TestLinkModelLossRate(t *testing.T) {
+	l := LinkModel{LossProb: 0.05}
+	rng := xrand.New(2)
+	lost := 0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		if l.Lose(rng) {
+			lost++
+		}
+	}
+	got := float64(lost) / n
+	if got < 0.04 || got > 0.06 {
+		t.Errorf("loss rate %v, want ~0.05", got)
+	}
+}
+
+// TestPerfectLinkConsumesNoRandomness pins the bit-compatibility
+// contract: a lossless zero-jitter link must not advance the RNG, so
+// scenario runs without link effects replay identically to runs that
+// predate the link model.
+func TestPerfectLinkConsumesNoRandomness(t *testing.T) {
+	rng := xrand.New(3)
+	before := rng.State()
+	l := PerfectLink()
+	for i := 0; i < 100; i++ {
+		l.Delay(rng)
+		if l.Lose(rng) {
+			t.Fatal("perfect link lost a message")
+		}
+	}
+	if rng.State() != before {
+		t.Error("perfect link consumed randomness")
+	}
+}

@@ -364,6 +364,13 @@ func (r *Relay) forwardPing(ch *child) error {
 	return nil
 }
 
+// SeverParent cuts only the upstream link, mid-write, as if the parent
+// process vanished: the parent loop errors out and cascades the
+// teardown to this relay's own subtree, while sibling subtrees attached
+// to other relays are untouched. It is the fault-injection hook for
+// partial-tree loss tests and the chaos harness.
+func (r *Relay) SeverParent() error { return r.parent.Close() }
+
 // parentLoop reads the upstream connection: pongs are routed to the
 // child whose ping they answer (FIFO), broadcast frames update the
 // filter machines and fan down to every child. When the parent link

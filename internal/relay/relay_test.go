@@ -323,3 +323,111 @@ func TestRelayParentLossCascades(t *testing.T) {
 		time.Sleep(10 * time.Millisecond)
 	}
 }
+
+// TestRelayParentLossPartialTree pins the partial-failure semantics the
+// cascade test leaves open: when ONE of two sibling relays loses its
+// upstream link (SeverParent), only that relay's subtree dies. The
+// sibling keeps streaming through the same coordinator, and traffic it
+// sends after the sever still lands in the final sample — the fabric
+// degrades to the surviving subtree instead of failing whole.
+func TestRelayParentLossPartialTree(t *testing.T) {
+	cfg := core.Config{K: 2, S: 4}
+	master := xrand.New(31)
+	srv, err := transport.NewCoordinatorServerFor(cfg, core.NewCoordinator(cfg, master.Split()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go srv.Serve(ln)
+
+	relayA, err := New(cfg, 1, ln.Addr().String(), "", Options{Merge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relayA.Close()
+	relayB, err := New(cfg, 1, ln.Addr().String(), "", Options{Merge: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer relayB.Close()
+
+	siteA, err := transport.DialSite(relayA.Addr(), 0, cfg, master.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer siteA.Close()
+	siteB, err := transport.DialSite(relayB.Addr(), 1, cfg, master.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer siteB.Close()
+
+	rng := xrand.New(7)
+	for i := 0; i < 1000; i++ {
+		if err := siteA.Observe(stream.Item{ID: uint64(i), Weight: rng.Pareto(1.3)}); err != nil {
+			t.Fatal(err)
+		}
+		if err := siteB.Observe(stream.Item{ID: uint64(10000 + i), Weight: rng.Pareto(1.3)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := siteA.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := siteB.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	procBefore := srv.Processed()
+
+	if err := relayA.SeverParent(); err != nil {
+		t.Fatal(err)
+	}
+	// The severed relay's subtree must fail fast...
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		err := siteA.Observe(stream.Item{ID: 5000, Weight: 1})
+		if err == nil {
+			err = siteA.Flush()
+		}
+		if err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("severed subtree's site never observed the teardown")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// ...while the sibling subtree keeps working end to end: giants
+	// planted after the sever must own the final sample.
+	for i := 0; i < cfg.S; i++ {
+		if err := siteB.Observe(stream.Item{ID: 1<<40 + uint64(i), Weight: 1e15}); err != nil {
+			t.Fatalf("surviving subtree broken after sibling sever: %v", err)
+		}
+	}
+	if err := siteB.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if got := srv.Processed(); got <= procBefore {
+		t.Errorf("coordinator processed nothing after the sever (%d -> %d)", procBefore, got)
+	}
+	if got := relayB.Children(); got != 1 {
+		t.Errorf("surviving relay has %d children, want 1", got)
+	}
+	q := srv.Query()
+	if len(q) != cfg.S {
+		t.Fatalf("query size %d, want %d", len(q), cfg.S)
+	}
+	for i, e := range q {
+		if i > 0 && q[i].Key > q[i-1].Key {
+			t.Fatal("sample order corrupted after partial-tree loss")
+		}
+		if e.Item.ID < 1<<40 {
+			t.Errorf("sample item %d is not a survivor giant", e.Item.ID)
+		}
+	}
+}

@@ -86,12 +86,22 @@ func NewGenerator(n, k int, weights WeightFn, assign AssignFn) *Generator {
 }
 
 // Next returns the next update. ok is false once the stream is exhausted.
+// It panics if the WeightFn or AssignFn violates the stream invariants
+// (positive finite weight, site within [0, k)): the samplers assume both
+// unconditionally, and a NaN weight would silently poison every key
+// comparison downstream rather than fail here at the source.
 func (g *Generator) Next(rng *xrand.RNG) (u Update, ok bool) {
 	if g.pos >= g.n {
 		return Update{}, false
 	}
 	w := g.weights(g.pos, rng)
+	if !(w > 0) || math.IsInf(w, 0) {
+		panic(fmt.Sprintf("stream: WeightFn returned invalid weight %v at pos %d", w, g.pos))
+	}
 	site := g.assign(g.pos, rng)
+	if site < 0 || site >= g.k {
+		panic(fmt.Sprintf("stream: AssignFn returned site %d of %d at pos %d", site, g.k, g.pos))
+	}
 	u = Update{Pos: g.pos, Site: site, Item: Item{ID: uint64(g.pos), Weight: w}}
 	g.pos++
 	return u, true

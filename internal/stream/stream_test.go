@@ -231,3 +231,42 @@ func TestSingleSiteAssignsZero(t *testing.T) {
 		}
 	}
 }
+
+// TestGeneratorRejectsInvalidWeights is the table test for the Next
+// guard: every way a WeightFn or AssignFn can violate the stream
+// invariants must panic at the source, and valid output must not.
+func TestGeneratorRejectsInvalidWeights(t *testing.T) {
+	constW := func(w float64) WeightFn { return func(int, *xrand.RNG) float64 { return w } }
+	constA := func(s int) AssignFn { return func(int, *xrand.RNG) int { return s } }
+	cases := []struct {
+		name      string
+		weights   WeightFn
+		assign    AssignFn
+		wantPanic bool
+	}{
+		{"valid", constW(1.5), constA(0), false},
+		{"tiny positive", constW(math.SmallestNonzeroFloat64), constA(1), false},
+		{"zero weight", constW(0), constA(0), true},
+		{"negative weight", constW(-1), constA(0), true},
+		{"NaN weight", constW(math.NaN()), constA(0), true},
+		{"+Inf weight", constW(math.Inf(1)), constA(0), true},
+		{"-Inf weight", constW(math.Inf(-1)), constA(0), true},
+		{"site below range", constW(1), constA(-1), true},
+		{"site above range", constW(1), constA(2), true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			g := NewGenerator(3, 2, c.weights, c.assign)
+			defer func() {
+				if got := recover() != nil; got != c.wantPanic {
+					t.Errorf("panic = %v, want %v (recovered: %v)", got, c.wantPanic, recover())
+				}
+			}()
+			for {
+				if _, ok := g.Next(xrand.New(1)); !ok {
+					break
+				}
+			}
+		})
+	}
+}

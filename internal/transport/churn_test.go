@@ -1,0 +1,193 @@
+package transport_test
+
+import (
+	"net"
+	"testing"
+	"time"
+
+	"wrs/internal/core"
+	"wrs/internal/stream"
+	"wrs/internal/transport"
+	"wrs/internal/workload"
+	"wrs/internal/xrand"
+)
+
+// TestMultiSiteChurnSeeded drives the real TCP transport through the
+// same declarative churn schedule the scenario engine uses: a seeded
+// workload.Spec paces the stream on its virtual timestamps, one site
+// crashes mid-run, a replacement dials in through the late-joiner
+// snapshot path, and a second site crashes later. The first crash is
+// clean (wire quiesced, then severed), the second abrupt (frames still
+// in flight are lost, as in a real process crash), so the books are a
+// bracket: processed must cover everything except at most the abrupt
+// victim's unsynced tail, and never exceed total successful sends. The
+// joined site must be a first-class participant: giants planted
+// through it own the final sample.
+func TestMultiSiteChurnSeeded(t *testing.T) {
+	cfg := core.Config{K: 4, S: 8}
+	master := xrand.New(2026)
+	srv, err := transport.NewCoordinatorServer(cfg, master.Split())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() {
+		if err := srv.Serve(ln); err != nil {
+			t.Errorf("Serve: %v", err)
+		}
+	}()
+	addr := ln.Addr().String()
+
+	dial := func(i int) *transport.SiteClient {
+		c, err := transport.DialSite(addr, i, cfg, master.Split())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return c
+	}
+	clients := make([]*transport.SiteClient, cfg.K)
+	var all []*transport.SiteClient // every client ever created, for the books
+	for i := range clients {
+		clients[i] = dial(i)
+		all = append(all, clients[i])
+	}
+
+	// The workload and fault schedule are the scenario engine's own
+	// types: the same Spec generates the same updates there, and the
+	// same Schedule vocabulary describes the churn.
+	spec := workload.Spec{
+		N: 3000, K: cfg.K,
+		Weights:  stream.ParetoWeights(1.2),
+		Assign:   workload.ZipfSites(cfg.K, 1.0),
+		Arrivals: workload.Constant{Hz: 3000},
+	}
+	sched := workload.Schedule{
+		{At: 0.25, Kind: workload.SiteCrash, Site: 1},
+		{At: 0.55, Kind: workload.SiteJoin, Site: 1},
+		{At: 0.80, Kind: workload.SiteCrash, Site: 3},
+	}
+	if err := sched.Validate(cfg.K); err != nil {
+		t.Fatal(err)
+	}
+
+	src := spec.Open(master.Split())
+	alive := make([]bool, cfg.K)
+	for i := range alive {
+		alive[i] = true
+	}
+	nextFault := 0
+	dropped := 0
+	crashes := 0
+	var maxLost int64 // upper bound on frames the abrupt crash may lose
+	for {
+		u, ok := src.Next()
+		if !ok {
+			break
+		}
+		for nextFault < len(sched) && sched[nextFault].At <= u.At {
+			f := sched[nextFault]
+			nextFault++
+			switch f.Kind {
+			case workload.SiteCrash:
+				c := clients[f.Site]
+				if crashes == 0 {
+					// Clean crash: round-trip a sync first so every
+					// frame this client sent is known processed, then
+					// sever. Keeps the accounting below exact for the
+					// join phase.
+					if err := c.Flush(); err != nil {
+						t.Fatalf("quiesce site %d: %v", f.Site, err)
+					}
+				} else {
+					// Abrupt crash mid-flight: everything since this
+					// client's last completed sync may be lost on the
+					// wire. Nothing was synced, so bound by its whole
+					// send count.
+					maxLost += c.Sent()
+				}
+				crashes++
+				if err := c.Abort(); err != nil {
+					t.Fatalf("abort site %d: %v", f.Site, err)
+				}
+				alive[f.Site] = false
+			case workload.SiteJoin:
+				clients[f.Site] = dial(f.Site)
+				all = append(all, clients[f.Site])
+				alive[f.Site] = true
+			}
+		}
+		if !alive[u.Site] {
+			dropped++
+			continue
+		}
+		if err := clients[u.Site].Observe(u.Item); err != nil {
+			t.Fatalf("observe site %d: %v", u.Site, err)
+		}
+	}
+	if nextFault != len(sched) {
+		t.Fatalf("only %d/%d faults fired — schedule missed the stream", nextFault, len(sched))
+	}
+	if dropped == 0 {
+		t.Fatal("no arrivals were dropped by crashed sites — churn did not bite")
+	}
+
+	// Giants through the re-joined site: if the join path left the
+	// replacement half-registered, these never make it.
+	for i := 0; i < cfg.S; i++ {
+		it := stream.Item{ID: 1<<40 + uint64(i), Weight: 1e15}
+		if err := clients[1].Observe(it); err != nil {
+			t.Fatalf("observe giant on joined site: %v", err)
+		}
+	}
+	for i, c := range clients {
+		if alive[i] {
+			if err := c.Flush(); err != nil {
+				t.Fatalf("flush site %d: %v", i, err)
+			}
+		}
+	}
+
+	// Accounting bracket: the coordinator processed everything any
+	// client successfully sent, except possibly the abrupt victim's
+	// in-flight tail, and never more. The crashed connections' teardown
+	// races the assertions, so poll until the floor is reached.
+	var sentTotal int64
+	for _, c := range all {
+		sentTotal += c.Sent()
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for srv.Processed() < sentTotal-maxLost && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := srv.Processed(); got < sentTotal-maxLost || got > sentTotal {
+		t.Errorf("processed %d outside [%d, %d] (total sends %d, abrupt-crash loss bound %d)",
+			got, sentTotal-maxLost, sentTotal, sentTotal, maxLost)
+	}
+
+	q := srv.Query()
+	if len(q) != cfg.S {
+		t.Fatalf("query size %d, want %d", len(q), cfg.S)
+	}
+	giants := 0
+	for i, e := range q {
+		if i > 0 && q[i].Key > q[i-1].Key {
+			t.Fatal("sample order corrupted under churn")
+		}
+		if e.Item.ID >= 1<<40 {
+			giants++
+		}
+	}
+	if giants != cfg.S {
+		t.Errorf("only %d/%d planted giants in the final sample — the joined site's traffic was lost", giants, cfg.S)
+	}
+
+	for i, c := range clients {
+		if alive[i] {
+			c.Close()
+		}
+	}
+}

@@ -58,6 +58,16 @@ type IngestBenchOpts struct {
 	// import relay (relay builds on transport), hence the hook.
 	TreeDial func(serverAddr string) (dialAddr func(conn int) string, teardown func() error, err error)
 
+	// RateHz > 0 paces the offered load: each connection spaces its
+	// frame writes (with a per-frame flush, so pacing reaches the wire
+	// rather than a bufio buffer) to an aggregate offered rate of
+	// RateHz messages per second. While the server keeps up, achieved
+	// throughput tracks offered; past saturation the writers fall
+	// behind their schedule and achieved flattens at the service rate —
+	// the knee the saturation sweep (workload/saturate) looks for.
+	// Zero means unpaced: blast as fast as the writers can.
+	RateHz float64
+
 	// Window > 0 selects the windowed workload: the server hosts
 	// WindowCoordinators of that width and every message is a
 	// sequence-stamped MsgWindow candidate (each connection is one
@@ -347,7 +357,21 @@ func RunIngestBench(o IngestBenchOpts) (IngestBenchResult, error) {
 			defer wg.Done()
 			var buf []byte
 			pos := make([]int, o.Shards) // per-shard sub-stream clock (window workload)
+			var interval time.Duration
+			if o.RateHz > 0 {
+				perConnHz := o.RateHz / float64(o.Conns)
+				interval = time.Duration(float64(o.FrameMsgs) / perConnHz * float64(time.Second))
+			}
 			for f := 0; f < framesPerConn; f++ {
+				if interval > 0 {
+					// Absolute schedule, not sleep-per-frame: a connection
+					// that falls behind does not stretch the offered rate,
+					// it just stops sleeping — achieved then measures the
+					// service rate.
+					if d := time.Until(start.Add(time.Duration(f) * interval)); d > 0 {
+						time.Sleep(d)
+					}
+				}
 				p := (ci + f) % o.Shards
 				payload := frames[p]
 				if o.Window > 0 {
@@ -358,6 +382,12 @@ func RunIngestBench(o IngestBenchOpts) (IngestBenchResult, error) {
 				if err := wire.WriteFrame(bc.bw, payload); err != nil {
 					errs <- err
 					return
+				}
+				if interval > 0 {
+					if err := bc.bw.Flush(); err != nil {
+						errs <- err
+						return
+					}
 				}
 			}
 			// Barrier: the server has consumed everything this connection

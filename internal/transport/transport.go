@@ -988,6 +988,13 @@ func (c *SiteClient) Close() error {
 	return err
 }
 
+// Abort severs the connection immediately — no flush, no waiting for
+// the read loop — so buffered frames are lost mid-write exactly as in a
+// process crash. It is the fault-injection hook for churn tests and the
+// chaos harness; everything after Abort behaves as after a peer crash:
+// Observe errors out, and Sent never counts the lost frames.
+func (c *SiteClient) Abort() error { return c.conn.Close() }
+
 func errOr(err error) error {
 	if err == nil {
 		return errors.New("EOF")

@@ -1,0 +1,161 @@
+// Package workload is the production workload engine and chaos harness:
+// arrival and weight processes layered on stream.Generator (diurnal rate
+// curves, Markov-modulated bursts, heavy-tailed weights with adversarial
+// mid-stream shift, per-site skew), a recorded-trace format with
+// bit-exact replay, and a virtual-clock scenario engine that drives the
+// protocol through declarative fault schedules — site crash and join,
+// coordinator restart from snapshot, slow and lossy links — while
+// checking the exactness criterion that survives every fault: the final
+// query equals the brute-force top-s oracle over the updates the
+// coordinator acknowledged. Everything here runs on virtual time and a
+// seeded RNG, so every scenario is deterministic and wrs-lint
+// detrand-clean; the wall-clock saturation sweep lives in the
+// workload/saturate subpackage. See DESIGN.md §15.
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"wrs/internal/xrand"
+)
+
+// ArrivalProcess generates the inter-arrival gaps of a point process on
+// the virtual clock. Gap returns the (strictly positive) time from now
+// until the next arrival, given the current virtual time now; stateful
+// processes advance their own modulating state inside Gap. Reset
+// rewinds that state so the same process value can replay a run.
+type ArrivalProcess interface {
+	Gap(now float64, rng *xrand.RNG) float64
+	Reset()
+}
+
+// Constant is a Poisson process with a fixed rate: memoryless
+// exponential gaps, the baseline open-loop workload.
+type Constant struct {
+	Hz float64 // mean arrivals per virtual second
+}
+
+// Gap draws an Exp(Hz) inter-arrival time.
+func (c Constant) Gap(now float64, rng *xrand.RNG) float64 {
+	if !(c.Hz > 0) {
+		panic(fmt.Sprintf("workload: Constant rate %v must be positive", c.Hz))
+	}
+	return rng.Exp() / c.Hz
+}
+
+// Reset is a no-op: the process is memoryless.
+func (c Constant) Reset() {}
+
+// RateComponent is one sinusoidal term of a diurnal rate curve.
+type RateComponent struct {
+	Period    float64 // virtual seconds per full cycle
+	Amplitude float64 // relative modulation depth
+	Phase     float64 // radians
+}
+
+// Diurnal is a non-homogeneous Poisson process whose instantaneous rate
+// is a base rate modulated by a sum of sinusoids — the multi-period
+// temporal pattern of production traffic (daily peak, weekly dip,
+// minute-scale wobble stacked on one curve). Gaps are drawn by local
+// exponential approximation: an Exp(1) variate divided by the rate at
+// the current instant, which is exact in the limit of gaps short
+// against the fastest period and deterministic for a fixed RNG either
+// way.
+type Diurnal struct {
+	BaseHz     float64
+	Components []RateComponent
+	FloorHz    float64 // rate never drops below this; defaults to BaseHz/100
+}
+
+// Rate returns the instantaneous arrival rate at virtual time t.
+func (d Diurnal) Rate(t float64) float64 {
+	r := d.BaseHz
+	for _, c := range d.Components {
+		r += d.BaseHz * c.Amplitude * math.Sin(2*math.Pi*t/c.Period+c.Phase)
+	}
+	floor := d.FloorHz
+	if floor <= 0 {
+		floor = d.BaseHz / 100
+	}
+	if r < floor {
+		r = floor
+	}
+	return r
+}
+
+// Gap draws the next inter-arrival time at the current instantaneous rate.
+func (d Diurnal) Gap(now float64, rng *xrand.RNG) float64 {
+	if !(d.BaseHz > 0) {
+		panic(fmt.Sprintf("workload: Diurnal base rate %v must be positive", d.BaseHz))
+	}
+	return rng.Exp() / d.Rate(now)
+}
+
+// Reset is a no-op: the rate depends only on the clock.
+func (d Diurnal) Reset() {}
+
+// MMPP is a Markov-modulated Poisson process: arrivals are Poisson at
+// the rate of the current hidden state, and the state makes memoryless
+// transitions to a uniformly random other state at rate SwitchHz. Two
+// states (quiet, burst) give the classic bursty-traffic model; more
+// states give multi-level burstiness. The zero state index is the
+// initial state.
+type MMPP struct {
+	RatesHz  []float64 // per-state arrival rates, all positive
+	SwitchHz float64   // state-change rate
+
+	state       int
+	sojournLeft float64 // virtual time left in the current state; 0 = draw anew
+}
+
+// NewBursty is the two-state quiet/burst MMPP: quietHz baseline,
+// burstHz spikes, switching at switchHz.
+func NewBursty(quietHz, burstHz, switchHz float64) *MMPP {
+	return &MMPP{RatesHz: []float64{quietHz, burstHz}, SwitchHz: switchHz}
+}
+
+// Gap advances the modulating chain across the drawn gap and returns
+// the inter-arrival time. Time spent in each visited state contributes
+// at that state's rate: the gap is accumulated piecewise until one
+// arrival's worth of exponential "work" is consumed, so bursts start
+// and end between arrivals, not only at them.
+func (m *MMPP) Gap(now float64, rng *xrand.RNG) float64 {
+	if len(m.RatesHz) == 0 || m.SwitchHz <= 0 {
+		panic("workload: MMPP needs states and a positive switch rate")
+	}
+	for _, r := range m.RatesHz {
+		if !(r > 0) {
+			panic(fmt.Sprintf("workload: MMPP state rate %v must be positive", r))
+		}
+	}
+	need := rng.Exp() // unit-rate work until the next arrival
+	var gap float64
+	for {
+		if m.sojournLeft <= 0 {
+			m.sojournLeft = rng.Exp() / m.SwitchHz
+		}
+		rate := m.RatesHz[m.state]
+		// Work available before the next state switch.
+		avail := m.sojournLeft * rate
+		if need <= avail {
+			dt := need / rate
+			gap += dt
+			m.sojournLeft -= dt
+			return gap
+		}
+		need -= avail
+		gap += m.sojournLeft
+		m.sojournLeft = 0
+		if len(m.RatesHz) > 1 {
+			next := rng.Intn(len(m.RatesHz) - 1)
+			if next >= m.state {
+				next++
+			}
+			m.state = next
+		}
+	}
+}
+
+// Reset rewinds the chain to its initial state.
+func (m *MMPP) Reset() { m.state = 0; m.sojournLeft = 0 }

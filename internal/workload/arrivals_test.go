@@ -1,0 +1,142 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+func TestConstantMeanGap(t *testing.T) {
+	c := Constant{Hz: 100}
+	rng := xrand.New(1)
+	var sum float64
+	const n = 50000
+	for i := 0; i < n; i++ {
+		g := c.Gap(0, rng)
+		if !(g > 0) {
+			t.Fatalf("non-positive gap %v", g)
+		}
+		sum += g
+	}
+	mean := sum / n
+	if math.Abs(mean-0.01) > 0.001 {
+		t.Errorf("mean gap %v, want ~0.01", mean)
+	}
+}
+
+func TestDiurnalRateCurve(t *testing.T) {
+	d := Diurnal{BaseHz: 1000, Components: []RateComponent{{Period: 1, Amplitude: 0.5}}}
+	peak := d.Rate(0.25)   // sin = 1
+	trough := d.Rate(0.75) // sin = -1
+	if math.Abs(peak-1500) > 1e-6 || math.Abs(trough-500) > 1e-6 {
+		t.Errorf("rate curve peak/trough %v/%v, want 1500/500", peak, trough)
+	}
+	// Deep modulation must clip at the floor, never go nonpositive.
+	deep := Diurnal{BaseHz: 1000, Components: []RateComponent{{Period: 1, Amplitude: 3}}}
+	for x := 0.0; x < 1; x += 0.01 {
+		if r := deep.Rate(x); !(r > 0) {
+			t.Fatalf("rate %v at t=%v", r, x)
+		}
+	}
+}
+
+func TestMMPPDeterministicAndBursty(t *testing.T) {
+	gaps := func() []float64 {
+		m := NewBursty(100, 10000, 5)
+		rng := xrand.New(9)
+		out := make([]float64, 20000)
+		now := 0.0
+		for i := range out {
+			g := m.Gap(now, rng)
+			if !(g > 0) {
+				t.Fatalf("non-positive gap %v", g)
+			}
+			out[i] = g
+			now += g
+		}
+		return out
+	}
+	a, b := gaps(), gaps()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gap %d nondeterministic: %v vs %v", i, a[i], b[i])
+		}
+	}
+	// The mixture must actually visit both regimes: the overall mean
+	// rate has to sit strictly between quiet-only and burst-only.
+	var sum float64
+	for _, g := range a {
+		sum += g
+	}
+	meanHz := float64(len(a)) / sum
+	if meanHz < 150 || meanHz > 9000 {
+		t.Errorf("mean rate %v Hz suggests the chain never switched (quiet=100, burst=10000)", meanHz)
+	}
+}
+
+func TestMMPPResetReplays(t *testing.T) {
+	m := NewBursty(10, 1000, 3)
+	run := func() []float64 {
+		m.Reset()
+		rng := xrand.New(4)
+		out := make([]float64, 100)
+		for i := range out {
+			out[i] = m.Gap(0, rng)
+		}
+		return out
+	}
+	a, b := run(), run()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("gap %d differs after Reset: %v vs %v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSkewedSitesDistribution(t *testing.T) {
+	fn := SkewedSites([]float64{3, 1})
+	rng := xrand.New(12)
+	counts := [2]int{}
+	const n = 40000
+	for i := 0; i < n; i++ {
+		counts[fn(i, rng)]++
+	}
+	got := float64(counts[0]) / n
+	if math.Abs(got-0.75) > 0.02 {
+		t.Errorf("site 0 share %v, want ~0.75", got)
+	}
+}
+
+func TestShiftWeightsSwitchesAtPos(t *testing.T) {
+	fn := ShiftWeights(stream.UnitWeights(), stream.HeavyHeadWeights(1000, 7), 10)
+	rng := xrand.New(1)
+	for pos := 0; pos < 20; pos++ {
+		w := fn(pos, rng)
+		want := 1.0
+		if pos >= 10 {
+			want = 7
+		}
+		if w != want {
+			t.Errorf("pos %d: weight %v, want %v", pos, w, want)
+		}
+	}
+}
+
+func TestSkewedSitesRejectsBadShares(t *testing.T) {
+	for name, fn := range map[string]func(){
+		"empty":    func() { SkewedSites(nil) },
+		"negative": func() { SkewedSites([]float64{1, -1}) },
+		"all zero": func() { SkewedSites([]float64{0, 0}) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: no panic", name)
+				}
+			}()
+			fn()
+		}()
+	}
+}

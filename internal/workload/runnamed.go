@@ -1,0 +1,33 @@
+package workload
+
+import (
+	"fmt"
+
+	"wrs"
+)
+
+// AppNames lists the applications the scenario engine can drive by
+// name: the three whose coordinator is the plain core sampler.
+func AppNames() []string { return []string{"swor", "hh", "quantile"} }
+
+// RunNamed runs a scenario against an application chosen by name,
+// returning the engine result and the application's final answer
+// rendered as a string (floats print round-trippably, so the string is
+// a determinism fingerprint for the answer too). The scenario's S sizes
+// the swor sample; hh and quantile size their own samples from their
+// accuracy parameters.
+func RunNamed(sc Scenario, appName string) (*Result, string, error) {
+	switch appName {
+	case "swor":
+		res, q, err := RunApp(sc, wrs.Sampler(sc.K, sc.S))
+		return res, fmt.Sprintf("%v", q), err
+	case "hh":
+		res, q, err := RunApp(sc, wrs.HeavyHitters(sc.K, 0.3, 0.2))
+		return res, fmt.Sprintf("%v", q), err
+	case "quantile":
+		res, q, err := RunApp(sc, wrs.Quantiles(sc.K, 0.3, 0.2))
+		return res, fmt.Sprintf("%v", q), err
+	default:
+		return nil, "", fmt.Errorf("workload: unknown app %q (have %v)", appName, AppNames())
+	}
+}

@@ -1,0 +1,124 @@
+// Package saturate finds the coordinator's ingest saturation knee: the
+// highest offered message rate the TCP ingest path still serves at
+// (close to) the offered rate. It first probes the unpaced service
+// rate, then replays the same workload paced at a ladder of fractions
+// of that probe and reports, per rung, offered vs achieved throughput.
+// The knee is the highest offered rate whose achieved throughput stays
+// within MinUtil of offered — below it latency is flat, above it the
+// writers fall behind and the system is saturated.
+//
+// Everything here is wall-clock measurement by construction, so this
+// package is deliberately OUTSIDE wrs-lint's detrand set; the parent
+// workload package (the deterministic scenario engine) is inside it.
+// Keep virtual-clock code out of here and wall-clock code out of there.
+package saturate
+
+import (
+	"fmt"
+	"sort"
+
+	"wrs/internal/transport"
+)
+
+// Opts configures a sweep.
+type Opts struct {
+	// Bench is the base ingest configuration (shards, conns, frame
+	// size, workload). Msgs is the PROBE size; paced rungs scale their
+	// message count to run for roughly TargetSecs at the offered rate.
+	Bench transport.IngestBenchOpts
+
+	// Multipliers are the offered-rate rungs as fractions of the probed
+	// unpaced rate, swept in ascending order. Default:
+	// 0.25, 0.5, 0.7, 0.85, 0.95, 1.05, 1.2.
+	Multipliers []float64
+
+	// MinUtil is the achieved/offered ratio a rung must reach to count
+	// as "keeping up" (default 0.9).
+	MinUtil float64
+
+	// TargetSecs is the intended duration of each paced rung (default
+	// 0.5). Longer smooths scheduler noise at the cost of sweep time.
+	TargetSecs float64
+}
+
+func (o *Opts) fill() {
+	if len(o.Multipliers) == 0 {
+		o.Multipliers = []float64{0.25, 0.5, 0.7, 0.85, 0.95, 1.05, 1.2}
+	}
+	if o.MinUtil == 0 {
+		o.MinUtil = 0.9
+	}
+	if o.TargetSecs == 0 {
+		o.TargetSecs = 0.5
+	}
+}
+
+// Point is one rung of the sweep.
+type Point struct {
+	OfferedHz   float64 `json:"offered_hz"`
+	AchievedHz  float64 `json:"achieved_hz"`
+	NsPerMsg    float64 `json:"ns_per_msg"`
+	Utilization float64 `json:"utilization"` // achieved / offered
+	Msgs        int64   `json:"msgs"`
+}
+
+// Result is a full sweep.
+type Result struct {
+	MaxUnpacedHz float64 `json:"max_unpaced_hz"` // the probe's service rate
+	KneeHz       float64 `json:"knee_hz"`        // highest offered rate still served at >= MinUtil
+	MinUtil      float64 `json:"min_util"`
+	Points       []Point `json:"points"`
+}
+
+// Run probes the unpaced service rate, then sweeps the paced ladder.
+func Run(o Opts) (Result, error) {
+	o.fill()
+	mults := append([]float64(nil), o.Multipliers...)
+	sort.Float64s(mults)
+	for _, m := range mults {
+		if m <= 0 {
+			return Result{}, fmt.Errorf("saturate: non-positive rate multiplier %v", m)
+		}
+	}
+	if o.MinUtil <= 0 || o.MinUtil > 1 {
+		return Result{}, fmt.Errorf("saturate: MinUtil %v outside (0, 1]", o.MinUtil)
+	}
+
+	probe := o.Bench
+	probe.RateHz = 0
+	pres, err := transport.RunIngestBench(probe)
+	if err != nil {
+		return Result{}, fmt.Errorf("saturate: unpaced probe: %w", err)
+	}
+	maxHz := pres.MmsgPerSec() * 1e6
+	if !(maxHz > 0) {
+		return Result{}, fmt.Errorf("saturate: probe measured non-positive rate %v", maxHz)
+	}
+
+	res := Result{MaxUnpacedHz: maxHz, MinUtil: o.MinUtil}
+	for _, m := range mults {
+		offered := m * maxHz
+		rung := o.Bench
+		rung.RateHz = offered
+		// Size the rung to run ~TargetSecs at the offered rate, but
+		// never below one frame per connection (RunIngestBench's floor).
+		rung.Msgs = int64(offered * o.TargetSecs)
+		rres, err := transport.RunIngestBench(rung)
+		if err != nil {
+			return Result{}, fmt.Errorf("saturate: rung %.2fx: %w", m, err)
+		}
+		achieved := rres.MmsgPerSec() * 1e6
+		pt := Point{
+			OfferedHz:   offered,
+			AchievedHz:  achieved,
+			NsPerMsg:    rres.NsPerMsg(),
+			Utilization: achieved / offered,
+			Msgs:        rres.Msgs,
+		}
+		res.Points = append(res.Points, pt)
+		if pt.Utilization >= o.MinUtil && offered > res.KneeHz {
+			res.KneeHz = offered
+		}
+	}
+	return res, nil
+}

@@ -1,0 +1,60 @@
+package saturate
+
+import (
+	"testing"
+
+	"wrs/internal/transport"
+)
+
+// TestSweepSmoke runs a miniature sweep end to end. It asserts shape
+// and sanity, not absolute rates: this is wall-clock measurement and
+// CI boxes are noisy; the committed BENCH_saturation.json is produced
+// by wrs-chaos -saturation on a quiet host instead.
+func TestSweepSmoke(t *testing.T) {
+	if testing.Short() {
+		t.Skip("wall-clock sweep")
+	}
+	res, err := Run(Opts{
+		Bench: transport.IngestBenchOpts{
+			Conns:     2,
+			FrameMsgs: 256,
+			Msgs:      1 << 14,
+		},
+		Multipliers: []float64{0.25, 1.0},
+		TargetSecs:  0.05,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MaxUnpacedHz <= 0 {
+		t.Fatalf("probe rate %v", res.MaxUnpacedHz)
+	}
+	if len(res.Points) != 2 {
+		t.Fatalf("%d points, want 2", len(res.Points))
+	}
+	for i, pt := range res.Points {
+		if i > 0 && pt.OfferedHz <= res.Points[i-1].OfferedHz {
+			t.Errorf("offered rates not ascending: %v", res.Points)
+		}
+		if pt.AchievedHz <= 0 || pt.Msgs <= 0 {
+			t.Errorf("degenerate point %+v", pt)
+		}
+	}
+	// The quarter-rate rung must be nowhere near saturation; allow wide
+	// noise margins but catch pacing that is broken outright.
+	if u := res.Points[0].Utilization; u < 0.5 {
+		t.Errorf("utilization %v at 0.25x the service rate — pacing is broken", u)
+	}
+	if res.KneeHz > res.Points[len(res.Points)-1].OfferedHz {
+		t.Errorf("knee %v above the highest offered rate", res.KneeHz)
+	}
+}
+
+func TestSweepRejectsBadOpts(t *testing.T) {
+	if _, err := Run(Opts{Multipliers: []float64{0, 1}}); err == nil {
+		t.Error("zero multiplier accepted")
+	}
+	if _, err := Run(Opts{MinUtil: 1.5}); err == nil {
+		t.Error("MinUtil > 1 accepted")
+	}
+}

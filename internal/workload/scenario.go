@@ -1,0 +1,274 @@
+package workload
+
+import (
+	"fmt"
+	"sort"
+
+	"wrs/internal/netsim"
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// FaultKind enumerates the faults the scenario engine can inject.
+type FaultKind int
+
+const (
+	// SiteCrash silences a site: pending and future arrivals addressed
+	// to it are lost, and broadcasts to it are dropped.
+	SiteCrash FaultKind = iota
+	// SiteJoin brings up a fresh replacement site instance at a site
+	// index and feeds it the late-joiner control snapshot (saturated
+	// levels + current epoch threshold), mirroring the TCP transport's
+	// join path.
+	SiteJoin
+	// CoordSnapshot checkpoints every shard coordinator
+	// (core.ExportState) together with the acknowledgment log position.
+	CoordSnapshot
+	// CoordRestart kills the coordinator and restores the latest
+	// CoordSnapshot in place: all state since the snapshot — including
+	// acknowledgments — is lost, exactly like a process restart from a
+	// persisted checkpoint.
+	CoordRestart
+	// LinkSet replaces the active link models (both directions) from
+	// this instant on, degrading or healing the network mid-run.
+	LinkSet
+)
+
+func (k FaultKind) String() string {
+	switch k {
+	case SiteCrash:
+		return "site-crash"
+	case SiteJoin:
+		return "site-join"
+	case CoordSnapshot:
+		return "coord-snapshot"
+	case CoordRestart:
+		return "coord-restart"
+	case LinkSet:
+		return "link-set"
+	default:
+		return "unknown"
+	}
+}
+
+// Fault is one scheduled fault. Site is used by SiteCrash/SiteJoin;
+// Up/Down by LinkSet.
+type Fault struct {
+	At   float64
+	Kind FaultKind
+	Site int
+	Up   netsim.LinkModel
+	Down netsim.LinkModel
+}
+
+// Schedule is a declarative fault schedule, applied in time order.
+type Schedule []Fault
+
+// Validate rejects schedules the engine cannot apply: site indices out
+// of range, invalid link models, negative times, or a CoordRestart with
+// no CoordSnapshot anywhere before it.
+func (sch Schedule) Validate(k int) error {
+	ordered := append(Schedule(nil), sch...)
+	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].At < ordered[j].At })
+	haveSnap := false
+	for _, f := range ordered {
+		if f.At < 0 {
+			return fmt.Errorf("workload: fault %v at negative time %v", f.Kind, f.At)
+		}
+		switch f.Kind {
+		case SiteCrash, SiteJoin:
+			if f.Site < 0 || f.Site >= k {
+				return fmt.Errorf("workload: fault %v addresses site %d of %d", f.Kind, f.Site, k)
+			}
+		case CoordSnapshot:
+			haveSnap = true
+		case CoordRestart:
+			if !haveSnap {
+				return fmt.Errorf("workload: coord-restart at t=%v has no preceding coord-snapshot", f.At)
+			}
+		case LinkSet:
+			if err := f.Up.Validate(); err != nil {
+				return err
+			}
+			if err := f.Down.Validate(); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("workload: unknown fault kind %d", f.Kind)
+		}
+	}
+	return nil
+}
+
+// Scenario is a complete chaos experiment: a workload, a cluster shape,
+// initial link models, and a fault schedule. SpecFor builds a fresh
+// workload Spec per run so stateful arrival processes never leak state
+// between runs; Shards defaults to 1 when zero. Source, when non-nil,
+// overrides SpecFor with an explicit update source — the recorded-trace
+// replay path (see WithTrace).
+type Scenario struct {
+	Name    string
+	About   string
+	K, S    int
+	N       int
+	Shards  int
+	Seed    uint64
+	SpecFor func(k, n int) Spec
+	Source  func() Source
+	Up      netsim.LinkModel
+	Down    netsim.LinkModel
+	Faults  Schedule
+}
+
+// scenarioSalt decorrelates the engine's auxiliary randomness from the
+// protocol randomness, which is seeded with the raw scenario seed (the
+// same master a production Open(WithSeed(seed)) uses).
+const scenarioSalt = 0x5752535f43484153 // "WRS_CHAS"
+
+// auxRNGs returns the engine's auxiliary RNGs in their fixed split
+// order: network (delays/loss), workload source, replacement sites.
+func (sc Scenario) auxRNGs() (netRNG, srcRNG, joinRNG *xrand.RNG) {
+	aux := xrand.New(sc.Seed ^ scenarioSalt)
+	return aux.Split(), aux.Split(), aux.Split()
+}
+
+// OpenSource returns the update source a run of this scenario consumes:
+// the explicit Source when set (trace replay), otherwise the generative
+// spec bound to the scenario's workload RNG. Calling it outside a run —
+// e.g. to record the workload to a trace — yields the exact sequence
+// the engine would feed.
+func (sc Scenario) OpenSource() Source {
+	if sc.Source != nil {
+		return sc.Source()
+	}
+	_, srcRNG, _ := sc.auxRNGs()
+	return sc.SpecFor(sc.K, sc.N).Open(srcRNG)
+}
+
+// WithTrace returns the scenario with its generative workload replaced
+// by replay of a recorded trace. Because the engine's other RNGs split
+// off the seed in a fixed order regardless of the workload source, a
+// scenario replayed from the trace of its own recorded workload
+// reproduces the original run bit-for-bit.
+func WithTrace(sc Scenario, tr *Trace) Scenario {
+	sc.Source = func() Source {
+		tr.Rewind()
+		return tr
+	}
+	return sc
+}
+
+// Validate checks the scenario's static shape.
+func (sc Scenario) Validate() error {
+	if sc.K <= 0 || sc.S <= 0 || sc.N < 0 {
+		return fmt.Errorf("workload: scenario %q needs K > 0, S > 0, N >= 0", sc.Name)
+	}
+	if sc.Shards < 0 {
+		return fmt.Errorf("workload: scenario %q has negative shard count", sc.Name)
+	}
+	if sc.SpecFor == nil && sc.Source == nil {
+		return fmt.Errorf("workload: scenario %q has no workload spec or source", sc.Name)
+	}
+	if err := sc.Up.Validate(); err != nil {
+		return err
+	}
+	if err := sc.Down.Validate(); err != nil {
+		return err
+	}
+	return sc.Faults.Validate(sc.K)
+}
+
+// Builtin returns the built-in scenario catalog. Each scenario is fully
+// declarative — rerunning one with the same seed reproduces the same
+// final sample and statistics bit-for-bit. The N, K, S shapes are sized
+// so the full catalog runs in well under a second per app; crank N up
+// via the -n flag of wrs-chaos for longer soaks.
+func Builtin() []Scenario {
+	return []Scenario{
+		{
+			Name:  "churn",
+			About: "diurnal Zipf traffic; one site crashes mid-stream, a replacement joins later",
+			K:     6, S: 8, N: 4000, Seed: 1,
+			SpecFor: func(k, n int) Spec {
+				return Spec{
+					N: n, K: k,
+					Weights:  stream.ZipfWeights(1.2, 1<<16),
+					Assign:   ZipfSites(k, 1.0),
+					Arrivals: Diurnal{BaseHz: 2000, Components: []RateComponent{{Period: 1.0, Amplitude: 0.6}, {Period: 0.13, Amplitude: 0.25}}},
+				}
+			},
+			Faults: Schedule{
+				{At: 0.4, Kind: SiteCrash, Site: 1},
+				{At: 1.1, Kind: SiteJoin, Site: 1},
+				{At: 1.5, Kind: SiteCrash, Site: 4},
+			},
+		},
+		{
+			Name:  "restart",
+			About: "bursty MMPP traffic; coordinator checkpoints, then restarts from the checkpoint losing everything since",
+			K:     5, S: 6, N: 4000, Seed: 2,
+			SpecFor: func(k, n int) Spec {
+				return Spec{
+					N: n, K: k,
+					Weights:  stream.ParetoWeights(1.15),
+					Assign:   stream.RandomSites(k),
+					Arrivals: NewBursty(1000, 4000, 5),
+				}
+			},
+			Faults: Schedule{
+				{At: 0.25, Kind: CoordSnapshot},
+				{At: 0.55, Kind: CoordRestart},
+				{At: 0.9, Kind: CoordSnapshot},
+				{At: 1.2, Kind: CoordRestart},
+			},
+		},
+		{
+			Name:  "lossy",
+			About: "steady traffic over a WAN that degrades to 5% loss mid-run, then heals",
+			K:     4, S: 8, N: 3000, Seed: 3,
+			Up:   netsim.WANLink(),
+			Down: netsim.WANLink(),
+			SpecFor: func(k, n int) Spec {
+				return Spec{
+					N: n, K: k,
+					Weights:  stream.UniformWeights(1e4),
+					Assign:   stream.RoundRobin(k),
+					Arrivals: Constant{Hz: 2500},
+				}
+			},
+			Faults: Schedule{
+				{At: 0.3, Kind: LinkSet, Up: netsim.LossyLink(), Down: netsim.LossyLink()},
+				{At: 0.9, Kind: LinkSet, Up: netsim.WANLink(), Down: netsim.WANLink()},
+			},
+		},
+		{
+			Name:  "shift",
+			About: "adversarial mid-stream shift from uniform to heavy-tailed weights plus a traffic migration, with a site crash landing inside the shift",
+			K:     6, S: 10, N: 4000, Seed: 4,
+			Up:   netsim.WANLink(),
+			Down: netsim.WANLink(),
+			SpecFor: func(k, n int) Spec {
+				return Spec{
+					N: n, K: k,
+					Weights:  ShiftWeights(stream.UniformWeights(10), stream.ParetoWeights(1.05), n/2),
+					Assign:   ShiftAssign(ZipfSites(k, 1.5), stream.RandomSites(k), n/2),
+					Arrivals: Constant{Hz: 3000},
+				}
+			},
+			Faults: Schedule{
+				{At: 0.66, Kind: SiteCrash, Site: 0},
+				{At: 1.0, Kind: SiteJoin, Site: 0},
+			},
+		},
+	}
+}
+
+// Lookup returns the built-in scenario with the given name.
+func Lookup(name string) (Scenario, bool) {
+	for _, sc := range Builtin() {
+		if sc.Name == name {
+			return sc, true
+		}
+	}
+	return Scenario{}, false
+}

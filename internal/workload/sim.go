@@ -1,0 +1,407 @@
+package workload
+
+import (
+	"container/heap"
+	"fmt"
+
+	"wrs"
+	"wrs/internal/core"
+	"wrs/internal/fabric"
+	"wrs/internal/netsim"
+	"wrs/internal/xrand"
+)
+
+// The scenario engine: a virtual-clock event simulator that drives the
+// protocol state machines of any supported App through a workload and a
+// fault schedule. Every source of nondeterminism — arrival gaps, link
+// delays, loss, key draws — comes from RNGs split off the scenario seed
+// in a fixed order, and simultaneous events break ties by schedule
+// order, so a (scenario, seed) pair names one exact execution: same
+// final sample, same statistics, bit for bit.
+//
+// Exactness under faults is judged against the acknowledgment oracle:
+// the engine logs every (key, item) the coordinator actually processed
+// — regular messages carry their key, early messages' keys are
+// recovered from the attached core.Recorder — rolls the log back on
+// coordinator restart exactly as far as the restored checkpoint, and
+// requires the final per-shard query to equal the brute-force top-s of
+// the log. Updates that never reached the coordinator (crashed site,
+// lost message, filtered below a stale-high threshold) are exactly the
+// updates absent from the log, so the criterion is meaningful under
+// every fault the engine can inject. See DESIGN.md §15 for why the
+// protocol's monotone control plane makes the faulted executions safe.
+
+type eventKind uint8
+
+const (
+	evArrival eventKind = iota
+	evUp
+	evDown
+	evFault
+)
+
+type event struct {
+	at    float64
+	seq   uint64
+	kind  eventKind
+	upd   TimedUpdate  // evArrival
+	shard int          // evUp, evDown
+	site  int          // evDown
+	msg   core.Message // evUp, evDown
+	fault Fault        // evFault
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x any)   { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return e
+}
+
+// EngineStats are the engine's deterministic counters. Two runs of the
+// same scenario and seed produce identical EngineStats.
+type EngineStats struct {
+	Arrivals         int // updates drawn from the workload source
+	DroppedArrivals  int // arrivals addressed to a crashed site
+	UpDelivered      int // site -> coordinator messages delivered
+	UpLost           int // site -> coordinator messages lost by the link
+	DownDelivered    int // broadcast copies delivered to live sites
+	DownLost         int // broadcast copies lost by the link
+	DownToDead       int // broadcast copies addressed to a crashed site
+	Crashes          int
+	Joins            int
+	Snapshots        int
+	Restarts         int
+	LinkChanges      int
+	AcksRolledBack   int     // acknowledgment log entries discarded by restarts
+	FinalVirtualTime float64 // virtual time of the last event
+}
+
+// ShardResult is one shard's final protocol state and its oracle.
+type ShardResult struct {
+	Query  []core.SampleEntry // the coordinator's final sample, desc by key
+	Oracle []core.SampleEntry // brute-force top-s over acknowledged updates
+	Acked  int                // acknowledgment log length at the end
+	Stats  core.CoordStats
+}
+
+// Result is the outcome of one scenario run.
+type Result struct {
+	Scenario string
+	Shards   []ShardResult
+	Engine   EngineStats
+}
+
+// Err returns nil when every shard's final query equals its
+// acknowledgment oracle, and a description of the first divergence
+// otherwise.
+func (r *Result) Err() error {
+	for p, sh := range r.Shards {
+		if len(sh.Query) != len(sh.Oracle) {
+			return fmt.Errorf("workload: scenario %q shard %d: query has %d entries, oracle %d",
+				r.Scenario, p, len(sh.Query), len(sh.Oracle))
+		}
+		for i := range sh.Query {
+			if sh.Query[i] != sh.Oracle[i] {
+				return fmt.Errorf("workload: scenario %q shard %d entry %d: query %+v, oracle %+v",
+					r.Scenario, p, i, sh.Query[i], sh.Oracle[i])
+			}
+		}
+	}
+	return nil
+}
+
+// Fingerprint renders the result as a string that two runs match on iff
+// they are bit-identical: float64 values print as their shortest
+// round-trippable representation, so distinct bits give distinct
+// fingerprints.
+func (r *Result) Fingerprint() string {
+	return fmt.Sprintf("%+v", *r)
+}
+
+// soloSnaps is the single-threaded wrs.Snapshots: the engine owns every
+// state machine, nothing runs concurrently, so a view is a direct call.
+type soloSnaps struct{ n int }
+
+func (s soloSnaps) Shards() int           { return s.n }
+func (s soloSnaps) View(_ int, fn func()) { fn() }
+
+// RunApp drives app through the scenario and returns the engine result
+// together with the application's final answer. The app descriptor is
+// consumed (one-shot, as with wrs.Open): build a fresh one per run.
+//
+// Supported apps are those whose per-shard coordinator is the plain
+// core sampler — Sampler, HeavyHitters, Quantiles. Apps that wrap or
+// replace the coordinator state machine (L1's duplication wrapper, the
+// windowed protocol) are rejected: their acknowledgment oracles need
+// app-specific replay logic that does not exist yet.
+func RunApp[Q any](sc Scenario, app wrs.App[Q]) (*Result, Q, error) {
+	var zero Q
+	if err := sc.Validate(); err != nil {
+		return nil, zero, err
+	}
+	shards := sc.Shards
+	if shards == 0 {
+		shards = 1
+	}
+
+	// Build the protocol fabric exactly as wrs.Open would: the app
+	// splits master in the documented order, so a scenario seed pins
+	// the same instances a production Open(WithSeed(seed)) builds.
+	master := xrand.New(sc.Seed)
+	insts, err := app.Instances(sc.K, shards, master)
+	if err != nil {
+		return nil, zero, err
+	}
+	if len(insts) != shards {
+		return nil, zero, fmt.Errorf("workload: app built %d instances for %d shards", len(insts), shards)
+	}
+	coords := make([]*core.Coordinator, shards)
+	recs := make([]*core.Recorder, shards)
+	sites := make([][]netsim.Site[core.Message], shards)
+	for p, inst := range insts {
+		coord, ok := inst.Coord.(*core.Coordinator)
+		if !ok {
+			return nil, zero, fmt.Errorf("workload: app coordinator %T is not the plain core sampler; scenario oracles support swor/hh/quantile only", inst.Coord)
+		}
+		coords[p] = coord
+		recs[p] = core.NewRecorder()
+		coord.SetRecorder(recs[p])
+		sites[p] = inst.Sites
+	}
+
+	// Engine RNGs come from a salted seed, NOT from the app's master:
+	// the workload, the network and the join randomness are then
+	// independent of how many streams the app split off, so the same
+	// scenario feeds the identical update sequence to every app and a
+	// recorded trace replays bit-for-bit regardless of the source kind.
+	netRNG, _, joinRNG := sc.auxRNGs()
+
+	src := sc.OpenSource()
+	if src.K() != sc.K {
+		return nil, zero, fmt.Errorf("workload: spec is for %d sites, scenario has %d", src.K(), sc.K)
+	}
+
+	eng := &engine{
+		shards:  shards,
+		coords:  coords,
+		recs:    recs,
+		sites:   sites,
+		alive:   make([]bool, sc.K),
+		up:      sc.Up,
+		down:    sc.Down,
+		netRNG:  netRNG,
+		joinRNG: joinRNG,
+		acks:    make([][]core.SampleEntry, shards),
+		cfgs:    make([]core.Config, shards),
+	}
+	for i := range eng.alive {
+		eng.alive[i] = true
+	}
+	for p, inst := range insts {
+		eng.cfgs[p] = inst.Cfg
+	}
+	for _, f := range sc.Faults {
+		eng.push(&event{at: f.At, kind: evFault, fault: f})
+	}
+	if u, ok := src.Next(); ok {
+		eng.push(&event{at: u.At, kind: evArrival, upd: u})
+	}
+
+	if err := eng.run(src); err != nil {
+		return nil, zero, err
+	}
+
+	res := &Result{Scenario: sc.Name, Engine: eng.stats, Shards: make([]ShardResult, shards)}
+	for p := range coords {
+		oracle := append([]core.SampleEntry(nil), eng.acks[p]...)
+		res.Shards[p] = ShardResult{
+			Query:  coords[p].Query(),
+			Oracle: core.TopSample(oracle, eng.cfgs[p].S),
+			Acked:  len(eng.acks[p]),
+			Stats:  coords[p].Stats,
+		}
+	}
+	answer := app.Query(soloSnaps{n: shards})
+	return res, answer, nil
+}
+
+type engine struct {
+	shards  int
+	coords  []*core.Coordinator
+	recs    []*core.Recorder
+	sites   [][]netsim.Site[core.Message]
+	cfgs    []core.Config
+	alive   []bool
+	up      netsim.LinkModel
+	down    netsim.LinkModel
+	netRNG  *xrand.RNG
+	joinRNG *xrand.RNG
+
+	heap  eventHeap
+	seq   uint64
+	now   float64
+	stats EngineStats
+
+	acks       [][]core.SampleEntry
+	snapStates []*core.CoordinatorState
+	snapAcks   []int
+}
+
+func (e *engine) push(ev *event) {
+	ev.seq = e.seq
+	e.seq++
+	heap.Push(&e.heap, ev)
+}
+
+func (e *engine) run(src Source) error {
+	for e.heap.Len() > 0 {
+		ev := heap.Pop(&e.heap).(*event)
+		e.now = ev.at
+		e.stats.FinalVirtualTime = ev.at
+		switch ev.kind {
+		case evArrival:
+			if err := e.arrive(ev.upd); err != nil {
+				return err
+			}
+			if u, ok := src.Next(); ok {
+				e.push(&event{at: u.At, kind: evArrival, upd: u})
+			}
+		case evUp:
+			e.deliverUp(ev.shard, ev.msg)
+		case evDown:
+			e.deliverDown(ev.shard, ev.site, ev.msg)
+		case evFault:
+			if err := e.applyFault(ev.fault); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (e *engine) arrive(u TimedUpdate) error {
+	e.stats.Arrivals++
+	if !e.alive[u.Site] {
+		e.stats.DroppedArrivals++
+		return nil
+	}
+	p := fabric.ShardOf(u.Item.ID, e.shards)
+	return e.sites[p][u.Site].Observe(u.Item, func(m core.Message) {
+		if e.up.Lose(e.netRNG) {
+			e.stats.UpLost++
+			return
+		}
+		e.push(&event{at: e.now + e.up.Delay(e.netRNG), kind: evUp, shard: p, msg: m})
+	})
+}
+
+func (e *engine) deliverUp(p int, m core.Message) {
+	e.stats.UpDelivered++
+	e.coords[p].HandleMessage(m, func(b core.Message) {
+		for i := range e.sites[p] {
+			if !e.alive[i] {
+				e.stats.DownToDead++
+				continue
+			}
+			if e.down.Lose(e.netRNG) {
+				e.stats.DownLost++
+				continue
+			}
+			e.push(&event{at: e.now + e.down.Delay(e.netRNG), kind: evDown, shard: p, site: i, msg: b})
+		}
+	})
+	switch m.Kind {
+	case core.MsgRegular:
+		e.acks[p] = append(e.acks[p], core.SampleEntry{Key: m.Key, Item: m.Item})
+	case core.MsgEarly:
+		// The coordinator drew this item's key on arrival and the
+		// attached recorder captured it; stream positions are unique
+		// IDs, so the lookup is unambiguous.
+		key, ok := e.recs[p].Key(m.Item.ID)
+		if !ok {
+			panic(fmt.Sprintf("workload: early item %d has no recorded key", m.Item.ID))
+		}
+		e.acks[p] = append(e.acks[p], core.SampleEntry{Key: key, Item: m.Item})
+	default:
+		// Sites only ever send MsgRegular and MsgEarly; control kinds
+		// (MsgEpochUpdate, MsgLevelSaturated, MsgClock) flow downstream
+		// and MsgWindow belongs to the windowed runtime the engine
+		// rejects at RunApp. Nothing to acknowledge.
+	}
+}
+
+func (e *engine) deliverDown(p, site int, m core.Message) {
+	if !e.alive[site] {
+		e.stats.DownToDead++
+		return
+	}
+	e.stats.DownDelivered++
+	e.sites[p][site].HandleBroadcast(m)
+}
+
+func (e *engine) applyFault(f Fault) error {
+	switch f.Kind {
+	case SiteCrash:
+		e.alive[f.Site] = false
+		e.stats.Crashes++
+	case SiteJoin:
+		// A fresh replacement instance per shard, control-plane state
+		// seeded from the coordinator exactly like the TCP transport's
+		// late-joiner snapshot.
+		for p := range e.sites {
+			ns := core.NewSite(f.Site, e.cfgs[p], e.joinRNG.Split())
+			for _, j := range e.coords[p].SaturatedLevels() {
+				ns.HandleBroadcast(core.Message{Kind: core.MsgLevelSaturated, Level: j})
+			}
+			if th := e.coords[p].CurrentThreshold(); th > 0 {
+				ns.HandleBroadcast(core.Message{Kind: core.MsgEpochUpdate, Threshold: th})
+			}
+			e.sites[p][f.Site] = ns
+		}
+		e.alive[f.Site] = true
+		e.stats.Joins++
+	case CoordSnapshot:
+		if e.snapStates == nil {
+			e.snapStates = make([]*core.CoordinatorState, e.shards)
+			e.snapAcks = make([]int, e.shards)
+		}
+		for p, c := range e.coords {
+			e.snapStates[p] = c.ExportState()
+			e.snapAcks[p] = len(e.acks[p])
+		}
+		e.stats.Snapshots++
+	case CoordRestart:
+		if e.snapStates == nil {
+			return fmt.Errorf("workload: coord-restart with no snapshot taken")
+		}
+		for p, c := range e.coords {
+			if err := c.RestoreState(e.snapStates[p]); err != nil {
+				return err
+			}
+			e.stats.AcksRolledBack += len(e.acks[p]) - e.snapAcks[p]
+			// Full slice expression: appends after the rollback must
+			// not overwrite the (dead) entries past the checkpoint in
+			// a way that would alias a prior snapshot's backing array.
+			e.acks[p] = e.acks[p][:e.snapAcks[p]:e.snapAcks[p]]
+		}
+		e.stats.Restarts++
+	case LinkSet:
+		e.up, e.down = f.Up, f.Down
+		e.stats.LinkChanges++
+	}
+	return nil
+}

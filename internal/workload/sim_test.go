@@ -1,0 +1,170 @@
+package workload
+
+import (
+	"strings"
+	"testing"
+
+	"wrs"
+)
+
+// scale shrinks scenario streams in -short mode (the CI race smoke)
+// while keeping every fault inside the stream.
+func scale(sc Scenario, short bool) Scenario {
+	if short {
+		sc.N /= 4
+	}
+	return sc
+}
+
+// TestScenariosExactAndDeterministic is the acceptance matrix: every
+// built-in scenario × app × shard count must (1) satisfy the exactness
+// criterion — final per-shard query equals the brute-force top-s oracle
+// over acknowledged updates — and (2) be deterministic: a second run
+// with the same seed reproduces the identical result fingerprint and
+// application answer.
+func TestScenariosExactAndDeterministic(t *testing.T) {
+	for _, base := range Builtin() {
+		for _, app := range AppNames() {
+			for _, shards := range []int{1, 2} {
+				sc := scale(base, testing.Short())
+				sc.Shards = shards
+				name := sc.Name + "/" + app + "/shards=" + string(rune('0'+shards))
+				t.Run(name, func(t *testing.T) {
+					res1, ans1, err := RunNamed(sc, app)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := res1.Err(); err != nil {
+						t.Fatalf("exactness violated: %v", err)
+					}
+					res2, ans2, err := RunNamed(sc, app)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if res1.Fingerprint() != res2.Fingerprint() {
+						t.Errorf("nondeterministic result:\nrun1: %s\nrun2: %s", res1.Fingerprint(), res2.Fingerprint())
+					}
+					if ans1 != ans2 {
+						t.Errorf("nondeterministic answer:\nrun1: %s\nrun2: %s", ans1, ans2)
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestScenarioFaultsActuallyFire guards against schedules silently
+// missing the stream: each built-in scenario's characteristic fault
+// must leave its trace in the engine counters.
+func TestScenarioFaultsActuallyFire(t *testing.T) {
+	run := func(name string) *Result {
+		sc, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("scenario %q missing", name)
+		}
+		res, _, err := RunNamed(sc, "swor")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	churn := run("churn")
+	if churn.Engine.Crashes != 2 || churn.Engine.Joins != 1 {
+		t.Errorf("churn: crashes=%d joins=%d, want 2/1", churn.Engine.Crashes, churn.Engine.Joins)
+	}
+	if churn.Engine.DroppedArrivals == 0 {
+		t.Error("churn: no arrivals were dropped by the crashed sites")
+	}
+	restart := run("restart")
+	if restart.Engine.Snapshots != 2 || restart.Engine.Restarts != 2 {
+		t.Errorf("restart: snapshots=%d restarts=%d, want 2/2", restart.Engine.Snapshots, restart.Engine.Restarts)
+	}
+	if restart.Engine.AcksRolledBack == 0 {
+		t.Error("restart: restart rolled back nothing — schedule missed the stream")
+	}
+	lossy := run("lossy")
+	if lossy.Engine.UpLost == 0 && lossy.Engine.DownLost == 0 {
+		t.Error("lossy: the lossy link lost nothing")
+	}
+	if lossy.Engine.LinkChanges != 2 {
+		t.Errorf("lossy: link changes = %d, want 2", lossy.Engine.LinkChanges)
+	}
+}
+
+// TestTraceReplayReproducesRun is the recorded-trace contract: record
+// the workload of a scenario, replay the scenario from the trace, and
+// the engine reproduces the generative run bit-for-bit.
+func TestTraceReplayReproducesRun(t *testing.T) {
+	sc, _ := Lookup("churn")
+	sc.N = 1000
+	live, ansLive, err := RunNamed(sc, "swor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := recordScenarioWorkload(t, sc)
+	replayed, ansReplayed, err := RunNamed(WithTrace(sc, tr), "swor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if live.Fingerprint() != replayed.Fingerprint() {
+		t.Errorf("trace replay diverged:\nlive:   %s\nreplay: %s", live.Fingerprint(), replayed.Fingerprint())
+	}
+	if ansLive != ansReplayed {
+		t.Errorf("trace replay answer diverged:\nlive:   %s\nreplay: %s", ansLive, ansReplayed)
+	}
+}
+
+// TestRunAppRejectsWrappedCoordinators pins the support boundary: apps
+// whose coordinator is not the plain core sampler are refused rather
+// than checked against a wrong oracle.
+func TestRunAppRejectsWrappedCoordinators(t *testing.T) {
+	sc, _ := Lookup("lossy")
+	_, _, err := RunApp(sc, wrs.L1(sc.K, 0.3, 0.2))
+	if err == nil || !strings.Contains(err.Error(), "not the plain core sampler") {
+		t.Errorf("L1 app accepted by scenario engine: %v", err)
+	}
+}
+
+func TestScheduleValidate(t *testing.T) {
+	cases := []struct {
+		name string
+		sch  Schedule
+		ok   bool
+	}{
+		{"empty", nil, true},
+		{"crash+join", Schedule{{At: 1, Kind: SiteCrash, Site: 0}, {At: 2, Kind: SiteJoin, Site: 0}}, true},
+		{"site out of range", Schedule{{At: 1, Kind: SiteCrash, Site: 4}}, false},
+		{"negative time", Schedule{{At: -1, Kind: CoordSnapshot}}, false},
+		{"restart without snapshot", Schedule{{At: 1, Kind: CoordRestart}}, false},
+		{"restart after snapshot, out of order in slice", Schedule{{At: 2, Kind: CoordRestart}, {At: 1, Kind: CoordSnapshot}}, true},
+		{"bad link model", Schedule{{At: 1, Kind: LinkSet, Up: badLink()}}, false},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			err := c.sch.Validate(4)
+			if (err == nil) != c.ok {
+				t.Errorf("Validate = %v, want ok=%v", err, c.ok)
+			}
+		})
+	}
+}
+
+// TestRestartMidFlightIsExact stresses the nastiest interleaving: a
+// coordinator restart while messages are in flight on a slow link, so
+// deliveries from before the snapshot arrive after the restore. The
+// ack-oracle criterion must still hold.
+func TestRestartMidFlightIsExact(t *testing.T) {
+	sc, _ := Lookup("restart")
+	sc.Up = lateLink()
+	sc.Down = lateLink()
+	for _, shards := range []int{1, 2} {
+		sc.Shards = shards
+		res, _, err := RunNamed(sc, "swor")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			t.Errorf("shards=%d: %v", shards, err)
+		}
+	}
+}

@@ -1,0 +1,191 @@
+package workload
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+)
+
+// Trace format ("WRST"): a workload run recorded update-by-update so it
+// can be replayed bit-for-bit — same IDs, weights, sites, and virtual
+// arrival times — without the generating Spec or its seed. The format
+// is a fixed little-endian layout:
+//
+//	magic   [4]byte  "WRST"
+//	version uint32   (1)
+//	k       uint32   number of sites
+//	count   uint64   number of updates
+//	records count × { pos uint64, id uint64, site uint32,
+//	                  weight float64 bits, at float64 bits }
+//
+// Weights and times are stored as IEEE-754 bit patterns, so a replayed
+// trace is bit-identical to the recorded run, not merely close.
+
+const (
+	traceMagic   = "WRST"
+	traceVersion = 1
+)
+
+// WriteTrace drains a source into w in trace format. It returns the
+// number of updates written.
+func WriteTrace(w io.Writer, src Source) (int, error) {
+	var updates []TimedUpdate
+	for {
+		u, ok := src.Next()
+		if !ok {
+			break
+		}
+		updates = append(updates, u)
+	}
+	bw := bufio.NewWriter(w)
+	if _, err := bw.WriteString(traceMagic); err != nil {
+		return 0, err
+	}
+	var scratch [8]byte
+	put32 := func(v uint32) error {
+		binary.LittleEndian.PutUint32(scratch[:4], v)
+		_, err := bw.Write(scratch[:4])
+		return err
+	}
+	put64 := func(v uint64) error {
+		binary.LittleEndian.PutUint64(scratch[:8], v)
+		_, err := bw.Write(scratch[:8])
+		return err
+	}
+	if err := put32(traceVersion); err != nil {
+		return 0, err
+	}
+	if err := put32(uint32(src.K())); err != nil {
+		return 0, err
+	}
+	if err := put64(uint64(len(updates))); err != nil {
+		return 0, err
+	}
+	for _, u := range updates {
+		if err := put64(uint64(u.Pos)); err != nil {
+			return 0, err
+		}
+		if err := put64(u.Item.ID); err != nil {
+			return 0, err
+		}
+		if err := put32(uint32(u.Site)); err != nil {
+			return 0, err
+		}
+		if err := put64(math.Float64bits(u.Item.Weight)); err != nil {
+			return 0, err
+		}
+		if err := put64(math.Float64bits(u.At)); err != nil {
+			return 0, err
+		}
+	}
+	return len(updates), bw.Flush()
+}
+
+// Trace is a fully loaded recorded run. It implements Source by
+// replaying its updates in order; Rewind starts replay over.
+type Trace struct {
+	Sites   int
+	Updates []TimedUpdate
+	next    int
+}
+
+// ReadTrace loads a trace written by WriteTrace.
+func ReadTrace(r io.Reader) (*Trace, error) {
+	br := bufio.NewReader(r)
+	var magic [4]byte
+	if _, err := io.ReadFull(br, magic[:]); err != nil {
+		return nil, fmt.Errorf("workload: reading trace magic: %w", err)
+	}
+	if string(magic[:]) != traceMagic {
+		return nil, fmt.Errorf("workload: bad trace magic %q", magic[:])
+	}
+	var scratch [8]byte
+	get32 := func() (uint32, error) {
+		if _, err := io.ReadFull(br, scratch[:4]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint32(scratch[:4]), nil
+	}
+	get64 := func() (uint64, error) {
+		if _, err := io.ReadFull(br, scratch[:8]); err != nil {
+			return 0, err
+		}
+		return binary.LittleEndian.Uint64(scratch[:8]), nil
+	}
+	version, err := get32()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace version: %w", err)
+	}
+	if version != traceVersion {
+		return nil, fmt.Errorf("workload: trace version %d, want %d", version, traceVersion)
+	}
+	k, err := get32()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace site count: %w", err)
+	}
+	if k == 0 {
+		return nil, fmt.Errorf("workload: trace has zero sites")
+	}
+	count, err := get64()
+	if err != nil {
+		return nil, fmt.Errorf("workload: reading trace length: %w", err)
+	}
+	tr := &Trace{Sites: int(k), Updates: make([]TimedUpdate, 0, count)}
+	prevAt := math.Inf(-1)
+	for i := uint64(0); i < count; i++ {
+		var u TimedUpdate
+		pos, err := get64()
+		if err != nil {
+			return nil, fmt.Errorf("workload: truncated trace at record %d: %w", i, err)
+		}
+		u.Pos = int(pos)
+		if u.Item.ID, err = get64(); err != nil {
+			return nil, fmt.Errorf("workload: truncated trace at record %d: %w", i, err)
+		}
+		site, err := get32()
+		if err != nil {
+			return nil, fmt.Errorf("workload: truncated trace at record %d: %w", i, err)
+		}
+		if int(site) >= int(k) {
+			return nil, fmt.Errorf("workload: trace record %d addresses site %d of %d", i, site, k)
+		}
+		u.Site = int(site)
+		wbits, err := get64()
+		if err != nil {
+			return nil, fmt.Errorf("workload: truncated trace at record %d: %w", i, err)
+		}
+		u.Item.Weight = math.Float64frombits(wbits)
+		if !(u.Item.Weight > 0) || math.IsInf(u.Item.Weight, 0) {
+			return nil, fmt.Errorf("workload: trace record %d has invalid weight %v", i, u.Item.Weight)
+		}
+		abits, err := get64()
+		if err != nil {
+			return nil, fmt.Errorf("workload: truncated trace at record %d: %w", i, err)
+		}
+		u.At = math.Float64frombits(abits)
+		if u.At < prevAt {
+			return nil, fmt.Errorf("workload: trace record %d goes back in time (%v after %v)", i, u.At, prevAt)
+		}
+		prevAt = u.At
+		tr.Updates = append(tr.Updates, u)
+	}
+	return tr, nil
+}
+
+// K returns the number of sites the trace addresses.
+func (t *Trace) K() int { return t.Sites }
+
+// Next replays the next recorded update.
+func (t *Trace) Next() (TimedUpdate, bool) {
+	if t.next >= len(t.Updates) {
+		return TimedUpdate{}, false
+	}
+	u := t.Updates[t.next]
+	t.next++
+	return u, true
+}
+
+// Rewind restarts replay from the first update.
+func (t *Trace) Rewind() { t.next = 0 }

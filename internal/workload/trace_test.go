@@ -1,0 +1,119 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+
+	"wrs/internal/netsim"
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+func badLink() netsim.LinkModel { return netsim.LinkModel{LossProb: 1.5} }
+
+// lateLink keeps messages in flight long enough to straddle the
+// restart scenario's snapshot/restore pair.
+func lateLink() netsim.LinkModel { return netsim.LinkModel{BaseDelay: 0.2, Jitter: 0.3} }
+
+func recordScenarioWorkload(t *testing.T, sc Scenario) *Trace {
+	t.Helper()
+	var buf bytes.Buffer
+	if _, err := WriteTrace(&buf, sc.OpenSource()); err != nil {
+		t.Fatal(err)
+	}
+	tr, err := ReadTrace(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tr
+}
+
+func testSpec(n, k int) Spec {
+	return Spec{
+		N: n, K: k,
+		Weights:  stream.ParetoWeights(1.3),
+		Assign:   ZipfSites(k, 1.0),
+		Arrivals: NewBursty(500, 5000, 10),
+	}
+}
+
+// TestTraceRoundTripBitExact: write a workload to a trace, read it
+// back, and every field — including the float64 bit patterns of
+// weights and times — must survive; writing the read trace again must
+// produce identical bytes.
+func TestTraceRoundTripBitExact(t *testing.T) {
+	src := testSpec(500, 4).Open(xrand.New(123))
+	var buf1 bytes.Buffer
+	n, err := WriteTrace(&buf1, src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 500 {
+		t.Fatalf("wrote %d updates, want 500", n)
+	}
+	tr, err := ReadTrace(bytes.NewReader(buf1.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := testSpec(500, 4).Open(xrand.New(123))
+	for i := 0; ; i++ {
+		wu, wok := want.Next()
+		gu, gok := tr.Next()
+		if wok != gok {
+			t.Fatalf("update %d: ok %v vs %v", i, wok, gok)
+		}
+		if !wok {
+			break
+		}
+		if wu != gu {
+			t.Fatalf("update %d differs: %+v vs %+v", i, wu, gu)
+		}
+	}
+	tr.Rewind()
+	var buf2 bytes.Buffer
+	if _, err := WriteTrace(&buf2, tr); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf1.Bytes(), buf2.Bytes()) {
+		t.Error("re-encoding a read trace changed its bytes")
+	}
+}
+
+// TestTraceRejectsCorruption exercises the reader's validation.
+func TestTraceRejectsCorruption(t *testing.T) {
+	var buf bytes.Buffer
+	if _, err := WriteTrace(&buf, testSpec(50, 3).Open(xrand.New(7))); err != nil {
+		t.Fatal(err)
+	}
+	good := buf.Bytes()
+	corrupt := func(mutate func([]byte)) error {
+		b := append([]byte(nil), good...)
+		mutate(b)
+		_, err := ReadTrace(bytes.NewReader(b))
+		return err
+	}
+	if err := corrupt(func(b []byte) { b[0] = 'X' }); err == nil {
+		t.Error("bad magic accepted")
+	}
+	if err := corrupt(func(b []byte) { b[4] = 99 }); err == nil {
+		t.Error("bad version accepted")
+	}
+	// Record layout is 36 bytes: pos(8) id(8) site(4) weight(8) at(8).
+	if err := corrupt(func(b []byte) {
+		for i := len(b) - 20; i < len(b)-16; i++ {
+			b[i] = 0xFF // site index far out of range
+		}
+	}); err == nil {
+		t.Error("out-of-range site accepted")
+	}
+	if err := corrupt(func(b []byte) {
+		for i := len(b) - 16; i < len(b)-8; i++ {
+			b[i] = 0 // weight becomes +0, invalid
+		}
+	}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := ReadTrace(bytes.NewReader(good[:len(good)-5])); err == nil {
+		t.Error("truncated trace accepted")
+	}
+}

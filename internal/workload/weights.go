@@ -1,0 +1,75 @@
+package workload
+
+import (
+	"fmt"
+	"math"
+
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// ShiftWeights switches from one weight distribution to another at a
+// fixed stream position — the adversarial mid-stream distribution shift
+// (a quiet uniform workload that suddenly turns heavy-tailed is the
+// instance that forces epoch thresholds to chase a moving u).
+func ShiftWeights(before, after stream.WeightFn, shiftPos int) stream.WeightFn {
+	return func(pos int, rng *xrand.RNG) float64 {
+		if pos < shiftPos {
+			return before(pos, rng)
+		}
+		return after(pos, rng)
+	}
+}
+
+// ShiftAssign switches the site-assignment policy at a fixed stream
+// position, modeling a traffic migration (e.g. a failover that drains
+// one region into another mid-run).
+func ShiftAssign(before, after stream.AssignFn, shiftPos int) stream.AssignFn {
+	return func(pos int, rng *xrand.RNG) int {
+		if pos < shiftPos {
+			return before(pos, rng)
+		}
+		return after(pos, rng)
+	}
+}
+
+// SkewedSites assigns each update to a site drawn from a fixed
+// categorical distribution — the per-site skew map. share[i] is site
+// i's relative traffic share; shares need not sum to one.
+func SkewedSites(share []float64) stream.AssignFn {
+	if len(share) == 0 {
+		panic("workload: SkewedSites needs at least one site share")
+	}
+	cdf := make([]float64, len(share))
+	var sum float64
+	for i, w := range share {
+		if !(w >= 0) {
+			panic(fmt.Sprintf("workload: site share %d is %v, must be nonnegative", i, w))
+		}
+		sum += w
+		cdf[i] = sum
+	}
+	if !(sum > 0) {
+		panic("workload: SkewedSites shares sum to zero")
+	}
+	return func(_ int, rng *xrand.RNG) int {
+		x := rng.Float64() * sum
+		for i, c := range cdf {
+			if x < c {
+				return i
+			}
+		}
+		return len(cdf) - 1
+	}
+}
+
+// ZipfSites is SkewedSites with share[i] proportional to 1/(i+1)^alpha:
+// site 0 is the hottest, the tail is cold — the canonical skewed
+// placement for k sites.
+func ZipfSites(k int, alpha float64) stream.AssignFn {
+	share := make([]float64, k)
+	for i := range share {
+		share[i] = 1 / math.Pow(float64(i+1), alpha)
+	}
+	return SkewedSites(share)
+}

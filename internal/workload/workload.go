@@ -1,0 +1,83 @@
+package workload
+
+import (
+	"fmt"
+
+	"wrs/internal/stream"
+	"wrs/internal/xrand"
+)
+
+// TimedUpdate is a stream update stamped with its virtual arrival time.
+type TimedUpdate struct {
+	stream.Update
+	At float64
+}
+
+// Spec declares a workload: how many updates over how many sites, which
+// weight and placement distributions, and the arrival process that
+// spaces them on the virtual clock. A Spec is a recipe; Open binds it
+// to an RNG and produces the concrete update sequence.
+type Spec struct {
+	N        int
+	K        int
+	Weights  stream.WeightFn
+	Assign   stream.AssignFn
+	Arrivals ArrivalProcess
+}
+
+// Source produces the timed updates of one workload run. Implementations
+// are the generative Spec source and the recorded-trace replayer; both
+// yield identical sequences for identical histories, which is what makes
+// any run reproducible bit-for-bit.
+type Source interface {
+	// Next returns the next timed update; ok is false once exhausted.
+	Next() (TimedUpdate, bool)
+	// K returns the number of sites the updates are addressed to.
+	K() int
+}
+
+// Open binds the spec to an RNG and returns its update source. The RNG
+// drives weights, placement, and arrival gaps in a fixed interleaved
+// order (gap, then weight, then site, per update), so one seed pins the
+// entire workload.
+func (sp Spec) Open(rng *xrand.RNG) Source {
+	if sp.N < 0 || sp.K <= 0 {
+		panic(fmt.Sprintf("workload: Spec needs N >= 0 and K > 0, got N=%d K=%d", sp.N, sp.K))
+	}
+	if sp.Weights == nil || sp.Assign == nil || sp.Arrivals == nil {
+		panic("workload: Spec needs Weights, Assign and Arrivals")
+	}
+	sp.Arrivals.Reset()
+	return &specSource{
+		g:   stream.NewGenerator(sp.N, sp.K, sp.Weights, sp.Assign),
+		arr: sp.Arrivals,
+		rng: rng,
+		k:   sp.K,
+	}
+}
+
+type specSource struct {
+	g   *stream.Generator
+	arr ArrivalProcess
+	rng *xrand.RNG
+	k   int
+	now float64
+}
+
+func (s *specSource) K() int { return s.k }
+
+func (s *specSource) Next() (TimedUpdate, bool) {
+	// Draw the gap before the update so the arrival process modulates
+	// on the clock of the *previous* arrival, matching a live system
+	// where time passes before the next item exists.
+	gap := s.arr.Gap(s.now, s.rng)
+	if !(gap > 0) {
+		panic(fmt.Sprintf("workload: arrival process returned non-positive gap %v", gap))
+	}
+	u, ok := s.g.Next(s.rng)
+	if !ok {
+		return TimedUpdate{}, false
+	}
+	s.now += gap
+	return TimedUpdate{Update: u, At: s.now}, true
+}

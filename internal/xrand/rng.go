@@ -144,3 +144,20 @@ func (r *RNG) Choose(n, x int, dst []int) []int {
 func (r *RNG) Split() *RNG {
 	return New(r.Uint64())
 }
+
+// State returns the generator's full internal state. Together with
+// NewFromState it lets a protocol state machine be checkpointed and
+// restored bit-exactly: a restored coordinator draws the same key
+// stream the snapshotted one would have (the restart-from-snapshot
+// path of the chaos harness).
+func (r *RNG) State() [4]uint64 { return r.s }
+
+// NewFromState reconstructs an RNG from a state captured with State.
+// It panics on the all-zero state, which xoshiro256++ cannot leave and
+// which can therefore only come from a corrupted snapshot.
+func NewFromState(s [4]uint64) *RNG {
+	if s[0]|s[1]|s[2]|s[3] == 0 {
+		panic("xrand: NewFromState on all-zero state (corrupted snapshot)")
+	}
+	return &RNG{s: s}
+}

@@ -190,3 +190,26 @@ func TestSplitMix64KnownValues(t *testing.T) {
 		}
 	}
 }
+
+func TestStateRoundTrip(t *testing.T) {
+	r := New(99)
+	for i := 0; i < 37; i++ {
+		r.Uint64()
+	}
+	snap := r.State()
+	restored := NewFromState(snap)
+	for i := 0; i < 1000; i++ {
+		if a, b := r.Uint64(), restored.Uint64(); a != b {
+			t.Fatalf("restored stream diverges at draw %d: %#x vs %#x", i, a, b)
+		}
+	}
+}
+
+func TestNewFromStateRejectsZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewFromState accepted the all-zero state")
+		}
+	}()
+	NewFromState([4]uint64{})
+}
