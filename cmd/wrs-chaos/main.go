@@ -11,14 +11,20 @@
 //	wrs-chaos -list                         # catalog of built-in scenarios
 //	wrs-chaos -scenario churn               # one scenario, swor, 1 shard
 //	wrs-chaos -scenario restart -app hh -shards 2
+//	wrs-chaos -scenario tree-sever -app l1  # relay-tree partition, L1 oracle
 //	wrs-chaos -all                          # full catalog x apps x shards {1,2}
 //	wrs-chaos -scenario churn -seed 99      # reseed: new workload, same faults
+//	wrs-chaos -fuzz 500 -seed 1             # 500 random schedules vs the oracle
+//	wrs-chaos -run repro.json               # replay a serialized scenario
+//	wrs-chaos -minimize repro.json          # shrink a failing scenario
 //	wrs-chaos -saturation                   # sweep, write BENCH_saturation.json
 //
 // Every scenario run is deterministic: the same seed reproduces the
 // same final sample, answer, and engine statistics bit for bit. A run
 // whose final query diverges from the oracle exits nonzero — wrs-chaos
-// doubles as an acceptance check.
+// doubles as an acceptance check — and writes the minimized failing
+// schedule next to the working directory with a ready-made -run
+// invocation, so a red CI line is a one-command local reproduction.
 package main
 
 import (
@@ -43,11 +49,14 @@ func fatal(v ...any) {
 func main() {
 	list := flag.Bool("list", false, "list built-in scenarios")
 	scenario := flag.String("scenario", "", "run one built-in scenario by name")
-	app := flag.String("app", "swor", "application: swor, hh, quantile")
+	app := flag.String("app", "swor", fmt.Sprintf("application: %v", workload.AppNames()))
 	shards := flag.Int("shards", 1, "protocol shards")
-	seed := flag.Uint64("seed", 0, "override the scenario's seed (0 keeps the built-in seed)")
+	seed := flag.Uint64("seed", 0, "override the scenario's seed (0 keeps the built-in seed); with -fuzz: the first seed")
 	n := flag.Int("n", 0, "override the scenario's stream length (0 keeps the built-in length)")
 	all := flag.Bool("all", false, "run every scenario x every app x shards {1,2}")
+	fuzz := flag.Int("fuzz", 0, "generate and check this many random schedules (seeds counting up from -seed)")
+	runFile := flag.String("run", "", "run a scenario serialized as JSON (a -fuzz/-minimize reproducer)")
+	minimize := flag.String("minimize", "", "shrink the failing scenario in this JSON file and print the minimized reproducer")
 	saturation := flag.Bool("saturation", false, "run the ingest saturation sweep instead of scenarios")
 	out := flag.String("out", "BENCH_saturation.json", "output path for -saturation results")
 	conns := flag.Int("conns", 4, "with -saturation: concurrent site connections")
@@ -56,11 +65,24 @@ func main() {
 	switch {
 	case *list:
 		for _, sc := range workload.Builtin() {
-			fmt.Printf("%-8s k=%d s=%d n=%d seed=%d faults=%d\n         %s\n",
-				sc.Name, sc.K, sc.S, sc.N, sc.Seed, len(sc.Faults), sc.About)
+			topo := "flat"
+			if sc.Depth > 0 {
+				topo = fmt.Sprintf("tree f=%d d=%d", sc.Fanout, sc.Depth)
+			}
+			fmt.Printf("%-10s k=%d s=%d n=%d seed=%d faults=%d %s\n           %s\n",
+				sc.Name, sc.K, sc.S, sc.N, sc.Seed, len(sc.Faults), topo, sc.About)
 		}
 	case *saturation:
 		runSaturation(*out, *conns)
+	case *fuzz > 0:
+		runFuzz(*fuzz, *seed, *n)
+	case *runFile != "":
+		sc := loadScenario(*runFile)
+		if !runOne(sc, *app, *shards, *seed, *n) {
+			os.Exit(1)
+		}
+	case *minimize != "":
+		runMinimize(*minimize)
 	case *all:
 		failed := 0
 		for _, sc := range workload.Builtin() {
@@ -87,6 +109,85 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+}
+
+// loadScenario reads and validates a serialized scenario.
+func loadScenario(path string) workload.Scenario {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	sc, err := workload.DecodeScenario(data)
+	if err != nil {
+		fatal(err)
+	}
+	return sc
+}
+
+// runFuzz checks `count` generated schedules, seeds counting up from
+// `start`, each against every oracle family at shards {1,2}. The first
+// failure is shrunk and written as a reproducer; a clean sweep prints a
+// one-line summary. Rerunning with the same -seed repeats the exact
+// sweep.
+func runFuzz(count int, start uint64, n int) {
+	cfg := workload.DefaultFuzzConfig()
+	if n != 0 {
+		cfg.N = n
+	}
+	shardCounts := []int{1, 2}
+	for i := 0; i < count; i++ {
+		seed := start + uint64(i)
+		sc := workload.FuzzScenario(cfg, seed)
+		msg := workload.FirstFailure(sc, workload.FuzzApps(), shardCounts)
+		if msg == "" {
+			continue
+		}
+		fmt.Printf("seed %d FAILED: %s\n", seed, msg)
+		writeRepro(sc, shardCounts)
+		os.Exit(1)
+	}
+	fmt.Printf("fuzz: %d schedules (seeds %d..%d), every run oracle-exact for apps %v at shards %v\n",
+		count, start, start+uint64(count)-1, workload.FuzzApps(), shardCounts)
+}
+
+// runMinimize shrinks the scenario in `path` against the full oracle
+// matrix and prints the minimized reproducer. The input must currently
+// fail; minimizing a passing scenario is refused rather than silently
+// returning it unchanged.
+func runMinimize(path string) {
+	sc := loadScenario(path)
+	shardCounts := []int{1, 2}
+	if workload.FirstFailure(sc, workload.FuzzApps(), shardCounts) == "" {
+		fatal("scenario in", path, "does not fail the oracle; nothing to minimize")
+	}
+	writeRepro(sc, shardCounts)
+}
+
+// writeRepro shrinks a failing scenario against the full oracle matrix,
+// writes the minimized JSON next to the working directory, and prints
+// the copy-pasteable invocation that replays it.
+func writeRepro(sc workload.Scenario, shardCounts []int) {
+	failing := func(c workload.Scenario) bool {
+		return workload.FirstFailure(c, workload.FuzzApps(), shardCounts) != ""
+	}
+	emitRepro(sc, failing, "")
+}
+
+// emitRepro shrinks sc while `failing` holds, writes the reproducer,
+// and prints a -run invocation (with extra flags when the failure is
+// specific to one app x shard configuration).
+func emitRepro(sc workload.Scenario, failing func(workload.Scenario) bool, extraFlags string) {
+	shrunk := workload.Shrink(sc, failing)
+	repro, err := workload.EncodeScenario(shrunk)
+	if err != nil {
+		fatal(err)
+	}
+	path := fmt.Sprintf("wrs-chaos-repro-%s.json", shrunk.Name)
+	if err := os.WriteFile(path, append(repro, '\n'), 0o644); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("minimized reproducer (%d faults, n=%d) written to %s\n", len(shrunk.Faults), shrunk.N, path)
+	fmt.Printf("reproduce with:\n  go run ./cmd/wrs-chaos -run %s%s\n", path, extraFlags)
 }
 
 // runOne runs a single scenario x app x shard configuration and prints
@@ -117,6 +218,13 @@ func runOne(sc workload.Scenario, appName string, shards int, seed uint64, n int
 	fmt.Printf("  answer: %s\n", answer)
 	if err := res.Err(); err != nil {
 		fmt.Printf("  FAIL: %v\n", err)
+		if sc.Source == nil && sc.SpecFor == nil {
+			emitRepro(sc, func(c workload.Scenario) bool {
+				c.Shards = shards
+				r, _, err := workload.RunNamed(c, appName)
+				return err != nil || r.Err() != nil
+			}, fmt.Sprintf(" -app %s -shards %d", appName, shards))
+		}
 		return false
 	}
 	fmt.Printf("  exact: query == top-s over acknowledged updates, every shard\n")

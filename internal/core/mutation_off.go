@@ -1,0 +1,14 @@
+//go:build !wrsmutation
+
+package core
+
+// mutationDropPool switches on a deliberately planted exactness bug:
+// ExportState silently drops the withheld pool from the checkpoint, so
+// a coordinator restored from it forgets every early item that had not
+// been released into the sample yet — the classic persistence bug where
+// a checkpoint misses part of the in-memory state. It exists solely for
+// the chaos fuzzer's mutation self-test (internal/workload, build tag
+// wrsmutation): a randomized schedule containing a snapshot + restart
+// must detect the divergence and shrink it to a minimal reproducer.
+// Normal builds compile it to false and the guarded branch is dead.
+const mutationDropPool = false

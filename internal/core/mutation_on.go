@@ -1,0 +1,8 @@
+//go:build wrsmutation
+
+package core
+
+// mutationDropPool: the planted checkpoint bug is ACTIVE — ExportState
+// drops the withheld pool. Only the chaos fuzzer's mutation self-test
+// builds with this tag; see mutation_off.go for the full story.
+const mutationDropPool = true

@@ -69,6 +69,9 @@ func (c *Coordinator) ExportState() *CoordinatorState {
 		st.Levels = append(st.Levels, LevelStateEntry{Level: j, Count: lv.count, Saturated: lv.saturated})
 	}
 	sort.Slice(st.Levels, func(i, j int) bool { return st.Levels[i].Level < st.Levels[j].Level })
+	if mutationDropPool {
+		st.Pool = nil // planted checkpoint bug (wrsmutation builds only)
+	}
 	return st
 }
 

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"fmt"
+
+	"wrs/internal/window"
+)
+
+// WindowCoordinatorState is a self-contained checkpoint of the windowed
+// coordinator: one RetentionState per site sub-stream plus the message
+// counters. The inert inner sampler coordinator is deliberately not
+// captured — it is never fed, so a restored coordinator keeps its own
+// (equally inert) instance and every outstanding pointer stays valid.
+type WindowCoordinatorState struct {
+	Cfg   Config
+	Width int
+	Sites []window.RetentionState
+	Stats WindowCoordStats
+}
+
+// ExportState captures the coordinator as a WindowCoordinatorState that
+// shares nothing with the live machine. Like every other state read it
+// must be serialized with message processing on concurrent runtimes.
+func (c *WindowCoordinator) ExportState() *WindowCoordinatorState {
+	st := &WindowCoordinatorState{
+		Cfg:   c.cfg,
+		Width: c.width,
+		Sites: make([]window.RetentionState, len(c.sites)),
+		Stats: c.Stats,
+	}
+	for i, r := range c.sites {
+		st.Sites[i] = r.ExportState()
+	}
+	return st
+}
+
+// RestoreState overwrites the coordinator with a checkpoint in place,
+// keeping every outstanding pointer valid (the chaos engine's restart
+// path). The checkpoint's config and width must match the coordinator's
+// own: a restart never changes protocol parameters.
+func (c *WindowCoordinator) RestoreState(st *WindowCoordinatorState) error {
+	if st.Cfg != c.cfg {
+		return fmt.Errorf("core: window snapshot config %+v does not match coordinator config %+v", st.Cfg, c.cfg)
+	}
+	if st.Width != c.width {
+		return fmt.Errorf("core: window snapshot width %d does not match coordinator width %d", st.Width, c.width)
+	}
+	if len(st.Sites) != len(c.sites) {
+		return fmt.Errorf("core: window snapshot has %d sites, coordinator has %d", len(st.Sites), len(c.sites))
+	}
+	for i, s := range st.Sites {
+		if err := c.sites[i].RestoreState(s); err != nil {
+			return fmt.Errorf("core: window snapshot site %d: %w", i, err)
+		}
+	}
+	c.Stats = st.Stats
+	return nil
+}
+
+// SiteClock returns the coordinator's observed clock for site i's
+// sub-stream: the number of positions it has been told about, which is
+// the clock expiry is applied against. Exported for the chaos oracle,
+// which replays delivered candidates at exactly this clock per site.
+func (c *WindowCoordinator) SiteClock(i int) int { return c.sites[i].Count() }

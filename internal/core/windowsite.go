@@ -134,6 +134,26 @@ func (st *WindowSite) Width() int { return st.width }
 // N returns the number of items observed by this machine.
 func (st *WindowSite) N() int { return st.n }
 
+// Resume fast-forwards a fresh machine's sequence position to n, so a
+// replacement site continues the sub-stream where a crashed machine
+// left it. The windowed protocol's exactness depends on per-site
+// positions never being reused: the coordinator's retention clock only
+// moves forward, so a replacement starting again at position 0 would
+// see every candidate it sends dropped as pre-expired. The machine
+// starts with an empty local window — whatever the dead site retained
+// is gone, which the delivery-relative oracle accounts for naturally
+// (unsent candidates were never acknowledged).
+func (st *WindowSite) Resume(n int) error {
+	if n < 0 {
+		return fmt.Errorf("core: cannot resume window site at negative position %d", n)
+	}
+	if st.n != 0 || st.Sent != 0 {
+		return fmt.Errorf("core: Resume requires a fresh site machine (observed %d, sent %d)", st.n, st.Sent)
+	}
+	st.n = n
+	return nil
+}
+
 // Buffered returns the current retention size (sent and unsent; lazy,
 // so up to ~2x the eager dominance-pruned count — see Compact).
 func (st *WindowSite) Buffered() int { return st.live() }

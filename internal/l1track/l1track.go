@@ -149,6 +149,60 @@ func (c *DupCoordinator) DropBelow() float64 {
 	return c.coord.DropBelow()
 }
 
+// EstMode reports whether the tracker has left the exact-prefix phase:
+// true once the first positive epoch threshold was observed, after which
+// Estimate switches from the exact accumulator to the Theorem 6
+// estimator. Exported for the chaos oracle, which mirrors the exact
+// accumulator delivery by delivery and must freeze its copy at the same
+// boundary the wrapper does.
+func (c *DupCoordinator) EstMode() bool { return c.estMode }
+
+// Ell returns the duplication factor l (each logical update is fed as l
+// copies; every estimate divides by it).
+func (c *DupCoordinator) Ell() int { return c.ell }
+
+// NewSite builds a replacement duplication site for id, wired to this
+// coordinator's configuration and duplication factor — the chaos
+// engine's site-join path, where a fresh machine takes over a crashed
+// site's identity (the inner sampler site then receives the control
+// snapshot replay exactly like a plain sampler joiner).
+func (c *DupCoordinator) NewSite(id int, rng *xrand.RNG) *DupSite {
+	return &DupSite{site: core.NewSite(id, c.coord.Config(), rng), ell: c.ell}
+}
+
+// DupState is a self-contained checkpoint of the duplication tracker's
+// coordinator side: the inner sampler checkpoint plus the exact-prefix
+// accumulator and the phase flag. Both extra fields are load-bearing for
+// exactness — a restart that restored the sampler but reset the
+// accumulator would change every pre-threshold estimate.
+type DupState struct {
+	Inner    *core.CoordinatorState
+	ExactDup float64
+	EstMode  bool
+}
+
+// ExportState captures the coordinator as a DupState sharing nothing
+// with the live machine.
+func (c *DupCoordinator) ExportState() *DupState {
+	return &DupState{
+		Inner:    c.coord.ExportState(),
+		ExactDup: c.exactDup,
+		EstMode:  c.estMode,
+	}
+}
+
+// RestoreState overwrites the coordinator with a checkpoint in place,
+// keeping outstanding pointers (including to the inner sampler
+// coordinator) valid. The checkpoint's config must match.
+func (c *DupCoordinator) RestoreState(st *DupState) error {
+	if err := c.coord.RestoreState(st.Inner); err != nil {
+		return err
+	}
+	c.exactDup = st.ExactDup
+	c.estMode = st.EstMode
+	return nil
+}
+
 // NewDupTracker builds the Theorem 6 construction over k sites.
 func NewDupTracker(k int, p DupParams, master *xrand.RNG) (*DupCoordinator, []*DupSite, error) {
 	if err := p.Validate(); err != nil {

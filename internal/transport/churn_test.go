@@ -70,7 +70,7 @@ func TestMultiSiteChurnSeeded(t *testing.T) {
 		{At: 0.55, Kind: workload.SiteJoin, Site: 1},
 		{At: 0.80, Kind: workload.SiteCrash, Site: 3},
 	}
-	if err := sched.Validate(cfg.K); err != nil {
+	if err := sched.Validate(workload.ScheduleContext{K: cfg.K}); err != nil {
 		t.Fatal(err)
 	}
 

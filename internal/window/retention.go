@@ -214,6 +214,59 @@ func pushTopKey(h []float64, k float64, s int) []float64 {
 	return h
 }
 
+// RetentionState is a self-contained checkpoint of one Retention: the
+// clock and the live entries. The lazy-compaction bookkeeping (pruneAt,
+// heap scratch) is derived state and deliberately not captured — a
+// restored structure re-schedules its next compaction from the restored
+// live count, which only changes *when* dominated entries are shed, not
+// which entries any read path can observe.
+type RetentionState struct {
+	Count   int
+	Entries []Entry // ascending by Pos, all inside [Count-width, Count-1]
+}
+
+// ExportState captures the retention structure as a RetentionState that
+// shares nothing with the live structure.
+func (r *Retention) ExportState() RetentionState {
+	return RetentionState{
+		Count:   r.count,
+		Entries: append([]Entry(nil), r.kept[r.start:]...),
+	}
+}
+
+// RestoreState overwrites the structure with a checkpoint in place,
+// keeping outstanding pointers valid (the chaos engine's restart path).
+// The checkpoint must have been taken from a structure with the same s
+// and width: entries are validated against this structure's window.
+func (r *Retention) RestoreState(st RetentionState) error {
+	if st.Count < 0 {
+		return fmt.Errorf("window: snapshot clock %d is negative", st.Count)
+	}
+	lo := st.Count - r.width
+	prev := lo - 1
+	for _, e := range st.Entries {
+		if e.Pos < lo || e.Pos >= st.Count {
+			return fmt.Errorf("window: snapshot entry at pos %d outside window [%d, %d]", e.Pos, lo, st.Count-1)
+		}
+		if e.Pos <= prev {
+			return fmt.Errorf("window: snapshot entries not strictly ascending at pos %d", e.Pos)
+		}
+		prev = e.Pos
+	}
+	r.count = st.Count
+	r.start = 0
+	old := len(r.kept)
+	r.kept = append(r.kept[:0], st.Entries...)
+	if old > len(r.kept) {
+		tail := r.kept[len(r.kept):old]
+		for i := range tail {
+			tail[i] = Entry{} // release items the checkpoint dropped
+		}
+	}
+	r.setPruneAt(len(st.Entries))
+	return nil
+}
+
 // Count returns the clock: the number of positions observed.
 func (r *Retention) Count() int { return r.count }
 

@@ -1,0 +1,212 @@
+package workload
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// smallFuzzConfig keeps per-seed cost low enough for the go-fuzz smoke
+// loop and the shrink unit tests.
+func smallFuzzConfig() FuzzConfig {
+	cfg := DefaultFuzzConfig()
+	cfg.N = 400
+	return cfg
+}
+
+// TestFuzzScenariosValid pins the generator's valid-by-construction
+// contract and its purity: every seed yields a scenario that passes
+// Validate, and generating it twice yields the identical scenario.
+func TestFuzzScenariosValid(t *testing.T) {
+	cfg := DefaultFuzzConfig()
+	for seed := uint64(0); seed < 200; seed++ {
+		sc := FuzzScenario(cfg, seed)
+		if err := sc.Validate(); err != nil {
+			t.Fatalf("seed %d: generated invalid scenario: %v", seed, err)
+		}
+		b1, err := EncodeScenario(sc)
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		b2, err := EncodeScenario(FuzzScenario(cfg, seed))
+		if err != nil {
+			t.Fatalf("seed %d: %v", seed, err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("seed %d: generator is not a pure function of the seed", seed)
+		}
+	}
+}
+
+// TestFuzzScenariosCoverFaultSpace guards the generator against
+// silently collapsing: across a modest seed range, every fault kind
+// must appear and both tree shapes must be drawn.
+func TestFuzzScenariosCoverFaultSpace(t *testing.T) {
+	cfg := DefaultFuzzConfig()
+	kinds := make(map[FaultKind]int)
+	depths := make(map[int]int)
+	for seed := uint64(0); seed < 300; seed++ {
+		sc := FuzzScenario(cfg, seed)
+		depths[sc.Depth]++
+		for _, f := range sc.Faults {
+			kinds[f.Kind]++
+		}
+	}
+	for k := SiteCrash; k <= EdgeLinkSet; k++ {
+		if kinds[k] == 0 {
+			t.Errorf("fault kind %v never generated in 300 seeds", k)
+		}
+	}
+	for _, d := range []int{0, 1, 2} {
+		if depths[d] == 0 {
+			t.Errorf("tree depth %d never drawn in 300 seeds", d)
+		}
+	}
+}
+
+// TestShrinkMinimizesSchedule exercises the minimizer's mechanics
+// against a synthetic failure predicate ("the schedule still contains a
+// coord-restart"), where the unique greedy fixpoint is known: the
+// restart survives because dropping it stops the failure, its snapshot
+// survives because dropping it invalidates the schedule, everything
+// else goes, then N halves to the floor and the links simplify.
+func TestShrinkMinimizesSchedule(t *testing.T) {
+	sc, ok := Lookup("tree-lossy")
+	if !ok {
+		t.Fatal("scenario tree-lossy missing")
+	}
+	hasRestart := func(c Scenario) bool {
+		for _, f := range c.Faults {
+			if f.Kind == CoordRestart {
+				return true
+			}
+		}
+		return false
+	}
+	shrunk := Shrink(sc, hasRestart)
+	if err := shrunk.Validate(); err != nil {
+		t.Fatalf("shrunk scenario invalid: %v", err)
+	}
+	if !hasRestart(shrunk) {
+		t.Fatal("shrunk scenario no longer fails the predicate")
+	}
+	if len(shrunk.Faults) != 2 {
+		t.Errorf("shrunk schedule has %d events, want 2 (snapshot+restart): %+v", len(shrunk.Faults), shrunk.Faults)
+	}
+	if shrunk.N >= sc.N {
+		t.Errorf("shrink did not reduce the stream: N=%d", shrunk.N)
+	}
+	// Determinism: shrinking again from the same input reproduces the
+	// same reproducer byte for byte.
+	b1, _ := EncodeScenario(shrunk)
+	b2, _ := EncodeScenario(Shrink(sc, hasRestart))
+	if !bytes.Equal(b1, b2) {
+		t.Error("Shrink is not deterministic")
+	}
+}
+
+// TestScenarioJSONRoundTrip pins lossless serialization: every built-in
+// scenario and a generated one survive encode → decode → encode with
+// identical bytes, and the decoded scenario runs to the identical
+// result fingerprint.
+func TestScenarioJSONRoundTrip(t *testing.T) {
+	scs := Builtin()
+	scs = append(scs, FuzzScenario(smallFuzzConfig(), 42))
+	for _, sc := range scs {
+		t.Run(sc.Name, func(t *testing.T) {
+			b1, err := EncodeScenario(sc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			dec, err := DecodeScenario(b1)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b2, err := EncodeScenario(dec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !bytes.Equal(b1, b2) {
+				t.Fatalf("round trip not lossless:\n%s\nvs\n%s", b1, b2)
+			}
+			sc.N = 800
+			dec.N = 800
+			r1, a1, err := RunNamed(sc, "swor")
+			if err != nil {
+				t.Fatal(err)
+			}
+			r2, a2, err := RunNamed(dec, "swor")
+			if err != nil {
+				t.Fatal(err)
+			}
+			if r1.Fingerprint() != r2.Fingerprint() || a1 != a2 {
+				t.Error("decoded scenario runs differently from the original")
+			}
+		})
+	}
+}
+
+// TestEncodeRejectsInlineWorkloads pins the serialization boundary.
+func TestEncodeRejectsInlineWorkloads(t *testing.T) {
+	sc, _ := Lookup("churn")
+	sc.SpecFor = func(k, n int) Spec { return Spec{} }
+	if _, err := EncodeScenario(sc); err == nil || !strings.Contains(err.Error(), "cannot serialize") {
+		t.Errorf("inline spec encoded: %v", err)
+	}
+}
+
+// TestCorpusScenariosExact replays every committed reproducer in
+// testdata/corpus. Each file is a schedule that once exposed a bug
+// (most from the wrsmutation planted-bug self-test); normal builds must
+// stay oracle-exact on all of them, forever.
+func TestCorpusScenariosExact(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "corpus", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("regression corpus is empty")
+	}
+	for _, path := range files {
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			data, err := os.ReadFile(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc, err := DecodeScenario(data)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if msg := FirstFailure(sc, FuzzApps(), []int{1, 2}); msg != "" {
+				t.Errorf("corpus scenario diverged: %s", msg)
+			}
+		})
+	}
+}
+
+// FuzzScenarioSchedule is the randomized exactness sweep: any seed names
+// a scenario (FuzzScenario is pure), and every scenario must be
+// oracle-exact for every app family at shards 1 and 2. A failing seed
+// is a complete reproducer; the failure message carries the shrunk
+// schedule ready for wrs-chaos -run.
+func FuzzScenarioSchedule(f *testing.F) {
+	for seed := uint64(1); seed <= 8; seed++ {
+		f.Add(seed)
+	}
+	cfg := smallFuzzConfig()
+	shardCounts := []int{1, 2}
+	f.Fuzz(func(t *testing.T, seed uint64) {
+		sc := FuzzScenario(cfg, seed)
+		msg := FirstFailure(sc, FuzzApps(), shardCounts)
+		if msg == "" {
+			return
+		}
+		shrunk := Shrink(sc, func(c Scenario) bool {
+			return FirstFailure(c, FuzzApps(), shardCounts) != ""
+		})
+		repro, _ := EncodeScenario(shrunk)
+		t.Fatalf("seed %d: %s\nminimized reproducer (save and run with wrs-chaos -run FILE):\n%s", seed, msg, repro)
+	})
+}

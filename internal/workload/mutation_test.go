@@ -1,0 +1,81 @@
+//go:build wrsmutation
+
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMutationSelfTest proves the fuzzer can actually catch an
+// exactness bug — the standard worry with an oracle harness is that it
+// silently tests nothing. The wrsmutation build tag arms a planted
+// checkpoint bug (core.ExportState drops the withheld pool; see
+// internal/core/mutation_off.go), and this test demands that (1) the
+// seeded fuzz loop finds a failing schedule within a bounded seed
+// budget, (2) Shrink reduces it to at most 5 events while it still
+// fails, and (3) the whole find-and-shrink pipeline is deterministic.
+//
+// Run it alone — every other snapshot/restart test in this package is
+// SUPPOSED to fail under the planted bug:
+//
+//	go test -tags wrsmutation -run TestMutationSelfTest ./internal/workload
+func TestMutationSelfTest(t *testing.T) {
+	cfg := smallFuzzConfig()
+	shardCounts := []int{1, 2}
+	failing := func(c Scenario) bool {
+		return FirstFailure(c, FuzzApps(), shardCounts) != ""
+	}
+
+	const seedBudget = 200
+	found := uint64(0)
+	var firstMsg string
+	for seed := uint64(0); seed < seedBudget; seed++ {
+		sc := FuzzScenario(cfg, seed)
+		if msg := FirstFailure(sc, FuzzApps(), shardCounts); msg != "" {
+			found = seed
+			firstMsg = msg
+			break
+		}
+	}
+	if firstMsg == "" {
+		t.Fatalf("planted checkpoint bug not detected in %d seeds — the fuzzer is blind", seedBudget)
+	}
+	t.Logf("seed %d detected the planted bug: %s", found, firstMsg)
+
+	shrunk := Shrink(FuzzScenario(cfg, found), failing)
+	if err := shrunk.Validate(); err != nil {
+		t.Fatalf("shrunk reproducer invalid: %v", err)
+	}
+	if !failing(shrunk) {
+		t.Fatal("shrunk reproducer no longer fails")
+	}
+	if len(shrunk.Faults) > 5 {
+		t.Errorf("shrunk reproducer has %d events, want <= 5: %+v", len(shrunk.Faults), shrunk.Faults)
+	}
+	snap, restart := 0, 0
+	for _, f := range shrunk.Faults {
+		switch f.Kind {
+		case CoordSnapshot:
+			snap++
+		case CoordRestart:
+			restart++
+		}
+	}
+	if snap == 0 || restart == 0 {
+		t.Errorf("shrunk reproducer lost the snapshot/restart pair the planted bug needs: %+v", shrunk.Faults)
+	}
+
+	b1, err := EncodeScenario(shrunk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b2, err := EncodeScenario(Shrink(FuzzScenario(cfg, found), failing))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(b1, b2) {
+		t.Error("find-and-shrink pipeline is not deterministic")
+	}
+	t.Logf("minimized reproducer:\n%s", b1)
+}

@@ -1,0 +1,74 @@
+package workload
+
+import (
+	"wrs/internal/stream"
+)
+
+// A workload recipe is a named Spec builder. Recipes exist so scenarios
+// are serializable: a Scenario that names its workload instead of
+// carrying a closure round-trips through JSON (see EncodeScenario),
+// which is what lets the fuzzer emit copy-pasteable reproducers and the
+// regression corpus commit failing schedules as plain files. The
+// registry is an ordered slice, not a map, so enumeration order is
+// deterministic everywhere it shows up (CLI listings, fuzzer draws).
+type recipe struct {
+	name string
+	spec func(k, n int) Spec
+}
+
+func recipes() []recipe {
+	return []recipe{
+		{"zipf-diurnal", func(k, n int) Spec {
+			return Spec{
+				N: n, K: k,
+				Weights:  stream.ZipfWeights(1.2, 1<<16),
+				Assign:   ZipfSites(k, 1.0),
+				Arrivals: Diurnal{BaseHz: 2000, Components: []RateComponent{{Period: 1.0, Amplitude: 0.6}, {Period: 0.13, Amplitude: 0.25}}},
+			}
+		}},
+		{"pareto-bursty", func(k, n int) Spec {
+			return Spec{
+				N: n, K: k,
+				Weights:  stream.ParetoWeights(1.15),
+				Assign:   stream.RandomSites(k),
+				Arrivals: NewBursty(1000, 4000, 5),
+			}
+		}},
+		{"uniform-steady", func(k, n int) Spec {
+			return Spec{
+				N: n, K: k,
+				Weights:  stream.UniformWeights(1e4),
+				Assign:   stream.RoundRobin(k),
+				Arrivals: Constant{Hz: 2500},
+			}
+		}},
+		{"shift-adversarial", func(k, n int) Spec {
+			return Spec{
+				N: n, K: k,
+				Weights:  ShiftWeights(stream.UniformWeights(10), stream.ParetoWeights(1.05), n/2),
+				Assign:   ShiftAssign(ZipfSites(k, 1.5), stream.RandomSites(k), n/2),
+				Arrivals: Constant{Hz: 3000},
+			}
+		}},
+	}
+}
+
+// RecipeNames lists the registered workload recipes in registry order.
+func RecipeNames() []string {
+	rs := recipes()
+	out := make([]string, len(rs))
+	for i, r := range rs {
+		out[i] = r.name
+	}
+	return out
+}
+
+// RecipeSpec returns the named recipe's Spec builder.
+func RecipeSpec(name string) (func(k, n int) Spec, bool) {
+	for _, r := range recipes() {
+		if r.name == name {
+			return r.spec, true
+		}
+	}
+	return nil, false
+}

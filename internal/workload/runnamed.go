@@ -7,8 +7,9 @@ import (
 )
 
 // AppNames lists the applications the scenario engine can drive by
-// name: the three whose coordinator is the plain core sampler.
-func AppNames() []string { return []string{"swor", "hh", "quantile"} }
+// name: the three whose coordinator is the plain core sampler, plus the
+// two wrapped runtimes with their own oracle families (l1, window).
+func AppNames() []string { return []string{"swor", "hh", "l1", "quantile", "window"} }
 
 // RunNamed runs a scenario against an application chosen by name,
 // returning the engine result and the application's final answer
@@ -24,8 +25,22 @@ func RunNamed(sc Scenario, appName string) (*Result, string, error) {
 	case "hh":
 		res, q, err := RunApp(sc, wrs.HeavyHitters(sc.K, 0.3, 0.2))
 		return res, fmt.Sprintf("%v", q), err
+	case "l1":
+		// Loose accuracy keeps the per-shard sample (S = ceil(27/eps²·
+		// ln 2/delta)) and the duplication factor ell small enough for
+		// chaos-sized streams while still exercising both estimator
+		// regimes (exact prefix, then threshold-based).
+		res, q, err := RunApp(sc, wrs.L1(sc.K, 0.45, 0.3))
+		return res, fmt.Sprintf("%v", q), err
 	case "quantile":
 		res, q, err := RunApp(sc, wrs.Quantiles(sc.K, 0.3, 0.2))
+		return res, fmt.Sprintf("%v", q), err
+	case "window":
+		width := sc.Width
+		if width == 0 {
+			width = 128
+		}
+		res, q, err := RunApp(sc, wrs.Windowed(sc.K, sc.S, width))
 		return res, fmt.Sprintf("%v", q), err
 	default:
 		return nil, "", fmt.Errorf("workload: unknown app %q (have %v)", appName, AppNames())

@@ -5,7 +5,6 @@ import (
 	"sort"
 
 	"wrs/internal/netsim"
-	"wrs/internal/stream"
 	"wrs/internal/xrand"
 )
 
@@ -30,8 +29,25 @@ const (
 	// persisted checkpoint.
 	CoordRestart
 	// LinkSet replaces the active link models (both directions) from
-	// this instant on, degrading or healing the network mid-run.
+	// this instant on, degrading or healing the network mid-run. On a
+	// relay tree these are the site<->leaf edge models; relay<->parent
+	// edges are per-edge (EdgeLinkSet).
 	LinkSet
+	// SeverParent cuts the edge between relay (Tier, Node) and its
+	// parent: messages climbing past the relay and broadcasts fanning
+	// into it are dropped from this instant on. The subtree below keeps
+	// running — sites feed their leaf relays, whose forwards die at the
+	// severed edge — modeling a network partition above an aggregation
+	// node. Tree scenarios only.
+	SeverParent
+	// Reparent re-attaches a severed relay to its parent and replays
+	// the parent's monotone control-plane snapshot (thresholds,
+	// saturations) down the reattached subtree, mirroring the TCP
+	// relay's child-join snapshot. Tree scenarios only.
+	Reparent
+	// EdgeLinkSet replaces the link models of relay (Tier, Node)'s
+	// parent edge (both directions). Tree scenarios only.
+	EdgeLinkSet
 )
 
 func (k FaultKind) String() string {
@@ -46,17 +62,37 @@ func (k FaultKind) String() string {
 		return "coord-restart"
 	case LinkSet:
 		return "link-set"
+	case SeverParent:
+		return "sever-parent"
+	case Reparent:
+		return "reparent"
+	case EdgeLinkSet:
+		return "edge-link-set"
 	default:
 		return "unknown"
 	}
 }
 
+// faultKindFromString is the inverse of FaultKind.String (scenario
+// serialization).
+func faultKindFromString(s string) (FaultKind, error) {
+	for k := SiteCrash; k <= EdgeLinkSet; k++ {
+		if k.String() == s {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("workload: unknown fault kind %q", s)
+}
+
 // Fault is one scheduled fault. Site is used by SiteCrash/SiteJoin;
-// Up/Down by LinkSet.
+// Tier/Node by SeverParent/Reparent/EdgeLinkSet; Up/Down by LinkSet and
+// EdgeLinkSet.
 type Fault struct {
 	At   float64
 	Kind FaultKind
 	Site int
+	Tier int
+	Node int
 	Up   netsim.LinkModel
 	Down netsim.LinkModel
 }
@@ -64,21 +100,60 @@ type Fault struct {
 // Schedule is a declarative fault schedule, applied in time order.
 type Schedule []Fault
 
-// Validate rejects schedules the engine cannot apply: site indices out
-// of range, invalid link models, negative times, or a CoordRestart with
-// no CoordSnapshot anywhere before it.
-func (sch Schedule) Validate(k int) error {
+// ScheduleContext is the static cluster shape a schedule is validated
+// against: the site count, the optional event horizon (a positive
+// Horizon rejects faults scheduled at or after it — the fuzzer's bound
+// on useful fault times), and the relay-tree shape (Depth 0 = flat).
+type ScheduleContext struct {
+	K       int
+	Horizon float64
+	Fanout  int
+	Depth   int
+}
+
+// Validate rejects schedules the engine cannot apply: site or relay
+// indices out of range, invalid link models, negative times, events at
+// or past the horizon, a CoordRestart with no CoordSnapshot anywhere
+// before it, overlapping site faults (crashing a site that is already
+// down, or joining one that is up), tree faults on a flat topology, and
+// sever/reparent events that do not alternate per edge. The liveness
+// checks walk the schedule in applied (time, then declaration) order,
+// so a valid schedule is exactly one every fault of which changes state.
+func (sch Schedule) Validate(ctx ScheduleContext) error {
 	ordered := append(Schedule(nil), sch...)
 	sort.SliceStable(ordered, func(i, j int) bool { return ordered[i].At < ordered[j].At })
+	var sizes []int
+	if ctx.Depth > 0 {
+		sizes = netsim.TreeTierSizes(ctx.K, ctx.Fanout, ctx.Depth)
+	}
+	alive := make([]bool, ctx.K)
+	for i := range alive {
+		alive[i] = true
+	}
+	severed := make(map[[2]int]bool)
 	haveSnap := false
 	for _, f := range ordered {
 		if f.At < 0 {
 			return fmt.Errorf("workload: fault %v at negative time %v", f.Kind, f.At)
 		}
+		if ctx.Horizon > 0 && f.At >= ctx.Horizon {
+			return fmt.Errorf("workload: fault %v at t=%v is at or past the horizon %v", f.Kind, f.At, ctx.Horizon)
+		}
 		switch f.Kind {
 		case SiteCrash, SiteJoin:
-			if f.Site < 0 || f.Site >= k {
-				return fmt.Errorf("workload: fault %v addresses site %d of %d", f.Kind, f.Site, k)
+			if f.Site < 0 || f.Site >= ctx.K {
+				return fmt.Errorf("workload: fault %v addresses site %d of %d", f.Kind, f.Site, ctx.K)
+			}
+			if f.Kind == SiteCrash {
+				if !alive[f.Site] {
+					return fmt.Errorf("workload: site-crash at t=%v on site %d, which is already down", f.At, f.Site)
+				}
+				alive[f.Site] = false
+			} else {
+				if alive[f.Site] {
+					return fmt.Errorf("workload: site-join at t=%v on site %d, which is still up", f.At, f.Site)
+				}
+				alive[f.Site] = true
 			}
 		case CoordSnapshot:
 			haveSnap = true
@@ -93,6 +168,36 @@ func (sch Schedule) Validate(k int) error {
 			if err := f.Down.Validate(); err != nil {
 				return err
 			}
+		case SeverParent, Reparent, EdgeLinkSet:
+			if ctx.Depth == 0 {
+				return fmt.Errorf("workload: fault %v at t=%v on a flat (depth-0) topology", f.Kind, f.At)
+			}
+			if f.Tier < 0 || f.Tier >= ctx.Depth {
+				return fmt.Errorf("workload: fault %v addresses tier %d of %d", f.Kind, f.Tier, ctx.Depth)
+			}
+			if f.Node < 0 || f.Node >= sizes[f.Tier] {
+				return fmt.Errorf("workload: fault %v addresses node %d of %d at tier %d", f.Kind, f.Node, sizes[f.Tier], f.Tier)
+			}
+			edge := [2]int{f.Tier, f.Node}
+			switch f.Kind {
+			case SeverParent:
+				if severed[edge] {
+					return fmt.Errorf("workload: sever-parent at t=%v on edge (%d,%d), which is already severed", f.At, f.Tier, f.Node)
+				}
+				severed[edge] = true
+			case Reparent:
+				if !severed[edge] {
+					return fmt.Errorf("workload: reparent at t=%v on edge (%d,%d), which is attached", f.At, f.Tier, f.Node)
+				}
+				severed[edge] = false
+			case EdgeLinkSet:
+				if err := f.Up.Validate(); err != nil {
+					return err
+				}
+				if err := f.Down.Validate(); err != nil {
+					return err
+				}
+			}
 		default:
 			return fmt.Errorf("workload: unknown fault kind %d", f.Kind)
 		}
@@ -101,23 +206,37 @@ func (sch Schedule) Validate(k int) error {
 }
 
 // Scenario is a complete chaos experiment: a workload, a cluster shape,
-// initial link models, and a fault schedule. SpecFor builds a fresh
-// workload Spec per run so stateful arrival processes never leak state
-// between runs; Shards defaults to 1 when zero. Source, when non-nil,
-// overrides SpecFor with an explicit update source — the recorded-trace
-// replay path (see WithTrace).
+// an optional relay-tree topology, initial link models, and a fault
+// schedule. The workload comes from Workload (a named recipe from
+// Recipes — the serializable path) or from SpecFor (an inline builder;
+// overrides Workload); Source, when non-nil, overrides both with an
+// explicit update source — the recorded-trace replay path (see
+// WithTrace). Shards defaults to 1 when zero.
+//
+// With Depth > 0 the engine routes every message through a
+// fanout-ary relay tree (netsim.TreeTierSizes shape): sites attach to
+// leaf relays over the Up/Down site-edge models, relay<->parent edges
+// use EdgeUp/EdgeDown (changeable per edge via EdgeLinkSet), and
+// SeverParent/Reparent faults partition and heal subtrees.
 type Scenario struct {
-	Name    string
-	About   string
-	K, S    int
-	N       int
-	Shards  int
-	Seed    uint64
-	SpecFor func(k, n int) Spec
-	Source  func() Source
-	Up      netsim.LinkModel
-	Down    netsim.LinkModel
-	Faults  Schedule
+	Name     string
+	About    string
+	K, S     int
+	N        int
+	Shards   int
+	Width    int     // windowed app: window width (0 = RunNamed default)
+	Horizon  float64 // optional bound on fault times (0 = unbounded)
+	Seed     uint64
+	Workload string
+	SpecFor  func(k, n int) Spec
+	Source   func() Source
+	Fanout   int
+	Depth    int
+	Up       netsim.LinkModel
+	Down     netsim.LinkModel
+	EdgeUp   netsim.LinkModel
+	EdgeDown netsim.LinkModel
+	Faults   Schedule
 }
 
 // scenarioSalt decorrelates the engine's auxiliary randomness from the
@@ -133,16 +252,23 @@ func (sc Scenario) auxRNGs() (netRNG, srcRNG, joinRNG *xrand.RNG) {
 }
 
 // OpenSource returns the update source a run of this scenario consumes:
-// the explicit Source when set (trace replay), otherwise the generative
-// spec bound to the scenario's workload RNG. Calling it outside a run —
-// e.g. to record the workload to a trace — yields the exact sequence
-// the engine would feed.
+// the explicit Source when set (trace replay), then the inline SpecFor
+// builder, then the named workload recipe — bound to the scenario's
+// workload RNG. Calling it outside a run — e.g. to record the workload
+// to a trace — yields the exact sequence the engine would feed.
 func (sc Scenario) OpenSource() Source {
 	if sc.Source != nil {
 		return sc.Source()
 	}
 	_, srcRNG, _ := sc.auxRNGs()
-	return sc.SpecFor(sc.K, sc.N).Open(srcRNG)
+	if sc.SpecFor != nil {
+		return sc.SpecFor(sc.K, sc.N).Open(srcRNG)
+	}
+	spec, ok := RecipeSpec(sc.Workload)
+	if !ok {
+		panic(fmt.Sprintf("workload: scenario %q names unknown workload recipe %q", sc.Name, sc.Workload))
+	}
+	return spec(sc.K, sc.N).Open(srcRNG)
 }
 
 // WithTrace returns the scenario with its generative workload replaced
@@ -166,37 +292,45 @@ func (sc Scenario) Validate() error {
 	if sc.Shards < 0 {
 		return fmt.Errorf("workload: scenario %q has negative shard count", sc.Name)
 	}
+	if sc.Width < 0 {
+		return fmt.Errorf("workload: scenario %q has negative window width", sc.Name)
+	}
+	if sc.Horizon < 0 {
+		return fmt.Errorf("workload: scenario %q has negative horizon", sc.Name)
+	}
 	if sc.SpecFor == nil && sc.Source == nil {
-		return fmt.Errorf("workload: scenario %q has no workload spec or source", sc.Name)
+		if sc.Workload == "" {
+			return fmt.Errorf("workload: scenario %q has no workload recipe, spec or source", sc.Name)
+		}
+		if _, ok := RecipeSpec(sc.Workload); !ok {
+			return fmt.Errorf("workload: scenario %q names unknown workload recipe %q (have %v)", sc.Name, sc.Workload, RecipeNames())
+		}
 	}
-	if err := sc.Up.Validate(); err != nil {
-		return err
+	if err := netsim.ValidateTree(sc.Fanout, sc.Depth); err != nil {
+		return fmt.Errorf("workload: scenario %q: %w", sc.Name, err)
 	}
-	if err := sc.Down.Validate(); err != nil {
-		return err
+	for _, lm := range []netsim.LinkModel{sc.Up, sc.Down, sc.EdgeUp, sc.EdgeDown} {
+		if err := lm.Validate(); err != nil {
+			return err
+		}
 	}
-	return sc.Faults.Validate(sc.K)
+	return sc.Faults.Validate(ScheduleContext{K: sc.K, Horizon: sc.Horizon, Fanout: sc.Fanout, Depth: sc.Depth})
 }
 
 // Builtin returns the built-in scenario catalog. Each scenario is fully
 // declarative — rerunning one with the same seed reproduces the same
-// final sample and statistics bit-for-bit. The N, K, S shapes are sized
-// so the full catalog runs in well under a second per app; crank N up
-// via the -n flag of wrs-chaos for longer soaks.
+// final sample and statistics bit-for-bit; every workload is a named
+// recipe (see Recipes), so each catalog entry serializes losslessly for
+// the -run reproducer path. The N, K, S shapes are sized so the full
+// catalog runs in well under a second per app; crank N up via the -n
+// flag of wrs-chaos for longer soaks.
 func Builtin() []Scenario {
 	return []Scenario{
 		{
 			Name:  "churn",
 			About: "diurnal Zipf traffic; one site crashes mid-stream, a replacement joins later",
 			K:     6, S: 8, N: 4000, Seed: 1,
-			SpecFor: func(k, n int) Spec {
-				return Spec{
-					N: n, K: k,
-					Weights:  stream.ZipfWeights(1.2, 1<<16),
-					Assign:   ZipfSites(k, 1.0),
-					Arrivals: Diurnal{BaseHz: 2000, Components: []RateComponent{{Period: 1.0, Amplitude: 0.6}, {Period: 0.13, Amplitude: 0.25}}},
-				}
-			},
+			Workload: "zipf-diurnal",
 			Faults: Schedule{
 				{At: 0.4, Kind: SiteCrash, Site: 1},
 				{At: 1.1, Kind: SiteJoin, Site: 1},
@@ -207,14 +341,7 @@ func Builtin() []Scenario {
 			Name:  "restart",
 			About: "bursty MMPP traffic; coordinator checkpoints, then restarts from the checkpoint losing everything since",
 			K:     5, S: 6, N: 4000, Seed: 2,
-			SpecFor: func(k, n int) Spec {
-				return Spec{
-					N: n, K: k,
-					Weights:  stream.ParetoWeights(1.15),
-					Assign:   stream.RandomSites(k),
-					Arrivals: NewBursty(1000, 4000, 5),
-				}
-			},
+			Workload: "pareto-bursty",
 			Faults: Schedule{
 				{At: 0.25, Kind: CoordSnapshot},
 				{At: 0.55, Kind: CoordRestart},
@@ -226,16 +353,9 @@ func Builtin() []Scenario {
 			Name:  "lossy",
 			About: "steady traffic over a WAN that degrades to 5% loss mid-run, then heals",
 			K:     4, S: 8, N: 3000, Seed: 3,
-			Up:   netsim.WANLink(),
-			Down: netsim.WANLink(),
-			SpecFor: func(k, n int) Spec {
-				return Spec{
-					N: n, K: k,
-					Weights:  stream.UniformWeights(1e4),
-					Assign:   stream.RoundRobin(k),
-					Arrivals: Constant{Hz: 2500},
-				}
-			},
+			Workload: "uniform-steady",
+			Up:       netsim.WANLink(),
+			Down:     netsim.WANLink(),
 			Faults: Schedule{
 				{At: 0.3, Kind: LinkSet, Up: netsim.LossyLink(), Down: netsim.LossyLink()},
 				{At: 0.9, Kind: LinkSet, Up: netsim.WANLink(), Down: netsim.WANLink()},
@@ -245,19 +365,41 @@ func Builtin() []Scenario {
 			Name:  "shift",
 			About: "adversarial mid-stream shift from uniform to heavy-tailed weights plus a traffic migration, with a site crash landing inside the shift",
 			K:     6, S: 10, N: 4000, Seed: 4,
-			Up:   netsim.WANLink(),
-			Down: netsim.WANLink(),
-			SpecFor: func(k, n int) Spec {
-				return Spec{
-					N: n, K: k,
-					Weights:  ShiftWeights(stream.UniformWeights(10), stream.ParetoWeights(1.05), n/2),
-					Assign:   ShiftAssign(ZipfSites(k, 1.5), stream.RandomSites(k), n/2),
-					Arrivals: Constant{Hz: 3000},
-				}
-			},
+			Workload: "shift-adversarial",
+			Up:       netsim.WANLink(),
+			Down:     netsim.WANLink(),
 			Faults: Schedule{
 				{At: 0.66, Kind: SiteCrash, Site: 0},
 				{At: 1.0, Kind: SiteJoin, Site: 0},
+			},
+		},
+		{
+			Name:  "tree-sever",
+			About: "fanout=2 depth=2 relay tree; a mid-tier subtree is partitioned away, its sites keep feeding into the void, then it reattaches and the control snapshot replays down",
+			K:     8, S: 8, N: 4000, Seed: 5,
+			Workload: "zipf-diurnal",
+			Fanout:   2, Depth: 2,
+			Faults: Schedule{
+				{At: 0.35, Kind: SeverParent, Tier: 1, Node: 1},
+				{At: 0.9, Kind: Reparent, Tier: 1, Node: 1},
+				{At: 1.2, Kind: SeverParent, Tier: 0, Node: 0},
+				{At: 1.5, Kind: Reparent, Tier: 0, Node: 0},
+			},
+		},
+		{
+			Name:  "tree-lossy",
+			About: "fanout=3 depth=1 relay tree over WAN site edges; one relay's parent edge degrades to heavy loss, another is severed while the coordinator restarts from a checkpoint",
+			K:     6, S: 8, N: 4000, Seed: 6,
+			Workload: "pareto-bursty",
+			Fanout:   3, Depth: 1,
+			Up:   netsim.WANLink(),
+			Down: netsim.WANLink(),
+			Faults: Schedule{
+				{At: 0.2, Kind: EdgeLinkSet, Tier: 0, Node: 2, Up: netsim.LinkModel{BaseDelay: 0.02, Jitter: 0.02, LossProb: 0.25}, Down: netsim.LossyLink()},
+				{At: 0.4, Kind: CoordSnapshot},
+				{At: 0.6, Kind: SeverParent, Tier: 0, Node: 0},
+				{At: 0.75, Kind: CoordRestart},
+				{At: 1.0, Kind: Reparent, Tier: 0, Node: 0},
 			},
 		},
 	}

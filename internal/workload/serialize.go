@@ -1,0 +1,100 @@
+package workload
+
+import (
+	"encoding/json"
+	"fmt"
+
+	"wrs/internal/netsim"
+)
+
+// Lossless JSON round-trip for declarative scenarios: the reproducer
+// path. A fuzzer-found failure is shrunk, encoded, and either committed
+// to testdata/corpus or replayed via wrs-chaos -run. Only fully
+// declarative scenarios serialize — one carrying an inline SpecFor
+// builder or an explicit Source (trace replay) has no JSON form; its
+// workload must first be named as a recipe.
+
+// FaultSpec is the JSON form of one Fault.
+type FaultSpec struct {
+	At   float64          `json:"at"`
+	Kind string           `json:"kind"`
+	Site int              `json:"site,omitempty"`
+	Tier int              `json:"tier,omitempty"`
+	Node int              `json:"node,omitempty"`
+	Up   netsim.LinkModel `json:"up"`
+	Down netsim.LinkModel `json:"down"`
+}
+
+// ScenarioSpec is the JSON form of a declarative Scenario.
+type ScenarioSpec struct {
+	Name     string           `json:"name"`
+	About    string           `json:"about,omitempty"`
+	K        int              `json:"k"`
+	S        int              `json:"s"`
+	N        int              `json:"n"`
+	Shards   int              `json:"shards,omitempty"`
+	Width    int              `json:"width,omitempty"`
+	Horizon  float64          `json:"horizon,omitempty"`
+	Seed     uint64           `json:"seed"`
+	Workload string           `json:"workload"`
+	Fanout   int              `json:"fanout,omitempty"`
+	Depth    int              `json:"depth,omitempty"`
+	Up       netsim.LinkModel `json:"up"`
+	Down     netsim.LinkModel `json:"down"`
+	EdgeUp   netsim.LinkModel `json:"edgeUp"`
+	EdgeDown netsim.LinkModel `json:"edgeDown"`
+	Faults   []FaultSpec      `json:"faults,omitempty"`
+}
+
+// EncodeScenario renders a declarative scenario as indented JSON.
+func EncodeScenario(sc Scenario) ([]byte, error) {
+	if sc.SpecFor != nil || sc.Source != nil {
+		return nil, fmt.Errorf("workload: scenario %q carries an inline spec or source and cannot serialize; name its workload as a recipe", sc.Name)
+	}
+	spec := ScenarioSpec{
+		Name: sc.Name, About: sc.About,
+		K: sc.K, S: sc.S, N: sc.N, Shards: sc.Shards, Width: sc.Width,
+		Horizon: sc.Horizon, Seed: sc.Seed, Workload: sc.Workload,
+		Fanout: sc.Fanout, Depth: sc.Depth,
+		Up: sc.Up, Down: sc.Down, EdgeUp: sc.EdgeUp, EdgeDown: sc.EdgeDown,
+	}
+	for _, f := range sc.Faults {
+		spec.Faults = append(spec.Faults, FaultSpec{
+			At: f.At, Kind: f.Kind.String(),
+			Site: f.Site, Tier: f.Tier, Node: f.Node,
+			Up: f.Up, Down: f.Down,
+		})
+	}
+	return json.MarshalIndent(spec, "", "  ")
+}
+
+// DecodeScenario parses and validates a scenario encoded by
+// EncodeScenario (or written by hand in the same form).
+func DecodeScenario(data []byte) (Scenario, error) {
+	var spec ScenarioSpec
+	if err := json.Unmarshal(data, &spec); err != nil {
+		return Scenario{}, fmt.Errorf("workload: decoding scenario: %w", err)
+	}
+	sc := Scenario{
+		Name: spec.Name, About: spec.About,
+		K: spec.K, S: spec.S, N: spec.N, Shards: spec.Shards, Width: spec.Width,
+		Horizon: spec.Horizon, Seed: spec.Seed, Workload: spec.Workload,
+		Fanout: spec.Fanout, Depth: spec.Depth,
+		Up: spec.Up, Down: spec.Down, EdgeUp: spec.EdgeUp, EdgeDown: spec.EdgeDown,
+	}
+	for _, f := range spec.Faults {
+		kind, err := faultKindFromString(f.Kind)
+		if err != nil {
+			return Scenario{}, err
+		}
+		sc.Faults = append(sc.Faults, Fault{
+			At: f.At, Kind: kind,
+			Site: f.Site, Tier: f.Tier, Node: f.Node,
+			Up: f.Up, Down: f.Down,
+		})
+	}
+	if err := sc.Validate(); err != nil {
+		return Scenario{}, err
+	}
+	return sc, nil
+}

@@ -8,6 +8,7 @@ import (
 	"wrs/internal/core"
 	"wrs/internal/fabric"
 	"wrs/internal/netsim"
+	"wrs/internal/relay"
 	"wrs/internal/xrand"
 )
 
@@ -19,17 +20,22 @@ import (
 // order, so a (scenario, seed) pair names one exact execution: same
 // final sample, same statistics, bit for bit.
 //
-// Exactness under faults is judged against the acknowledgment oracle:
-// the engine logs every (key, item) the coordinator actually processed
-// — regular messages carry their key, early messages' keys are
-// recovered from the attached core.Recorder — rolls the log back on
-// coordinator restart exactly as far as the restored checkpoint, and
-// requires the final per-shard query to equal the brute-force top-s of
-// the log. Updates that never reached the coordinator (crashed site,
-// lost message, filtered below a stale-high threshold) are exactly the
-// updates absent from the log, so the criterion is meaningful under
-// every fault the engine can inject. See DESIGN.md §15 for why the
-// protocol's monotone control plane makes the faulted executions safe.
+// Exactness under faults is judged against a delivery-relative oracle
+// owned by the coordinator's family (families.go): the engine logs what
+// verifiably reached the coordinator, rolls the log back on coordinator
+// restart exactly as far as the restored checkpoint, and requires the
+// final per-shard query to equal the oracle's replay of that log.
+// Updates that never arrived (crashed site, lost or relay-filtered
+// message, severed subtree) are exactly the updates absent from the
+// log, so the criterion is meaningful under every fault the engine can
+// inject. See DESIGN.md §15 for the soundness arguments, §15.5–§15.7
+// for the L1, windowed and relay-tree extensions.
+//
+// With Scenario.Depth > 0 the messages route through a relay tree of
+// per-(tier, node, shard) relay.Machine filters (threshold pre-filter
+// always; top-s union merge only when the coordinator type opts in),
+// with per-edge link models and severable parent edges — the virtual
+// mirror of the TCP relay fabric of DESIGN.md §14.
 
 type eventKind uint8
 
@@ -38,6 +44,8 @@ const (
 	evUp
 	evDown
 	evFault
+	evUpRelay
+	evDownRelay
 )
 
 type event struct {
@@ -45,9 +53,11 @@ type event struct {
 	seq   uint64
 	kind  eventKind
 	upd   TimedUpdate  // evArrival
-	shard int          // evUp, evDown
+	shard int          // evUp, evDown, ev*Relay
 	site  int          // evDown
-	msg   core.Message // evUp, evDown
+	tier  int          // ev*Relay
+	node  int          // ev*Relay
+	msg   core.Message // evUp, evDown, ev*Relay
 	fault Fault        // evFault
 }
 
@@ -76,10 +86,10 @@ func (h *eventHeap) Pop() any {
 type EngineStats struct {
 	Arrivals         int // updates drawn from the workload source
 	DroppedArrivals  int // arrivals addressed to a crashed site
-	UpDelivered      int // site -> coordinator messages delivered
-	UpLost           int // site -> coordinator messages lost by the link
+	UpDelivered      int // messages delivered to a coordinator
+	UpLost           int // upstream messages lost by a link
 	DownDelivered    int // broadcast copies delivered to live sites
-	DownLost         int // broadcast copies lost by the link
+	DownLost         int // broadcast copies lost by a link
 	DownToDead       int // broadcast copies addressed to a crashed site
 	Crashes          int
 	Joins            int
@@ -88,14 +98,29 @@ type EngineStats struct {
 	LinkChanges      int
 	AcksRolledBack   int     // acknowledgment log entries discarded by restarts
 	FinalVirtualTime float64 // virtual time of the last event
+	RelayFiltered    int     // upstream messages swallowed by relay filters
+	SeveredUp        int     // upstream messages dropped at a severed edge
+	SeveredDown      int     // broadcast copies dropped at a severed edge
+	Severs           int
+	Reparents        int
+	EdgeChanges      int
 }
 
-// ShardResult is one shard's final protocol state and its oracle.
+// ShardResult is one shard's final protocol state and its oracle. The
+// Query/Oracle pair is the generic comparison every family fills;
+// Mismatch carries family-specific divergences (the L1 estimate check,
+// the windowed clock cross-check), and the remaining fields are
+// family-specific diagnostics (zero-valued where not applicable).
 type ShardResult struct {
 	Query  []core.SampleEntry // the coordinator's final sample, desc by key
-	Oracle []core.SampleEntry // brute-force top-s over acknowledged updates
+	Oracle []core.SampleEntry // the oracle's replay of acknowledged updates
 	Acked  int                // acknowledgment log length at the end
 	Stats  core.CoordStats
+
+	WStats         core.WindowCoordStats // windowed runs
+	Estimate       float64               // L1 runs: the wrapper's estimate
+	OracleEstimate float64               // L1 runs: recomputed from oracle state
+	Mismatch       string                // family-specific divergence, "" if none
 }
 
 // Result is the outcome of one scenario run.
@@ -105,11 +130,14 @@ type Result struct {
 	Engine   EngineStats
 }
 
-// Err returns nil when every shard's final query equals its
-// acknowledgment oracle, and a description of the first divergence
-// otherwise.
+// Err returns nil when every shard's final query equals its oracle and
+// no family-specific check diverged, and a description of the first
+// divergence otherwise.
 func (r *Result) Err() error {
 	for p, sh := range r.Shards {
+		if sh.Mismatch != "" {
+			return fmt.Errorf("workload: scenario %q shard %d: %s", r.Scenario, p, sh.Mismatch)
+		}
 		if len(sh.Query) != len(sh.Oracle) {
 			return fmt.Errorf("workload: scenario %q shard %d: query has %d entries, oracle %d",
 				r.Scenario, p, len(sh.Query), len(sh.Oracle))
@@ -143,11 +171,9 @@ func (s soloSnaps) View(_ int, fn func()) { fn() }
 // together with the application's final answer. The app descriptor is
 // consumed (one-shot, as with wrs.Open): build a fresh one per run.
 //
-// Supported apps are those whose per-shard coordinator is the plain
-// core sampler — Sampler, HeavyHitters, Quantiles. Apps that wrap or
-// replace the coordinator state machine (L1's duplication wrapper, the
-// windowed protocol) are rejected: their acknowledgment oracles need
-// app-specific replay logic that does not exist yet.
+// Supported apps are those whose per-shard coordinator has an oracle
+// family: the plain core sampler (Sampler, HeavyHitters, Quantiles),
+// the L1 duplication tracker, and the windowed protocol.
 func RunApp[Q any](sc Scenario, app wrs.App[Q]) (*Result, Q, error) {
 	var zero Q
 	if err := sc.Validate(); err != nil {
@@ -169,18 +195,15 @@ func RunApp[Q any](sc Scenario, app wrs.App[Q]) (*Result, Q, error) {
 	if len(insts) != shards {
 		return nil, zero, fmt.Errorf("workload: app built %d instances for %d shards", len(insts), shards)
 	}
-	coords := make([]*core.Coordinator, shards)
-	recs := make([]*core.Recorder, shards)
+	fam, err := newFamily(insts)
+	if err != nil {
+		return nil, zero, err
+	}
 	sites := make([][]netsim.Site[core.Message], shards)
+	cfgs := make([]core.Config, shards)
 	for p, inst := range insts {
-		coord, ok := inst.Coord.(*core.Coordinator)
-		if !ok {
-			return nil, zero, fmt.Errorf("workload: app coordinator %T is not the plain core sampler; scenario oracles support swor/hh/quantile only", inst.Coord)
-		}
-		coords[p] = coord
-		recs[p] = core.NewRecorder()
-		coord.SetRecorder(recs[p])
 		sites[p] = inst.Sites
+		cfgs[p] = inst.Cfg
 	}
 
 	// Engine RNGs come from a salted seed, NOT from the app's master:
@@ -197,22 +220,40 @@ func RunApp[Q any](sc Scenario, app wrs.App[Q]) (*Result, Q, error) {
 
 	eng := &engine{
 		shards:  shards,
-		coords:  coords,
-		recs:    recs,
+		fam:     fam,
 		sites:   sites,
+		cfgs:    cfgs,
 		alive:   make([]bool, sc.K),
 		up:      sc.Up,
 		down:    sc.Down,
 		netRNG:  netRNG,
 		joinRNG: joinRNG,
-		acks:    make([][]core.SampleEntry, shards),
-		cfgs:    make([]core.Config, shards),
+		depth:   sc.Depth,
 	}
 	for i := range eng.alive {
 		eng.alive[i] = true
 	}
-	for p, inst := range insts {
-		eng.cfgs[p] = inst.Cfg
+	if sc.Depth > 0 {
+		eng.sizes = netsim.TreeTierSizes(sc.K, sc.Fanout, sc.Depth)
+		eng.relays = make([][][]*relay.Machine, sc.Depth)
+		eng.severed = make([][]bool, sc.Depth)
+		eng.edgeUp = make([][]netsim.LinkModel, sc.Depth)
+		eng.edgeDown = make([][]netsim.LinkModel, sc.Depth)
+		for t := 0; t < sc.Depth; t++ {
+			eng.relays[t] = make([][]*relay.Machine, eng.sizes[t])
+			eng.severed[t] = make([]bool, eng.sizes[t])
+			eng.edgeUp[t] = make([]netsim.LinkModel, eng.sizes[t])
+			eng.edgeDown[t] = make([]netsim.LinkModel, eng.sizes[t])
+			for node := 0; node < eng.sizes[t]; node++ {
+				eng.edgeUp[t][node] = sc.EdgeUp
+				eng.edgeDown[t][node] = sc.EdgeDown
+				machines := make([]*relay.Machine, shards)
+				for p := 0; p < shards; p++ {
+					machines[p] = relay.NewMachine(cfgs[p].S, relay.UnionMergeable(fam.proto(p)))
+				}
+				eng.relays[t][node] = machines
+			}
+		}
 	}
 	for _, f := range sc.Faults {
 		eng.push(&event{at: f.At, kind: evFault, fault: f})
@@ -225,24 +266,14 @@ func RunApp[Q any](sc Scenario, app wrs.App[Q]) (*Result, Q, error) {
 		return nil, zero, err
 	}
 
-	res := &Result{Scenario: sc.Name, Engine: eng.stats, Shards: make([]ShardResult, shards)}
-	for p := range coords {
-		oracle := append([]core.SampleEntry(nil), eng.acks[p]...)
-		res.Shards[p] = ShardResult{
-			Query:  coords[p].Query(),
-			Oracle: core.TopSample(oracle, eng.cfgs[p].S),
-			Acked:  len(eng.acks[p]),
-			Stats:  coords[p].Stats,
-		}
-	}
+	res := &Result{Scenario: sc.Name, Engine: eng.stats, Shards: fam.results()}
 	answer := app.Query(soloSnaps{n: shards})
 	return res, answer, nil
 }
 
 type engine struct {
 	shards  int
-	coords  []*core.Coordinator
-	recs    []*core.Recorder
+	fam     family
 	sites   [][]netsim.Site[core.Message]
 	cfgs    []core.Config
 	alive   []bool
@@ -251,14 +282,19 @@ type engine struct {
 	netRNG  *xrand.RNG
 	joinRNG *xrand.RNG
 
+	// Relay tree (depth > 0): per-(tier, node) filter machines (one per
+	// shard), severed-edge flags, and parent-edge link models.
+	depth    int
+	sizes    []int
+	relays   [][][]*relay.Machine
+	severed  [][]bool
+	edgeUp   [][]netsim.LinkModel
+	edgeDown [][]netsim.LinkModel
+
 	heap  eventHeap
 	seq   uint64
 	now   float64
 	stats EngineStats
-
-	acks       [][]core.SampleEntry
-	snapStates []*core.CoordinatorState
-	snapAcks   []int
 }
 
 func (e *engine) push(ev *event) {
@@ -284,6 +320,10 @@ func (e *engine) run(src Source) error {
 			e.deliverUp(ev.shard, ev.msg)
 		case evDown:
 			e.deliverDown(ev.shard, ev.site, ev.msg)
+		case evUpRelay:
+			e.deliverUpRelay(ev.tier, ev.node, ev.shard, ev.msg)
+		case evDownRelay:
+			e.deliverDownRelay(ev.tier, ev.node, ev.shard, ev.msg)
 		case evFault:
 			if err := e.applyFault(ev.fault); err != nil {
 				return err
@@ -292,6 +332,13 @@ func (e *engine) run(src Source) error {
 	}
 	return nil
 }
+
+// leafOf returns the leaf relay site i attaches to (round-robin, the
+// netsim.TreeCluster wiring).
+func (e *engine) leafOf(site int) int { return site % e.sizes[e.depth-1] }
+
+// parentOf returns the parent node index of relay (t, node) for t > 0.
+func (e *engine) parentOf(t, node int) int { return node % e.sizes[t-1] }
 
 func (e *engine) arrive(u TimedUpdate) error {
 	e.stats.Arrivals++
@@ -305,13 +352,53 @@ func (e *engine) arrive(u TimedUpdate) error {
 			e.stats.UpLost++
 			return
 		}
-		e.push(&event{at: e.now + e.up.Delay(e.netRNG), kind: evUp, shard: p, msg: m})
+		at := e.now + e.up.Delay(e.netRNG)
+		if e.depth == 0 {
+			e.push(&event{at: at, kind: evUp, shard: p, msg: m})
+			return
+		}
+		e.push(&event{at: at, kind: evUpRelay, tier: e.depth - 1, node: e.leafOf(u.Site), shard: p, msg: m})
 	})
+}
+
+// deliverUpRelay runs one upstream message through relay (t, node)'s
+// shard filter; survivors cross the parent edge (severed check, then
+// loss/delay) toward tier t-1 or the coordinator.
+func (e *engine) deliverUpRelay(t, node, p int, m core.Message) {
+	passed := false
+	e.relays[t][node][p].Up(m, func(fm core.Message) {
+		passed = true
+		if e.severed[t][node] {
+			e.stats.SeveredUp++
+			return
+		}
+		lm := e.edgeUp[t][node]
+		if lm.Lose(e.netRNG) {
+			e.stats.UpLost++
+			return
+		}
+		at := e.now + lm.Delay(e.netRNG)
+		if t == 0 {
+			e.push(&event{at: at, kind: evUp, shard: p, msg: fm})
+			return
+		}
+		e.push(&event{at: at, kind: evUpRelay, tier: t - 1, node: e.parentOf(t, node), shard: p, msg: fm})
+	})
+	if !passed {
+		e.stats.RelayFiltered++
+	}
 }
 
 func (e *engine) deliverUp(p int, m core.Message) {
 	e.stats.UpDelivered++
-	e.coords[p].HandleMessage(m, func(b core.Message) {
+	e.fam.handle(p, m, func(b core.Message) { e.broadcast(p, b) })
+}
+
+// broadcast fans one coordinator announcement down: directly to every
+// live site on a flat topology, through the root edges and relay tiers
+// on a tree.
+func (e *engine) broadcast(p int, b core.Message) {
+	if e.depth == 0 {
 		for i := range e.sites[p] {
 			if !e.alive[i] {
 				e.stats.DownToDead++
@@ -323,24 +410,59 @@ func (e *engine) deliverUp(p int, m core.Message) {
 			}
 			e.push(&event{at: e.now + e.down.Delay(e.netRNG), kind: evDown, shard: p, site: i, msg: b})
 		}
-	})
-	switch m.Kind {
-	case core.MsgRegular:
-		e.acks[p] = append(e.acks[p], core.SampleEntry{Key: m.Key, Item: m.Item})
-	case core.MsgEarly:
-		// The coordinator drew this item's key on arrival and the
-		// attached recorder captured it; stream positions are unique
-		// IDs, so the lookup is unambiguous.
-		key, ok := e.recs[p].Key(m.Item.ID)
-		if !ok {
-			panic(fmt.Sprintf("workload: early item %d has no recorded key", m.Item.ID))
+		return
+	}
+	for node := 0; node < e.sizes[0]; node++ {
+		if e.severed[0][node] {
+			e.stats.SeveredDown++
+			continue
 		}
-		e.acks[p] = append(e.acks[p], core.SampleEntry{Key: key, Item: m.Item})
-	default:
-		// Sites only ever send MsgRegular and MsgEarly; control kinds
-		// (MsgEpochUpdate, MsgLevelSaturated, MsgClock) flow downstream
-		// and MsgWindow belongs to the windowed runtime the engine
-		// rejects at RunApp. Nothing to acknowledge.
+		lm := e.edgeDown[0][node]
+		if lm.Lose(e.netRNG) {
+			e.stats.DownLost++
+			continue
+		}
+		e.push(&event{at: e.now + lm.Delay(e.netRNG), kind: evDownRelay, tier: 0, node: node, shard: p, msg: b})
+	}
+}
+
+// deliverDownRelay records the broadcast on relay (t, node)'s monotone
+// control-plane view and fans it further down: to child relays over
+// their parent edges, or — at the leaf tier — to the node's live sites
+// over the site-edge model.
+func (e *engine) deliverDownRelay(t, node, p int, m core.Message) {
+	e.relays[t][node][p].Down(m)
+	if t < e.depth-1 {
+		for child := 0; child < e.sizes[t+1]; child++ {
+			if e.parentOf(t+1, child) != node {
+				continue
+			}
+			if e.severed[t+1][child] {
+				e.stats.SeveredDown++
+				continue
+			}
+			lm := e.edgeDown[t+1][child]
+			if lm.Lose(e.netRNG) {
+				e.stats.DownLost++
+				continue
+			}
+			e.push(&event{at: e.now + lm.Delay(e.netRNG), kind: evDownRelay, tier: t + 1, node: child, shard: p, msg: m})
+		}
+		return
+	}
+	for i := range e.sites[p] {
+		if e.leafOf(i) != node {
+			continue
+		}
+		if !e.alive[i] {
+			e.stats.DownToDead++
+			continue
+		}
+		if e.down.Lose(e.netRNG) {
+			e.stats.DownLost++
+			continue
+		}
+		e.push(&event{at: e.now + e.down.Delay(e.netRNG), kind: evDown, shard: p, site: i, msg: m})
 	}
 }
 
@@ -359,49 +481,100 @@ func (e *engine) applyFault(f Fault) error {
 		e.alive[f.Site] = false
 		e.stats.Crashes++
 	case SiteJoin:
-		// A fresh replacement instance per shard, control-plane state
-		// seeded from the coordinator exactly like the TCP transport's
-		// late-joiner snapshot.
+		// A fresh replacement instance per shard. Its control-plane
+		// snapshot replays from what it would attach to in the real
+		// deployment: its leaf relay's monotone view on a tree, the
+		// coordinator's on a flat topology — both safe (the relay's
+		// view is a subset of the coordinator's, and replaying less
+		// only makes the site send more).
 		for p := range e.sites {
-			ns := core.NewSite(f.Site, e.cfgs[p], e.joinRNG.Split())
-			for _, j := range e.coords[p].SaturatedLevels() {
-				ns.HandleBroadcast(core.Message{Kind: core.MsgLevelSaturated, Level: j})
+			ns, err := e.fam.newSite(p, f.Site, e.sites[p][f.Site], e.joinRNG.Split())
+			if err != nil {
+				return err
 			}
-			if th := e.coords[p].CurrentThreshold(); th > 0 {
-				ns.HandleBroadcast(core.Message{Kind: core.MsgEpochUpdate, Threshold: th})
+			replay := func(m core.Message) { ns.HandleBroadcast(m) }
+			if e.depth > 0 {
+				e.relays[e.depth-1][e.leafOf(f.Site)][p].Snapshot(replay)
+			} else {
+				e.fam.controlSnapshot(p, replay)
 			}
 			e.sites[p][f.Site] = ns
 		}
 		e.alive[f.Site] = true
 		e.stats.Joins++
 	case CoordSnapshot:
-		if e.snapStates == nil {
-			e.snapStates = make([]*core.CoordinatorState, e.shards)
-			e.snapAcks = make([]int, e.shards)
-		}
-		for p, c := range e.coords {
-			e.snapStates[p] = c.ExportState()
-			e.snapAcks[p] = len(e.acks[p])
-		}
+		e.fam.snapshot()
 		e.stats.Snapshots++
 	case CoordRestart:
-		if e.snapStates == nil {
-			return fmt.Errorf("workload: coord-restart with no snapshot taken")
+		rolled, err := e.fam.restore()
+		if err != nil {
+			return err
 		}
-		for p, c := range e.coords {
-			if err := c.RestoreState(e.snapStates[p]); err != nil {
-				return err
-			}
-			e.stats.AcksRolledBack += len(e.acks[p]) - e.snapAcks[p]
-			// Full slice expression: appends after the rollback must
-			// not overwrite the (dead) entries past the checkpoint in
-			// a way that would alias a prior snapshot's backing array.
-			e.acks[p] = e.acks[p][:e.snapAcks[p]:e.snapAcks[p]]
-		}
+		e.stats.AcksRolledBack += rolled
 		e.stats.Restarts++
 	case LinkSet:
 		e.up, e.down = f.Up, f.Down
 		e.stats.LinkChanges++
+	case SeverParent:
+		e.severed[f.Tier][f.Node] = true
+		e.stats.Severs++
+	case Reparent:
+		e.severed[f.Tier][f.Node] = false
+		e.stats.Reparents++
+		e.reattach(f.Tier, f.Node)
+	case EdgeLinkSet:
+		e.edgeUp[f.Tier][f.Node] = f.Up
+		e.edgeDown[f.Tier][f.Node] = f.Down
+		e.stats.EdgeChanges++
 	}
 	return nil
+}
+
+// reattach replays the parent's monotone control-plane snapshot down
+// the re-attached subtree, mirroring the TCP relay's child-join path:
+// the snapshot rides connection registration (reliable, instant), not
+// the lossy broadcast fan-down. Because broadcasts are monotone —
+// thresholds only rise, saturations only set — replaying state the
+// subtree partially has can never move any view backwards, and a
+// coordinator restart having rewound the live threshold does not make
+// the replay unsafe: the relay's recorded threshold was genuinely
+// broadcast, so everything it pre-filters had s released dominators
+// when that bound was issued (DESIGN.md §14/§15.7).
+func (e *engine) reattach(t, node int) {
+	for p := 0; p < e.shards; p++ {
+		var msgs []core.Message
+		emit := func(m core.Message) { msgs = append(msgs, m) }
+		if t == 0 {
+			e.fam.controlSnapshot(p, emit)
+		} else {
+			e.relays[t-1][e.parentOf(t, node)][p].Snapshot(emit)
+		}
+		e.replayDownSubtree(t, node, p, msgs)
+	}
+}
+
+// replayDownSubtree applies snapshot messages to relay (t, node) and
+// everything below it that is currently attached; a severed child stays
+// partitioned and will get its own replay when it reattaches.
+func (e *engine) replayDownSubtree(t, node, p int, msgs []core.Message) {
+	for _, m := range msgs {
+		e.relays[t][node][p].Down(m)
+	}
+	if t < e.depth-1 {
+		for child := 0; child < e.sizes[t+1]; child++ {
+			if e.parentOf(t+1, child) != node || e.severed[t+1][child] {
+				continue
+			}
+			e.replayDownSubtree(t+1, child, p, msgs)
+		}
+		return
+	}
+	for i := range e.sites[p] {
+		if e.leafOf(i) != node || !e.alive[i] {
+			continue
+		}
+		for _, m := range msgs {
+			e.sites[p][i].HandleBroadcast(m)
+		}
+	}
 }

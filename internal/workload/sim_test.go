@@ -1,10 +1,9 @@
 package workload
 
 import (
+	"runtime"
 	"strings"
 	"testing"
-
-	"wrs"
 )
 
 // scale shrinks scenario streams in -short mode (the CI race smoke)
@@ -114,38 +113,155 @@ func TestTraceReplayReproducesRun(t *testing.T) {
 	}
 }
 
-// TestRunAppRejectsWrappedCoordinators pins the support boundary: apps
-// whose coordinator is not the plain core sampler are refused rather
-// than checked against a wrong oracle.
-func TestRunAppRejectsWrappedCoordinators(t *testing.T) {
-	sc, _ := Lookup("lossy")
-	_, _, err := RunApp(sc, wrs.L1(sc.K, 0.3, 0.2))
-	if err == nil || !strings.Contains(err.Error(), "not the plain core sampler") {
-		t.Errorf("L1 app accepted by scenario engine: %v", err)
+// TestTreeScenarioFaultsActuallyFire is the tree-topology counterpart:
+// the relay scenarios' severs, reparents and edge changes must leave
+// their traces in the engine counters, and a severed edge must actually
+// drop traffic.
+func TestTreeScenarioFaultsActuallyFire(t *testing.T) {
+	run := func(name string) *Result {
+		sc, ok := Lookup(name)
+		if !ok {
+			t.Fatalf("scenario %q missing", name)
+		}
+		res, _, err := RunNamed(sc, "swor")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := res.Err(); err != nil {
+			t.Fatalf("%s: exactness violated: %v", name, err)
+		}
+		return res
+	}
+	sever := run("tree-sever")
+	if sever.Engine.Severs != 2 || sever.Engine.Reparents != 2 {
+		t.Errorf("tree-sever: severs=%d reparents=%d, want 2/2", sever.Engine.Severs, sever.Engine.Reparents)
+	}
+	if sever.Engine.SeveredUp == 0 {
+		t.Error("tree-sever: severed edges dropped no upstream traffic — schedule missed the stream")
+	}
+	lossy := run("tree-lossy")
+	if lossy.Engine.EdgeChanges != 1 {
+		t.Errorf("tree-lossy: edge changes = %d, want 1", lossy.Engine.EdgeChanges)
+	}
+	if lossy.Engine.Snapshots != 1 || lossy.Engine.Restarts != 1 {
+		t.Errorf("tree-lossy: snapshots=%d restarts=%d, want 1/1", lossy.Engine.Snapshots, lossy.Engine.Restarts)
+	}
+	if lossy.Engine.UpLost == 0 {
+		t.Error("tree-lossy: the lossy links lost nothing")
 	}
 }
 
+// TestRelayFilteringActuallyHappens confirms the tree engine's filter
+// machines are not pass-through: on a scenario with enough stream
+// behind a relay, some upstream messages must be swallowed by the
+// threshold pre-filter or the top-s union merge, and exactness must
+// hold regardless (the oracle is delivery-relative).
+func TestRelayFilteringActuallyHappens(t *testing.T) {
+	sc, ok := Lookup("tree-sever")
+	if !ok {
+		t.Fatal("scenario tree-sever missing")
+	}
+	res, _, err := RunNamed(sc, "swor")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Engine.RelayFiltered == 0 {
+		t.Error("relay machines filtered nothing — the tree is a pass-through")
+	}
+}
+
+// TestRunNamedUnknownApp pins the app-name boundary of the engine's
+// by-name entry point.
+func TestRunNamedUnknownApp(t *testing.T) {
+	sc, _ := Lookup("lossy")
+	_, _, err := RunNamed(sc, "bogus")
+	if err == nil || !strings.Contains(err.Error(), "unknown app") {
+		t.Errorf("bogus app accepted: %v", err)
+	}
+}
+
+// TestScheduleValidate is the table of Validate's rejection paths: site
+// ranges, liveness bookkeeping (no crashing a dead site, no joining a
+// live one), snapshot/restart ordering, horizon clipping, link-model
+// sanity, and — with a tree context — tier/node ranges and severed-edge
+// alternation.
 func TestScheduleValidate(t *testing.T) {
+	flat := ScheduleContext{K: 4}
+	horizon := ScheduleContext{K: 4, Horizon: 2}
+	tree := ScheduleContext{K: 8, Fanout: 2, Depth: 2} // tier sizes [2 4]
 	cases := []struct {
 		name string
 		sch  Schedule
+		ctx  ScheduleContext
 		ok   bool
 	}{
-		{"empty", nil, true},
-		{"crash+join", Schedule{{At: 1, Kind: SiteCrash, Site: 0}, {At: 2, Kind: SiteJoin, Site: 0}}, true},
-		{"site out of range", Schedule{{At: 1, Kind: SiteCrash, Site: 4}}, false},
-		{"negative time", Schedule{{At: -1, Kind: CoordSnapshot}}, false},
-		{"restart without snapshot", Schedule{{At: 1, Kind: CoordRestart}}, false},
-		{"restart after snapshot, out of order in slice", Schedule{{At: 2, Kind: CoordRestart}, {At: 1, Kind: CoordSnapshot}}, true},
-		{"bad link model", Schedule{{At: 1, Kind: LinkSet, Up: badLink()}}, false},
+		{"empty", nil, flat, true},
+		{"crash+join", Schedule{{At: 1, Kind: SiteCrash, Site: 0}, {At: 2, Kind: SiteJoin, Site: 0}}, flat, true},
+		{"site out of range", Schedule{{At: 1, Kind: SiteCrash, Site: 4}}, flat, false},
+		{"negative site", Schedule{{At: 1, Kind: SiteCrash, Site: -1}}, flat, false},
+		{"negative time", Schedule{{At: -1, Kind: CoordSnapshot}}, flat, false},
+		{"crash a dead site", Schedule{{At: 1, Kind: SiteCrash, Site: 2}, {At: 2, Kind: SiteCrash, Site: 2}}, flat, false},
+		{"join a live site", Schedule{{At: 1, Kind: SiteJoin, Site: 2}}, flat, false},
+		{"crash join crash", Schedule{{At: 1, Kind: SiteCrash, Site: 2}, {At: 2, Kind: SiteJoin, Site: 2}, {At: 3, Kind: SiteCrash, Site: 2}}, flat, true},
+		{"restart without snapshot", Schedule{{At: 1, Kind: CoordRestart}}, flat, false},
+		{"restart after snapshot, out of order in slice", Schedule{{At: 2, Kind: CoordRestart}, {At: 1, Kind: CoordSnapshot}}, flat, true},
+		{"bad link model", Schedule{{At: 1, Kind: LinkSet, Up: badLink()}}, flat, false},
+		{"inside horizon", Schedule{{At: 1.9, Kind: CoordSnapshot}}, horizon, true},
+		{"at horizon", Schedule{{At: 2, Kind: CoordSnapshot}}, horizon, false},
+		{"after horizon", Schedule{{At: 3, Kind: SiteCrash, Site: 0}}, horizon, false},
+		{"sever+reparent", Schedule{{At: 1, Kind: SeverParent, Tier: 1, Node: 3}, {At: 2, Kind: Reparent, Tier: 1, Node: 3}}, tree, true},
+		{"tree fault on flat topology", Schedule{{At: 1, Kind: SeverParent}}, flat, false},
+		{"tier out of range", Schedule{{At: 1, Kind: SeverParent, Tier: 2}}, tree, false},
+		{"node out of range", Schedule{{At: 1, Kind: SeverParent, Tier: 0, Node: 2}}, tree, false},
+		{"sever a severed edge", Schedule{{At: 1, Kind: SeverParent, Tier: 1, Node: 1}, {At: 2, Kind: SeverParent, Tier: 1, Node: 1}}, tree, false},
+		{"reparent an attached edge", Schedule{{At: 1, Kind: Reparent, Tier: 0, Node: 0}}, tree, false},
+		{"edge link set", Schedule{{At: 1, Kind: EdgeLinkSet, Tier: 0, Node: 1}}, tree, true},
+		{"edge link set bad model", Schedule{{At: 1, Kind: EdgeLinkSet, Tier: 0, Node: 1, Down: badLink()}}, tree, false},
 	}
 	for _, c := range cases {
 		t.Run(c.name, func(t *testing.T) {
-			err := c.sch.Validate(4)
+			err := c.sch.Validate(c.ctx)
 			if (err == nil) != c.ok {
 				t.Errorf("Validate = %v, want ok=%v", err, c.ok)
 			}
 		})
+	}
+}
+
+// TestReplayDeterministicAcrossGOMAXPROCS pins that chaos-run
+// determinism does not depend on the scheduler: record a chaos run's
+// workload, replay the scenario from the trace at GOMAXPROCS 1 and 4,
+// and demand bit-identical samples and statistics — both between the
+// two replays and against the generative run. The engine is
+// single-goroutine by construction, so a divergence here means some
+// state machine leaked wall-clock or scheduler nondeterminism into the
+// virtual-clock run.
+func TestReplayDeterministicAcrossGOMAXPROCS(t *testing.T) {
+	sc, _ := Lookup("tree-lossy")
+	sc.N = 1500
+	sc.Shards = 2
+	live, ansLive, err := RunNamed(sc, "window")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := live.Err(); err != nil {
+		t.Fatalf("exactness violated: %v", err)
+	}
+	tr := recordScenarioWorkload(t, sc)
+	for _, procs := range []int{1, 4} {
+		prev := runtime.GOMAXPROCS(procs)
+		replayed, ansReplayed, err := RunNamed(WithTrace(sc, tr), "window")
+		runtime.GOMAXPROCS(prev)
+		if err != nil {
+			t.Fatalf("GOMAXPROCS=%d: %v", procs, err)
+		}
+		if live.Fingerprint() != replayed.Fingerprint() {
+			t.Errorf("GOMAXPROCS=%d: trace replay diverged from the live run:\nlive:   %s\nreplay: %s",
+				procs, live.Fingerprint(), replayed.Fingerprint())
+		}
+		if ansLive != ansReplayed {
+			t.Errorf("GOMAXPROCS=%d: answer diverged:\nlive:   %s\nreplay: %s", procs, ansLive, ansReplayed)
+		}
 	}
 }
 
